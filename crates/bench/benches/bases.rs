@@ -1,0 +1,46 @@
+//! E3/E4/E6 as Criterion benchmarks: basis construction (DG, Luxenburger
+//! full and reduced) and the all-rules baseline they replace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulebases::{
+    all_rules, DuquenneGuiguesBasis, LuxenburgerBasis,
+};
+use rulebases_bench::{Scale, StandIn};
+use rulebases_dataset::{MiningContext, MinSupport};
+use rulebases_lattice::IcebergLattice;
+use rulebases_mining::{Apriori, Close, ClosedMiner, FrequentMiner};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_bases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bases");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for dataset in [StandIn::Mushrooms, StandIn::C20D10K] {
+        let ctx = MiningContext::new(dataset.generate(Scale::Test));
+        let minsup = MinSupport::Fraction(dataset.default_minsup());
+        let frequent = Apriori::new().mine_frequent(&ctx, minsup);
+        let fc = Close::default().mine_closed(&ctx, minsup);
+        let lattice = IcebergLattice::from_closed(&fc);
+
+        group.bench_function(BenchmarkId::new("all-rules", dataset.name()), |b| {
+            b.iter(|| black_box(all_rules(&frequent, 0.7)))
+        });
+        group.bench_function(BenchmarkId::new("dg-basis", dataset.name()), |b| {
+            b.iter(|| black_box(DuquenneGuiguesBasis::build(&frequent, &fc, ctx.n_items())))
+        });
+        group.bench_function(BenchmarkId::new("lux-full", dataset.name()), |b| {
+            b.iter(|| black_box(LuxenburgerBasis::full(&fc, 0.7, false)))
+        });
+        group.bench_function(BenchmarkId::new("lux-reduced", dataset.name()), |b| {
+            b.iter(|| black_box(LuxenburgerBasis::reduced(&lattice, 0.7, false)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bases);
+criterion_main!(benches);

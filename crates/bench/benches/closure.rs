@@ -1,0 +1,54 @@
+//! E7 ablation as a Criterion benchmark: the Galois closure primitive and
+//! the two Hasse-diagram construction algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulebases_bench::{Scale, StandIn};
+use rulebases_dataset::{Itemset, MiningContext, MinSupport};
+use rulebases_lattice::IcebergLattice;
+use rulebases_mining::{Close, ClosedMiner};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for dataset in [StandIn::T10I4, StandIn::Mushrooms, StandIn::C73D10K] {
+        let ctx = MiningContext::new(dataset.generate(Scale::Test));
+
+        // The closure primitive on a frequent single item.
+        let supports = ctx.vertical().item_supports();
+        let top_item = supports
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        let probe = Itemset::from_ids([top_item]);
+        group.bench_function(BenchmarkId::new("h(x)", dataset.name()), |b| {
+            b.iter(|| black_box(ctx.closure(&probe)))
+        });
+
+        // Hasse construction, both algorithms.
+        let fc = Close::default().mine_closed(&ctx, MinSupport::Fraction(dataset.default_minsup()));
+        group.bench_function(
+            BenchmarkId::new("hasse-pairs", format!("{}|FC|={}", dataset.name(), fc.len())),
+            |b| b.iter(|| black_box(IcebergLattice::from_closed(&fc))),
+        );
+        // The closure-based variant is orders slower on the sparse sets
+        // (it pays |FC|·|I| closures) — bench only the dense ones.
+        if dataset.is_dense() {
+            group.bench_function(
+                BenchmarkId::new("hasse-closure", format!("{}|FC|={}", dataset.name(), fc.len())),
+                |b| b.iter(|| black_box(IcebergLattice::from_context(&fc, &ctx))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E8 ablation as a Criterion benchmark: support-counting strategies
+//! (subset hashing vs hash tree vs vertical bitsets) on sparse and dense
+//! level-2 candidate sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulebases_bench::{Scale, StandIn};
+use rulebases_dataset::{Itemset, MiningContext, MinSupport};
+use rulebases_mining::candidates::join_and_prune;
+use rulebases_mining::counting::{count_candidates, CountingStrategy};
+use rulebases_mining::TidListDb;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Builds the level-2 candidate set of a dataset at its default minsup.
+fn level2_candidates(ctx: &MiningContext, minsup: f64) -> Vec<Itemset> {
+    let min_count = MinSupport::Fraction(minsup).to_count(ctx.n_objects());
+    let frequent_singles: Vec<Itemset> = ctx
+        .vertical()
+        .item_supports()
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s >= min_count)
+        .map(|(i, _)| Itemset::from_ids([i as u32]))
+        .collect();
+    join_and_prune(&frequent_singles)
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for dataset in [StandIn::T10I4, StandIn::Mushrooms] {
+        let ctx = MiningContext::new(dataset.generate(Scale::Test));
+        let candidates = level2_candidates(&ctx, dataset.default_minsup());
+        if candidates.is_empty() {
+            continue;
+        }
+        for (label, strategy) in [
+            ("subset-hash", CountingStrategy::SubsetHash),
+            ("hash-tree", CountingStrategy::HashTree),
+            ("vertical", CountingStrategy::Vertical),
+        ] {
+            group.bench_function(
+                BenchmarkId::new(label, format!("{}x{}", dataset.name(), candidates.len())),
+                |b| {
+                    b.iter(|| {
+                        black_box(count_candidates(&ctx, &candidates, 2, strategy))
+                    })
+                },
+            );
+        }
+        // Sparse tid-lists: the paper-era vertical representation.
+        let tids = TidListDb::from_horizontal(ctx.horizontal());
+        group.bench_function(
+            BenchmarkId::new("tid-lists", format!("{}x{}", dataset.name(), candidates.len())),
+            |b| {
+                b.iter(|| {
+                    candidates
+                        .iter()
+                        .map(|c| black_box(tids.support(c)))
+                        .sum::<u64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E5 / Figure 1 as a Criterion benchmark: Apriori vs Close vs A-Close vs
+//! CHARM on one sparse and one dense dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulebases_bench::{Scale, StandIn};
+use rulebases_dataset::{MiningContext, MinSupport};
+use rulebases_mining::{AClose, Apriori, Charm, Close, ClosedMiner, FrequentMiner};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_miners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miners");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for dataset in [StandIn::T10I4, StandIn::Mushrooms] {
+        let ctx = MiningContext::new(dataset.generate(Scale::Test));
+        let minsup = MinSupport::Fraction(dataset.default_minsup());
+
+        group.bench_function(BenchmarkId::new("apriori", dataset.name()), |b| {
+            b.iter(|| black_box(Apriori::new().mine_frequent(&ctx, minsup)))
+        });
+        group.bench_function(BenchmarkId::new("close", dataset.name()), |b| {
+            b.iter(|| black_box(Close::default().mine_closed(&ctx, minsup)))
+        });
+        group.bench_function(BenchmarkId::new("a-close", dataset.name()), |b| {
+            b.iter(|| black_box(AClose::default().mine_closed(&ctx, minsup)))
+        });
+        group.bench_function(BenchmarkId::new("charm", dataset.name()), |b| {
+            b.iter(|| black_box(Charm::default().mine_closed(&ctx, minsup)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! `exp` — regenerate the experiment tables and figures.
+//!
+//! ```bash
+//! exp all                 # every table and figure at the default scale
+//! exp table2 --scale full # one experiment at paper-scale object counts
+//! exp verify              # structural sanity checks across the suite
+//! ```
+
+use rulebases_bench::tables;
+use rulebases_bench::Scale;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: exp <table1|table2|table3|table4|fig1|fig2|fig3|verify|all> [--scale test|default|full]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut scale = Scale::Default;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--scale needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                let Some(parsed) = Scale::parse(value) else {
+                    eprintln!("unknown scale {value:?}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                scale = parsed;
+                i += 2;
+            }
+            other if which.is_none() => {
+                which = Some(other.to_owned());
+                i += 1;
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".to_owned());
+
+    let run_all = which == "all";
+    let mut ran = false;
+
+    if run_all || which == "table1" {
+        banner("E1 / Table 1 — dataset characteristics");
+        println!("{}", tables::table1_header());
+        for row in tables::table1(scale) {
+            println!("{row}");
+        }
+        ran = true;
+    }
+    if run_all || which == "table2" {
+        banner("E2 / Table 2 — frequent vs frequent-closed itemsets");
+        println!("{}", tables::table2_header());
+        for row in tables::table2(scale) {
+            println!("{row}");
+        }
+        ran = true;
+    }
+    if run_all || which == "table3" {
+        banner("E3 / Table 3 — exact rules vs Duquenne-Guigues basis");
+        println!("{}", tables::table3_header());
+        for row in tables::table3(scale) {
+            println!("{row}");
+        }
+        ran = true;
+    }
+    if run_all || which == "table4" {
+        banner("E4 / Table 4 — approximate rules vs Luxenburger bases");
+        println!("{}", tables::table4_header());
+        for row in tables::table4(scale) {
+            println!("{row}");
+        }
+        ran = true;
+    }
+    if run_all || which == "fig1" {
+        banner("E5 / Figure 1 — miner runtimes over the minsup sweep");
+        println!("{}", tables::fig1_header());
+        for row in tables::fig1(scale) {
+            println!("{row}");
+        }
+        ran = true;
+    }
+    if run_all || which == "fig2" {
+        banner("E6 / Figure 2 — rule counts vs minconf");
+        println!("{}", tables::fig2_header());
+        for row in tables::fig2(scale) {
+            println!("{row}");
+        }
+        ran = true;
+    }
+    if run_all || which == "fig3" {
+        banner("E7 / ablation — Hasse construction & transitive reduction");
+        println!("{}", tables::fig3_header());
+        for row in tables::fig3(scale) {
+            println!("{row}");
+        }
+        ran = true;
+    }
+    if run_all || which == "verify" {
+        banner("structural verification");
+        match tables::verify_shapes(if run_all { scale } else { scale }) {
+            Ok(()) => println!("all shape invariants hold"),
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        ran = true;
+    }
+
+    if !ran {
+        eprintln!("unknown experiment {which:?}\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn banner(title: &str) {
+    println!("\n== {title} ==");
+}

@@ -1,0 +1,62 @@
+//! `probe` — calibration helper: count frequent/closed itemsets for one
+//! `(dataset, minsup)` cell with the closed miner only (Close never
+//! materializes the exponential frequent set, so it is safe to run even
+//! where Apriori would explode).
+//!
+//! ```bash
+//! probe MUSHROOMS 0.5 [test|default|full] [--frequent]
+//! ```
+
+use rulebases_bench::{Scale, StandIn};
+use rulebases_dataset::{MiningContext, MinSupport};
+use rulebases_mining::{Apriori, Close, ClosedMiner};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("MUSHROOMS");
+    let minsup: f64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let scale = args
+        .get(2)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Test);
+    let with_frequent = args.iter().any(|a| a == "--frequent");
+
+    let dataset = StandIn::ALL
+        .into_iter()
+        .find(|d| d.name().starts_with(name))
+        .unwrap_or(StandIn::Mushrooms);
+
+    let db = dataset.generate(scale);
+    println!(
+        "{} |O|={} |I|={} minsup={minsup}",
+        dataset.name(),
+        db.n_transactions(),
+        db.n_items()
+    );
+    let ctx = MiningContext::new(db);
+
+    let start = Instant::now();
+    let fc = Close::default().mine_closed(&ctx, MinSupport::Fraction(minsup));
+    println!(
+        "|FC| = {} ({} passes, {:.1} ms)",
+        fc.len(),
+        fc.stats.db_passes,
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    let largest = fc.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+    println!("largest closed set: {largest} items");
+
+    if with_frequent {
+        let start = Instant::now();
+        let f = Apriori::new().mine(&ctx, MinSupport::Fraction(minsup));
+        println!(
+            "|F| = {} ({:.1} ms)",
+            f.len(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+}

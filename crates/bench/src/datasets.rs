@@ -1,0 +1,161 @@
+//! The benchmark dataset registry.
+//!
+//! Five seeded stand-ins for the paper family's evaluation datasets (see
+//! DESIGN.md §6 for the substitution rationale). Every dataset comes in
+//! three scales so tests stay fast while `--scale full` reproduces the
+//! original object counts.
+
+use rulebases_dataset::generator::{census_like, mushroom_like_scaled, QuestConfig};
+use rulebases_dataset::TransactionDb;
+
+/// Generation scale: object counts for CI, for the default harness, and
+/// for the paper-faithful full runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny — integration tests (seconds).
+    Test,
+    /// Default — `cargo run -p rulebases-bench --bin exp` (a few minutes).
+    Default,
+    /// Paper-scale object counts.
+    Full,
+}
+
+impl Scale {
+    /// Parses `test` / `default` / `full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "test" => Some(Scale::Test),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// The five stand-in datasets of the experiment suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StandIn {
+    /// Sparse Quest baskets, avg size 10, avg pattern 4 (T10I4D100K).
+    T10I4,
+    /// Sparse Quest baskets, avg size 20, avg pattern 6 (T20I6D100K).
+    T20I6,
+    /// Dense 23-attribute categorical data (UCI MUSHROOMS).
+    Mushrooms,
+    /// Dense 20-attribute census extract (PUMS C20D10K).
+    C20D10K,
+    /// Very dense 73-attribute census extract (PUMS C73D10K).
+    C73D10K,
+}
+
+impl StandIn {
+    /// All datasets, in the order the paper tables list them.
+    pub const ALL: [StandIn; 5] = [
+        StandIn::T10I4,
+        StandIn::T20I6,
+        StandIn::Mushrooms,
+        StandIn::C20D10K,
+        StandIn::C73D10K,
+    ];
+
+    /// Display name (the `*` marks the synthetic stand-in).
+    pub fn name(self) -> &'static str {
+        match self {
+            StandIn::T10I4 => "T10I4D100K*",
+            StandIn::T20I6 => "T20I6D100K*",
+            StandIn::Mushrooms => "MUSHROOMS*",
+            StandIn::C20D10K => "C20D10K*",
+            StandIn::C73D10K => "C73D10K*",
+        }
+    }
+
+    /// Number of objects generated at a scale.
+    pub fn n_objects(self, scale: Scale) -> usize {
+        match (self, scale) {
+            (StandIn::T10I4 | StandIn::T20I6, Scale::Test) => 1_000,
+            (StandIn::T10I4 | StandIn::T20I6, Scale::Default) => 10_000,
+            (StandIn::T10I4 | StandIn::T20I6, Scale::Full) => 100_000,
+            (StandIn::Mushrooms, Scale::Test) => 500,
+            (StandIn::Mushrooms, Scale::Default) => 2_000,
+            (StandIn::Mushrooms, Scale::Full) => 8_124,
+            (StandIn::C20D10K | StandIn::C73D10K, Scale::Test) => 500,
+            (StandIn::C20D10K | StandIn::C73D10K, Scale::Default) => 2_000,
+            (StandIn::C20D10K | StandIn::C73D10K, Scale::Full) => 10_000,
+        }
+    }
+
+    /// The minimum-support sweep (relative) the experiment tables use for
+    /// this dataset — denser data gets higher thresholds, as in the paper.
+    pub fn minsup_sweep(self) -> &'static [f64] {
+        // Calibrated so every cell stays laptop-friendly while the dense
+        // datasets show the paper's |F| ≫ |FC| regime (see EXPERIMENTS.md).
+        match self {
+            StandIn::T10I4 | StandIn::T20I6 => &[0.02, 0.01, 0.005],
+            StandIn::Mushrooms => &[0.50, 0.40, 0.30],
+            StandIn::C20D10K => &[0.70, 0.60, 0.50],
+            StandIn::C73D10K => &[0.80, 0.70, 0.60],
+        }
+    }
+
+    /// A single representative threshold (the middle of the sweep).
+    pub fn default_minsup(self) -> f64 {
+        self.minsup_sweep()[1]
+    }
+
+    /// Whether the dataset is in the dense/correlated regime.
+    pub fn is_dense(self) -> bool {
+        !matches!(self, StandIn::T10I4 | StandIn::T20I6)
+    }
+
+    /// Generates the dataset (deterministic per `(dataset, scale)`).
+    pub fn generate(self, scale: Scale) -> TransactionDb {
+        let n = self.n_objects(scale);
+        match self {
+            StandIn::T10I4 => QuestConfig::t10i4(n, 0x7101_0400).generate(),
+            StandIn::T20I6 => QuestConfig::t20i6(n, 0x7201_0600).generate(),
+            StandIn::Mushrooms => mushroom_like_scaled(n, 0x8124),
+            StandIn::C20D10K => census_like(n, 20, 0xC20),
+            StandIn::C73D10K => census_like(n, 73, 0xC73),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_scales() {
+        assert_eq!(StandIn::Mushrooms.name(), "MUSHROOMS*");
+        assert_eq!(StandIn::T10I4.n_objects(Scale::Full), 100_000);
+        assert_eq!(StandIn::Mushrooms.n_objects(Scale::Full), 8_124);
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = StandIn::C20D10K.generate(Scale::Test);
+        let b = StandIn::C20D10K.generate(Scale::Test);
+        assert_eq!(a.n_transactions(), b.n_transactions());
+        for t in 0..a.n_transactions() {
+            assert_eq!(a.transaction(t), b.transaction(t));
+        }
+    }
+
+    #[test]
+    fn regimes_have_expected_density() {
+        let sparse = StandIn::T10I4.generate(Scale::Test);
+        let dense = StandIn::Mushrooms.generate(Scale::Test);
+        assert!(sparse.density() < 0.05, "{}", sparse.density());
+        assert!(dense.density() > 0.10, "{}", dense.density());
+    }
+
+    #[test]
+    fn sweeps_are_decreasing() {
+        for d in StandIn::ALL {
+            let sweep = d.minsup_sweep();
+            assert!(sweep.windows(2).all(|w| w[0] > w[1]), "{}", d.name());
+            assert_eq!(d.default_minsup(), sweep[1]);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # rulebases-bench
+//!
+//! The experiment harness of the `rulebases` workspace: seeded stand-in
+//! datasets, one function per table/figure of the evaluation suite, and
+//! the timing utilities behind the `exp` binary and the Criterion benches.
+//!
+//! ```bash
+//! cargo run --release -p rulebases-bench --bin exp -- all --scale default
+//! cargo bench -p rulebases-bench
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datasets;
+pub mod parallel;
+pub mod tables;
+pub mod timing;
+
+pub use datasets::{Scale, StandIn};

@@ -1,0 +1,50 @@
+//! Tiny scoped-thread fan-out used to run independent experiment cells in
+//! parallel (crossbeam scoped threads; results come back in input order).
+
+/// Maps `f` over `items` with one scoped thread per item.
+///
+/// Experiment cells (one dataset × one threshold) are independent and
+/// CPU-bound; the cell count is small (≤ ~15), so thread-per-item is the
+/// right granularity. Timing experiments must NOT go through this — they
+/// run sequentially to keep wall-clock numbers clean.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(|_| f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment cell panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map(vec![1, 2, 3, 4], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "experiment cell panicked")]
+    fn propagates_panics() {
+        let _ = parallel_map(vec![1], |_| -> i32 { panic!("boom") });
+    }
+}

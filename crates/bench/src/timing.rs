@@ -1,0 +1,60 @@
+//! Wall-clock timing helpers for the figure experiments.
+
+use std::time::{Duration, Instant};
+
+/// Times one closure invocation.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Runs `f` `runs` times and reports the median duration (robust against
+/// scheduler noise; Criterion handles the statistically serious version —
+/// this is for the quick `exp` binary).
+pub fn median_duration(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs > 0);
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn median_is_monotone_in_work() {
+        let fast = median_duration(3, || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        let slow = median_duration(3, || {
+            std::hint::black_box((0..2_000_000u64).sum::<u64>());
+        });
+        assert!(slow >= fast);
+    }
+
+    #[test]
+    fn formats_milliseconds() {
+        assert_eq!(fmt_ms(Duration::from_millis(1500)), "1500.0");
+        assert_eq!(fmt_ms(Duration::from_micros(2500)), "2.5");
+    }
+}

@@ -1,0 +1,163 @@
+//! The "all valid rules" baseline (Agrawal et al.'s rule generation).
+//!
+//! The classical algorithm emits, for every frequent itemset `Y` and every
+//! non-empty proper subset `X ⊂ Y`, the rule `X → Y∖X` whenever its
+//! confidence reaches `minconf`. This is the redundant rule set whose size
+//! the paper's bases are measured against.
+
+use crate::rule::Rule;
+use rulebases_mining::FrequentItemsets;
+
+/// Generates **all** valid association rules at `min_confidence` from the
+/// frequent itemsets, in canonical order.
+///
+/// Exponential in the size of the largest frequent itemset (that is the
+/// point — this is the baseline the bases shrink). Both exact and
+/// approximate rules are included; filter with [`Rule::is_exact`] to
+/// split them.
+///
+/// # Panics
+///
+/// Panics if `min_confidence` is outside `[0, 1]`.
+pub fn all_rules(frequent: &FrequentItemsets, min_confidence: f64) -> Vec<Rule> {
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "min_confidence {min_confidence} outside [0, 1]"
+    );
+    let mut rules = Vec::new();
+    for (itemset, support) in frequent.iter() {
+        if itemset.len() < 2 {
+            continue;
+        }
+        for antecedent in itemset.proper_subsets() {
+            let antecedent_support = frequent
+                .support(&antecedent)
+                .expect("subset of a frequent itemset is frequent");
+            // Exact integer comparison: conf >= minconf ⇔
+            // support >= minconf · antecedent_support.
+            if (support as f64) < min_confidence * antecedent_support as f64 {
+                continue;
+            }
+            let consequent = itemset.difference(&antecedent);
+            rules.push(Rule::new(
+                antecedent,
+                consequent,
+                support,
+                antecedent_support,
+            ));
+        }
+    }
+    rules.sort();
+    rules
+}
+
+/// Counts the valid rules without materializing them (same enumeration as
+/// [`all_rules`]).
+pub fn count_all_rules(frequent: &FrequentItemsets, min_confidence: f64) -> usize {
+    let mut count = 0;
+    for (itemset, support) in frequent.iter() {
+        if itemset.len() < 2 {
+            continue;
+        }
+        for antecedent in itemset.proper_subsets() {
+            let antecedent_support = frequent
+                .support(&antecedent)
+                .expect("subset of a frequent itemset is frequent");
+            if (support as f64) >= min_confidence * antecedent_support as f64 {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::{paper_example, Itemset, MiningContext, MinSupport};
+    use rulebases_mining::Apriori;
+
+    fn frequent() -> FrequentItemsets {
+        let ctx = MiningContext::new(paper_example());
+        Apriori::new().mine(&ctx, MinSupport::Count(2))
+    }
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn minconf_zero_emits_every_subset_split() {
+        let f = frequent();
+        let rules = all_rules(&f, 0.0);
+        // Σ over the 11 frequent itemsets of size ≥ 2 of (2^|Y| − 2):
+        // six pairs ×2 + four triples ×6 + one quadruple ×14 = 50.
+        assert_eq!(rules.len(), 50);
+        assert_eq!(count_all_rules(&f, 0.0), 50);
+    }
+
+    #[test]
+    fn paper_example_at_half_confidence() {
+        let f = frequent();
+        let rules = all_rules(&f, 0.5);
+        // Published number for this example (Bastide et al.): 50 valid
+        // rules at minconf 1/2.
+        assert_eq!(rules.len(), 50);
+        // Spot checks.
+        assert!(rules.contains(&Rule::new(set(&[2]), set(&[5]), 4, 4)));
+        assert!(rules.contains(&Rule::new(set(&[3]), set(&[1]), 3, 4)));
+    }
+
+    #[test]
+    fn high_confidence_keeps_only_strong_rules() {
+        let f = frequent();
+        let rules = all_rules(&f, 1.0);
+        // Exactly the exact rules remain.
+        assert!(!rules.is_empty());
+        assert!(rules.iter().all(Rule::is_exact));
+        // B → E is one of them.
+        assert!(rules.contains(&Rule::new(set(&[2]), set(&[5]), 4, 4)));
+        // C → A (conf 3/4) is not.
+        assert!(!rules.iter().any(|r| r.antecedent == set(&[3])
+            && r.consequent == set(&[1])));
+    }
+
+    #[test]
+    fn rules_have_consistent_supports() {
+        let f = frequent();
+        let ctx = MiningContext::new(paper_example());
+        for rule in all_rules(&f, 0.3) {
+            assert_eq!(ctx.support(&rule.full_itemset()), rule.support);
+            assert_eq!(ctx.support(&rule.antecedent), rule.antecedent_support);
+        }
+    }
+
+    #[test]
+    fn count_matches_enumeration_across_thresholds() {
+        let f = frequent();
+        for conf in [0.0, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            assert_eq!(
+                count_all_rules(&f, conf),
+                all_rules(&f, conf).len(),
+                "minconf {conf}"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_decrease_with_confidence() {
+        let f = frequent();
+        let mut last = usize::MAX;
+        for conf in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let n = count_all_rules(&f, conf);
+            assert!(n <= last);
+            last = n;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_confidence_rejected() {
+        let _ = all_rules(&frequent(), 1.5);
+    }
+}

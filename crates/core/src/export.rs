@@ -1,0 +1,143 @@
+//! Exporting rules and bases to CSV and JSON-lines.
+//!
+//! Downstream users consume mined bases in other tools; both formats
+//! carry the full information (antecedent, consequent, exact support
+//! counts, confidence), optionally with human-readable labels.
+
+use crate::rule::Rule;
+use rulebases_dataset::{ItemDictionary, Itemset};
+use std::io::{BufWriter, Write};
+
+/// Writes rules as CSV: `antecedent,consequent,support,antecedent_support,confidence`.
+///
+/// Item ids are space-separated inside each side; with a dictionary,
+/// labels are used and separated by `|` (labels may contain spaces).
+pub fn write_rules_csv<W: Write>(
+    rules: &[Rule],
+    dict: Option<&ItemDictionary>,
+    writer: W,
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "antecedent,consequent,support,antecedent_support,confidence"
+    )?;
+    for rule in rules {
+        writeln!(
+            w,
+            "{},{},{},{},{:.6}",
+            side(&rule.antecedent, dict),
+            side(&rule.consequent, dict),
+            rule.support,
+            rule.antecedent_support,
+            rule.confidence()
+        )?;
+    }
+    w.flush()
+}
+
+/// Writes rules as JSON-lines (one serialized [`Rule`] per line).
+pub fn write_rules_jsonl<W: Write>(rules: &[Rule], writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for rule in rules {
+        let line = serde_json::to_string(rule).map_err(std::io::Error::other)?;
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+/// Reads back JSON-lines rules (inverse of [`write_rules_jsonl`]).
+pub fn read_rules_jsonl<R: std::io::BufRead>(reader: R) -> std::io::Result<Vec<Rule>> {
+    let mut rules = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        rules.push(serde_json::from_str(&line).map_err(std::io::Error::other)?);
+    }
+    Ok(rules)
+}
+
+fn side(set: &Itemset, dict: Option<&ItemDictionary>) -> String {
+    match dict {
+        Some(d) => set
+            .iter()
+            .map(|i| d.label(i).map(str::to_owned).unwrap_or_else(|| i.to_string()))
+            .collect::<Vec<_>>()
+            .join("|"),
+        None => set
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::ItemDictionary;
+
+    fn rules() -> Vec<Rule> {
+        vec![
+            Rule::new(
+                Itemset::from_ids([2]),
+                Itemset::from_ids([5]),
+                4,
+                4,
+            ),
+            Rule::new(
+                Itemset::from_ids([3]),
+                Itemset::from_ids([1]),
+                3,
+                4,
+            ),
+        ]
+    }
+
+    #[test]
+    fn csv_with_ids() {
+        let mut buf = Vec::new();
+        write_rules_csv(&rules(), None, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "antecedent,consequent,support,antecedent_support,confidence"
+        );
+        assert_eq!(lines[1], "2,5,4,4,1.000000");
+        assert_eq!(lines[2], "3,1,3,4,0.750000");
+    }
+
+    #[test]
+    fn csv_with_labels() {
+        let dict = ItemDictionary::from_labels(["∅", "A", "B", "C", "D", "E"]);
+        let mut buf = Vec::new();
+        write_rules_csv(&rules(), Some(&dict), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("B,E,4,4"));
+        assert!(text.contains("C,A,3,4"));
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let original = rules();
+        let mut buf = Vec::new();
+        write_rules_jsonl(&original, &mut buf).unwrap();
+        let back = read_rules_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let back = read_rules_jsonl("\n\n".as_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(read_rules_jsonl("not json\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Generic and informative bases (the companion-paper extension).
+//!
+//! The same author group's follow-up (Bastide, Pasquier, Taouil, Stumme,
+//! Lakhal — *"Mining minimal non-redundant association rules using
+//! frequent closed itemsets"*, CL 2000) replaces the pseudo-closed
+//! antecedents of the Duquenne-Guigues basis with **minimal generators**,
+//! trading minimum cardinality for rules that are individually *minimal
+//! non-redundant*: smallest antecedent, largest consequent, and directly
+//! readable supports.
+//!
+//! * **Generic basis** (exact rules): `G → h(G) ∖ G` for every frequent
+//!   minimal generator `G` with `G ≠ h(G)`.
+//! * **Informative basis** (approximate rules): `G → C ∖ G` for every
+//!   frequent minimal generator `G` and closed `C ⊃ h(G)` with
+//!   confidence ≥ minconf; its *transitive reduction* keeps only `C`
+//!   covering `h(G)` in the iceberg lattice.
+
+use crate::rule::Rule;
+use rulebases_lattice::IcebergLattice;
+use rulebases_mining::{ClosedItemsets, GeneratorSet};
+
+/// The generic basis for exact rules.
+///
+/// Sound and complete for exact rules (like Duquenne-Guigues) but not of
+/// minimum cardinality; each rule has a minimal antecedent.
+pub fn generic_basis(generators: &GeneratorSet, fc: &ClosedItemsets) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    for (g, support) in generators.iter() {
+        let (closure, closure_support) = fc
+            .closure_of(g)
+            .unwrap_or_else(|| panic!("generator {g:?} lacks a closure in FC"));
+        debug_assert_eq!(support, closure_support);
+        if closure.len() == g.len() {
+            continue; // the generator is closed: no exact rule
+        }
+        if g.is_empty() {
+            // ∅ → h(∅) is kept: it is the frequency statement the DG basis
+            // also carries when the bottom is non-empty.
+        }
+        rules.push(Rule::new(
+            g.clone(),
+            closure.difference(g),
+            support,
+            support,
+        ));
+    }
+    rules.sort();
+    rules
+}
+
+/// The informative basis for approximate rules (full variant).
+pub fn informative_basis(
+    generators: &GeneratorSet,
+    fc: &ClosedItemsets,
+    min_confidence: f64,
+    include_empty_antecedent: bool,
+) -> Vec<Rule> {
+    assert!((0.0..=1.0).contains(&min_confidence));
+    let mut rules = Vec::new();
+    for (g, g_support) in generators.iter() {
+        if g.is_empty() && !include_empty_antecedent {
+            continue;
+        }
+        let (closure, _) = fc
+            .closure_of(g)
+            .unwrap_or_else(|| panic!("generator {g:?} lacks a closure in FC"));
+        for (c, c_support) in fc.iter() {
+            if !closure.is_proper_subset_of(c) {
+                continue;
+            }
+            if (c_support as f64) < min_confidence * g_support as f64 {
+                continue;
+            }
+            rules.push(Rule::new(g.clone(), c.difference(g), c_support, g_support));
+        }
+    }
+    rules.sort();
+    rules
+}
+
+/// The transitive reduction of the informative basis: consequent closures
+/// restricted to the upper covers of `h(G)` in the iceberg lattice.
+pub fn informative_basis_reduced(
+    generators: &GeneratorSet,
+    fc: &ClosedItemsets,
+    lattice: &IcebergLattice,
+    min_confidence: f64,
+    include_empty_antecedent: bool,
+) -> Vec<Rule> {
+    assert!((0.0..=1.0).contains(&min_confidence));
+    let mut rules = Vec::new();
+    for (g, g_support) in generators.iter() {
+        if g.is_empty() && !include_empty_antecedent {
+            continue;
+        }
+        let (closure, _) = fc
+            .closure_of(g)
+            .unwrap_or_else(|| panic!("generator {g:?} lacks a closure in FC"));
+        let Some(node) = lattice.position(closure) else {
+            continue;
+        };
+        for &cover in lattice.upper_covers(node) {
+            let (c, c_support) = lattice.node(cover);
+            if (c_support as f64) < min_confidence * g_support as f64 {
+                continue;
+            }
+            rules.push(Rule::new(g.clone(), c.difference(g), c_support, g_support));
+        }
+    }
+    rules.sort();
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::{paper_example, Itemset, MiningContext, MinSupport};
+    use rulebases_mining::brute::brute_closed;
+    use rulebases_mining::mine_generators;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    fn setup() -> (MiningContext, GeneratorSet, ClosedItemsets, IcebergLattice) {
+        let ctx = MiningContext::new(paper_example());
+        let fc = brute_closed(&ctx, MinSupport::Count(2));
+        let generators = mine_generators(&ctx, 2);
+        let lattice = IcebergLattice::from_closed(&fc);
+        (ctx, generators, fc, lattice)
+    }
+
+    #[test]
+    fn generic_basis_of_paper_example() {
+        let (_, gens, fc, _) = setup();
+        let basis = generic_basis(&gens, &fc);
+        // Published generic basis: A→C, B→E, E→B, AB→CE, AE→BC, BC→E,
+        // CE→B (generators that are not closed).
+        assert_eq!(basis.len(), 7);
+        assert!(basis.contains(&Rule::new(set(&[1]), set(&[3]), 3, 3)));
+        assert!(basis.contains(&Rule::new(set(&[1, 2]), set(&[3, 5]), 2, 2)));
+        assert!(basis.contains(&Rule::new(set(&[3, 5]), set(&[2]), 3, 3)));
+        assert!(basis.iter().all(Rule::is_exact));
+    }
+
+    #[test]
+    fn generic_basis_rules_hold() {
+        let (ctx, gens, fc, _) = setup();
+        for rule in generic_basis(&gens, &fc) {
+            assert_eq!(
+                ctx.support(&rule.antecedent),
+                ctx.support(&rule.full_itemset())
+            );
+        }
+    }
+
+    #[test]
+    fn generic_antecedents_are_minimal() {
+        let (ctx, gens, fc, _) = setup();
+        for rule in generic_basis(&gens, &fc) {
+            for facet in rule.antecedent.facets() {
+                assert_ne!(
+                    ctx.support(&facet),
+                    ctx.support(&rule.antecedent),
+                    "antecedent of {rule} is not a minimal generator"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn informative_basis_confidences() {
+        let (ctx, gens, fc, _) = setup();
+        let basis = informative_basis(&gens, &fc, 0.5, false);
+        assert!(!basis.is_empty());
+        for rule in &basis {
+            assert!(!rule.is_exact());
+            assert!(rule.confidence() >= 0.5);
+            assert_eq!(ctx.support(&rule.antecedent), rule.antecedent_support);
+            // The spanned set closes to the consequent's closed set.
+            assert_eq!(ctx.support(&rule.full_itemset()), rule.support);
+        }
+    }
+
+    #[test]
+    fn reduced_informative_is_subset_of_full() {
+        let (_, gens, fc, lattice) = setup();
+        for conf in [0.0, 0.5, 0.75] {
+            let full = informative_basis(&gens, &fc, conf, false);
+            let reduced = informative_basis_reduced(&gens, &fc, &lattice, conf, false);
+            assert!(reduced.len() <= full.len());
+            for rule in &reduced {
+                assert!(full.contains(rule), "{rule} missing from full basis");
+            }
+        }
+    }
+
+    #[test]
+    fn informative_antecedents_smaller_than_luxenburger() {
+        // Informative antecedents are generators (minimal); Luxenburger
+        // antecedents are closed sets (maximal in their class). For the
+        // class {B, E} → BE the informative rule B → CE is shorter than
+        // BE → C.
+        let (_, gens, fc, _) = setup();
+        let basis = informative_basis(&gens, &fc, 0.5, false);
+        assert!(basis.contains(&Rule::new(set(&[2]), set(&[3, 5]), 3, 4)));
+    }
+
+    #[test]
+    fn empty_generator_toggle() {
+        let (_, gens, fc, _) = setup();
+        let with = informative_basis(&gens, &fc, 0.0, true);
+        let without = informative_basis(&gens, &fc, 0.0, false);
+        // ∅ is below the 5 non-empty closed sets.
+        assert_eq!(with.len(), without.len() + 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Rule interestingness measures.
+//!
+//! Beyond support and confidence, the post-2000 literature evaluates rule
+//! bases with several derived measures. All of them are functions of
+//! three counts: `supp(X∪Z)`, `supp(X)`, `supp(Z)` plus the context size
+//! `|O|`, so they can be computed for any rule derived from the bases
+//! without going back to the data.
+
+use crate::rule::Rule;
+use rulebases_dataset::Support;
+use serde::{Deserialize, Serialize};
+
+/// Interestingness measures of one rule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RuleMetrics {
+    /// Relative support of the rule.
+    pub support: f64,
+    /// Confidence `P(Z|X)`.
+    pub confidence: f64,
+    /// Lift `P(Z|X) / P(Z)`; 1 = independence.
+    pub lift: f64,
+    /// Leverage `P(XZ) − P(X)P(Z)`.
+    pub leverage: f64,
+    /// Conviction `(1 − P(Z)) / (1 − conf)`; `f64::INFINITY` for exact
+    /// rules.
+    pub conviction: f64,
+    /// Jaccard similarity `P(XZ) / P(X ∪ Z-support union)`.
+    pub jaccard: f64,
+}
+
+impl RuleMetrics {
+    /// Computes all measures from the rule plus the consequent's support
+    /// and the context size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_objects` is 0 or `consequent_support` is 0.
+    pub fn compute(rule: &Rule, consequent_support: Support, n_objects: usize) -> Self {
+        assert!(n_objects > 0, "empty context");
+        assert!(consequent_support > 0, "unsupported consequent");
+        let n = n_objects as f64;
+        let p_xz = rule.support as f64 / n;
+        let p_x = rule.antecedent_support as f64 / n;
+        let p_z = consequent_support as f64 / n;
+        let confidence = rule.confidence();
+
+        let conviction = if rule.is_exact() {
+            f64::INFINITY
+        } else {
+            (1.0 - p_z) / (1.0 - confidence)
+        };
+        let union = p_x + p_z - p_xz;
+        RuleMetrics {
+            support: p_xz,
+            confidence,
+            lift: confidence / p_z,
+            leverage: p_xz - p_x * p_z,
+            conviction,
+            jaccard: if union > 0.0 { p_xz / union } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::Itemset;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn independent_items_have_unit_lift() {
+        // X in 1/2 of objects, Z in 1/2, XZ in 1/4 of 8 objects.
+        let rule = Rule::new(set(&[0]), set(&[1]), 2, 4);
+        let m = RuleMetrics::compute(&rule, 4, 8);
+        assert!((m.lift - 1.0).abs() < 1e-12);
+        assert!(m.leverage.abs() < 1e-12);
+        assert!((m.confidence - 0.5).abs() < 1e-12);
+        assert!((m.conviction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_rule_metrics() {
+        // B → E in the paper example: supp 4/5, conf 1.
+        let rule = Rule::new(set(&[2]), set(&[5]), 4, 4);
+        let m = RuleMetrics::compute(&rule, 4, 5);
+        assert_eq!(m.confidence, 1.0);
+        assert!((m.lift - 1.25).abs() < 1e-12);
+        assert!(m.conviction.is_infinite());
+        assert!((m.support - 0.8).abs() < 1e-12);
+        assert!((m.jaccard - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approximate_rule_metrics() {
+        // C → A: supp(CA)=3, supp(C)=4, supp(A)=3, |O|=5.
+        let rule = Rule::new(set(&[3]), set(&[1]), 3, 4);
+        let m = RuleMetrics::compute(&rule, 3, 5);
+        assert!((m.confidence - 0.75).abs() < 1e-12);
+        assert!((m.lift - 1.25).abs() < 1e-12);
+        assert!((m.leverage - (0.6 - 0.8 * 0.6)).abs() < 1e-12);
+        assert!((m.conviction - (1.0 - 0.6) / 0.25).abs() < 1e-12);
+        assert!((m.jaccard - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty context")]
+    fn empty_context_rejected() {
+        let rule = Rule::new(set(&[0]), set(&[1]), 1, 1);
+        let _ = RuleMetrics::compute(&rule, 1, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Rule redundancy and minimal covers.
+//!
+//! The paper's motivation is that standard mining output is *redundant*:
+//! many rules are consequences of others, with the same or worse
+//! support/confidence. This module makes that notion first-class for
+//! arbitrary rule lists:
+//!
+//! * a rule `r` is **covered** by a rule `s` (Aggarwal/Yu-style
+//!   *simple redundancy*) when `s` has an antecedent ⊆ `r`'s, a
+//!   consequent ⊇ `r`'s, the same support and the same confidence —
+//!   everything `r` says is already said, more strongly, by `s`;
+//! * [`minimal_cover`] prunes a rule list to the rules not covered by any
+//!   other (the min-max / most-informative representatives);
+//! * [`find_redundant`] reports which rules would be pruned and why.
+//!
+//! The generic/informative bases of [`crate::generic_basis`] produce
+//! exactly such covers by construction; these functions verify that and
+//! let users post-process *any* rule list the same way.
+
+use crate::rule::Rule;
+
+/// Whether `stronger` covers `weaker`: same exact counts, smaller or
+/// equal antecedent, larger or equal consequent-span, and not the same
+/// rule.
+///
+/// With equal supports and confidences, the covering rule conveys
+/// strictly more: it fires in at least as many situations (`⊆`
+/// antecedent) and predicts at least as much (`⊇` spanned consequent).
+pub fn covers(stronger: &Rule, weaker: &Rule) -> bool {
+    if stronger == weaker {
+        return false;
+    }
+    stronger.support == weaker.support
+        && stronger.antecedent_support == weaker.antecedent_support
+        && stronger.antecedent.is_subset_of(&weaker.antecedent)
+        && weaker
+            .full_itemset()
+            .is_subset_of(&stronger.full_itemset())
+}
+
+/// A redundancy finding: rule at `redundant` is covered by rule at
+/// `covered_by` (indices into the input list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Redundancy {
+    /// Index of the redundant rule.
+    pub redundant: usize,
+    /// Index of a rule that covers it.
+    pub covered_by: usize,
+}
+
+/// Finds every redundant rule in `rules` with one witness each.
+pub fn find_redundant(rules: &[Rule]) -> Vec<Redundancy> {
+    let mut findings = Vec::new();
+    for (i, weaker) in rules.iter().enumerate() {
+        if let Some(j) = rules
+            .iter()
+            .position(|stronger| covers(stronger, weaker))
+        {
+            // Tie-break identical-information pairs (mutual coverage) by
+            // keeping the earlier rule: only report i if its witness is
+            // not itself covered by i with a smaller index.
+            if covers(weaker, &rules[j]) && i < j {
+                continue;
+            }
+            findings.push(Redundancy {
+                redundant: i,
+                covered_by: j,
+            });
+        }
+    }
+    findings
+}
+
+/// Prunes `rules` to a minimal cover: every removed rule is covered by a
+/// kept one, and no kept rule covers another kept rule.
+pub fn minimal_cover(rules: &[Rule]) -> Vec<Rule> {
+    let redundant: Vec<usize> = find_redundant(rules)
+        .into_iter()
+        .map(|r| r.redundant)
+        .collect();
+    rules
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !redundant.contains(i))
+        .map(|(_, r)| r.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::{paper_example, Itemset, MinSupport};
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    fn rule(ant: &[u32], cons: &[u32], supp: u64, ant_supp: u64) -> Rule {
+        Rule::new(set(ant), set(cons), supp, ant_supp)
+    }
+
+    #[test]
+    fn smaller_antecedent_covers() {
+        // In the paper example supp(B)=4 but supp(BC)=3: B → CE and
+        // BC → E have different antecedent supports (and confidences), so
+        // neither covers the other.
+        let strong = rule(&[2], &[3, 5], 3, 4);
+        let weak = rule(&[2, 3], &[5], 3, 3);
+        assert!(!covers(&strong, &weak));
+
+        // With genuinely equal counts, coverage holds.
+        let strong = rule(&[1], &[2, 3], 2, 2);
+        let weak = rule(&[1, 2], &[3], 2, 2);
+        assert!(covers(&strong, &weak));
+        assert!(!covers(&weak, &strong));
+    }
+
+    #[test]
+    fn coverage_requires_equal_counts() {
+        let a = rule(&[1], &[2], 3, 4);
+        let b = rule(&[1], &[2, 3], 2, 4);
+        assert!(!covers(&a, &b));
+        assert!(!covers(&b, &a));
+    }
+
+    #[test]
+    fn rule_never_covers_itself() {
+        let r = rule(&[1], &[2], 2, 3);
+        assert!(!covers(&r, &r));
+    }
+
+    #[test]
+    fn minimal_cover_prunes_and_is_stable() {
+        let rules = vec![
+            rule(&[1], &[2, 3], 2, 2),  // covers the next two
+            rule(&[1, 2], &[3], 2, 2),
+            rule(&[1, 3], &[2], 2, 2),
+            rule(&[5], &[6], 4, 5),     // unrelated, kept
+        ];
+        let cover = minimal_cover(&rules);
+        assert_eq!(cover, vec![rules[0].clone(), rules[3].clone()]);
+        // Idempotent.
+        assert_eq!(minimal_cover(&cover), cover);
+    }
+
+    #[test]
+    fn mutual_coverage_keeps_exactly_one() {
+        // Two rules with identical information (same antecedent, same
+        // spanned itemset): keep the first.
+        let a = rule(&[1], &[2, 3], 2, 2);
+        let b = rule(&[1], &[3, 2], 2, 2); // identical after sorting
+        assert_eq!(a, b);
+        let cover = minimal_cover(&[a.clone(), b]);
+        assert_eq!(cover.len(), 2); // equal rules do not cover each other
+        // Distinct-but-mutually-covering pairs cannot exist with the
+        // subset conditions (antecedents would have to be equal and spans
+        // equal ⇒ same rule), so nothing else to prune.
+        let _ = cover;
+    }
+
+    #[test]
+    fn exact_rules_of_paper_example_reduce_to_generic_basis_size() {
+        // The minimal cover of ALL exact rules has exactly one rule per
+        // (generator, closure) pair with minimal antecedent and full
+        // consequent — the generic basis.
+        use rulebases_mining::brute::{brute_closed, brute_frequent};
+        use rulebases_mining::mine_generators;
+
+        let ctx = rulebases_dataset::MiningContext::new(paper_example());
+        let frequent = brute_frequent(&ctx, MinSupport::Count(2));
+        let fc = brute_closed(&ctx, MinSupport::Count(2));
+        let all_exact = crate::exact::all_exact_rules(&frequent, &fc);
+        let cover = minimal_cover(&all_exact);
+
+        let generators = mine_generators(&ctx, 2);
+        let generic = crate::generic_basis::generic_basis(&generators, &fc);
+        // Every generic-basis rule (with a non-empty antecedent) survives
+        // in the cover.
+        for g in generic.iter().filter(|r| !r.antecedent.is_empty()) {
+            assert!(cover.contains(g), "{g} missing from minimal cover");
+        }
+        // And the cover is much smaller than the full exact set.
+        assert!(cover.len() < all_exact.len());
+    }
+
+    #[test]
+    fn findings_reference_valid_witnesses() {
+        let rules = vec![
+            rule(&[1], &[2, 3], 2, 2),
+            rule(&[1, 2], &[3], 2, 2),
+        ];
+        let findings = find_redundant(&rules);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].redundant, 1);
+        assert_eq!(findings[0].covered_by, 0);
+        assert!(covers(&rules[0], &rules[1]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(find_redundant(&[]).is_empty());
+        assert!(minimal_cover(&[]).is_empty());
+    }
+}

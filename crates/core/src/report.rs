@@ -1,0 +1,136 @@
+//! Summary counts for one mining run — the row format of every experiment
+//! table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The counts reported by the paper-family experiments for one
+/// `(dataset, minsup, minconf)` cell.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BasisReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Relative minimum support used.
+    pub min_support: f64,
+    /// Minimum confidence used (for the approximate-rule columns).
+    pub min_confidence: f64,
+    /// Number of frequent itemsets `|F|`.
+    pub n_frequent: usize,
+    /// Number of frequent closed itemsets `|FC|` (excluding the empty
+    /// bottom when `h(∅) = ∅`).
+    pub n_closed: usize,
+    /// Number of frequent pseudo-closed itemsets `|FP|` = size of the
+    /// Duquenne-Guigues basis.
+    pub n_pseudo_closed: usize,
+    /// Number of exact rules (all of them).
+    pub n_exact_rules: u64,
+    /// Size of the Duquenne-Guigues basis.
+    pub dg_size: usize,
+    /// Number of approximate rules at `min_confidence` (all of them).
+    pub n_approx_rules: usize,
+    /// Size of the full Luxenburger basis at `min_confidence`.
+    pub lux_full_size: usize,
+    /// Size of the reduced (Hasse-edge) Luxenburger basis.
+    pub lux_reduced_size: usize,
+}
+
+impl BasisReport {
+    /// Reduction factor for exact rules (`all / basis`), or `None` when
+    /// there is nothing to reduce.
+    pub fn exact_reduction(&self) -> Option<f64> {
+        (self.dg_size > 0).then(|| self.n_exact_rules as f64 / self.dg_size as f64)
+    }
+
+    /// Reduction factor for approximate rules against the reduced basis.
+    pub fn approx_reduction(&self) -> Option<f64> {
+        (self.lux_reduced_size > 0)
+            .then(|| self.n_approx_rules as f64 / self.lux_reduced_size as f64)
+    }
+
+    /// The header matching [`BasisReport`]'s `Display` row.
+    pub fn header() -> String {
+        format!(
+            "{:<14} {:>7} {:>8} {:>9} {:>9} {:>6} {:>10} {:>6} {:>10} {:>8} {:>8}",
+            "dataset",
+            "minsup",
+            "minconf",
+            "|F|",
+            "|FC|",
+            "|FP|",
+            "exact",
+            "DG",
+            "approx",
+            "LuxFull",
+            "LuxRed",
+        )
+    }
+}
+
+impl fmt::Display for BasisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:>6.1}% {:>7.1}% {:>9} {:>9} {:>6} {:>10} {:>6} {:>10} {:>8} {:>8}",
+            self.dataset,
+            self.min_support * 100.0,
+            self.min_confidence * 100.0,
+            self.n_frequent,
+            self.n_closed,
+            self.n_pseudo_closed,
+            self.n_exact_rules,
+            self.dg_size,
+            self.n_approx_rules,
+            self.lux_full_size,
+            self.lux_reduced_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BasisReport {
+        BasisReport {
+            dataset: "paper".into(),
+            min_support: 0.4,
+            min_confidence: 0.5,
+            n_frequent: 15,
+            n_closed: 5,
+            n_pseudo_closed: 3,
+            n_exact_rules: 16,
+            dg_size: 3,
+            n_approx_rules: 34,
+            lux_full_size: 7,
+            lux_reduced_size: 5,
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let r = sample();
+        assert!((r.exact_reduction().unwrap() - 16.0 / 3.0).abs() < 1e-12);
+        assert!((r.approx_reduction().unwrap() - 34.0 / 5.0).abs() < 1e-12);
+        let empty = BasisReport::default();
+        assert_eq!(empty.exact_reduction(), None);
+        assert_eq!(empty.approx_reduction(), None);
+    }
+
+    #[test]
+    fn display_aligns_with_header() {
+        let r = sample();
+        let header = BasisReport::header();
+        let row = r.to_string();
+        assert!(header.contains("|FC|"));
+        assert!(row.contains("paper"));
+        assert!(row.contains("40.0%"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BasisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,312 @@
+//! Dense fixed-capacity bitsets.
+//!
+//! [`BitSet`] backs the *vertical* database representation: one bitset per
+//! item, bit `t` set iff transaction `t` contains the item. Support
+//! counting then reduces to word-wise `AND` + popcount, the fastest
+//! primitive available for the dense datasets the paper evaluates on
+//! (MUSHROOMS, census extracts).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Capacity in bits; indices must be `< nbits`.
+    nbits: usize,
+}
+
+impl BitSet {
+    /// An empty bitset with capacity for indices `0..nbits`.
+    pub fn new(nbits: usize) -> Self {
+        BitSet {
+            words: vec![0; nbits.div_ceil(WORD_BITS)],
+            nbits,
+        }
+    }
+
+    /// A bitset with every index in `0..nbits` set.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![!0u64; nbits.div_ceil(WORD_BITS)],
+            nbits,
+        };
+        s.trim_tail();
+        s
+    }
+
+    /// Builds a bitset from indices. Indices must be `< nbits`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(nbits: usize, indices: I) -> Self {
+        let mut s = BitSet::new(nbits);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Clears bits beyond `nbits` in the last word (they must stay zero for
+    /// `count_ones`/equality to be correct).
+    #[inline]
+    fn trim_tail(&mut self) {
+        let rem = self.nbits % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// The capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Sets bit `i`. Returns `true` if it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit {i} out of capacity {}", self.nbits);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = *word & mask != 0;
+        *word |= mask;
+        !was
+    }
+
+    /// Clears bit `i`. Returns `true` if it was set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.nbits {
+            return false;
+        }
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = *word & mask != 0;
+        *word &= !mask;
+        was
+    }
+
+    /// Tests bit `i`. Out-of-range indices are absent.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.nbits && self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears all bits, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place intersection: `self ← self ∩ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union: `self ← self ∪ other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: `self ← self ∖ other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// New bitset `self ∩ other`.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// `|self ∩ other|` without materializing the intersection — the hot
+    /// path of vertical support counting.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Subset test (`⊆`).
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over set bit indices in increasing order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The index of the lowest set bit, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over set bits, lowest first.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(500));
+        assert_eq!(s.count(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_and_trim() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        assert_eq!(BitSet::full(0).count(), 0);
+        assert_eq!(BitSet::full(64).count(), 64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indices(100, [1, 2, 3, 99]);
+        let b = BitSet::from_indices(100, [2, 3, 4]);
+        assert_eq!(a.intersection(&b), BitSet::from_indices(100, [2, 3]));
+        assert_eq!(a.intersection_count(&b), 2);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, BitSet::from_indices(100, [1, 2, 3, 4, 99]));
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d, BitSet::from_indices(100, [1, 99]));
+    }
+
+    #[test]
+    fn subset() {
+        let a = BitSet::from_indices(80, [3, 70]);
+        let b = BitSet::from_indices(80, [3, 5, 70]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(BitSet::new(80).is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = BitSet::from_indices(200, [5, 0, 199, 64, 63]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![0, 5, 63, 64, 199]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(BitSet::new(10).first(), None);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::from_indices(20, [1]);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 20);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_unused_tail() {
+        let mut a = BitSet::full(65);
+        let b = BitSet::full(65);
+        assert_eq!(a, b);
+        a.remove(64);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,271 @@
+//! The data-mining context and its Galois connection.
+//!
+//! A context `D = (O, I, R)` induces the Galois connection of the paper's
+//! Section 2:
+//!
+//! * `g` ([`MiningContext::extent`]): itemset → set of objects related to
+//!   every item (the *extent*),
+//! * `f` ([`MiningContext::intent`]): object set → set of items common to
+//!   every object (the *intent*),
+//! * `h = f ∘ g` ([`MiningContext::closure`]): the closure operator that
+//!   maps an itemset to the maximal itemset with the same extent — "the
+//!   intersection of the objects containing `I`".
+//!
+//! [`MiningContext`] keeps both the horizontal and the vertical
+//! representation: extents come from bitset intersections, intents from
+//! merge-intersecting the transactions of an extent.
+
+use crate::bitset::BitSet;
+use crate::itemset::Itemset;
+use crate::support::{MinSupport, Support};
+use crate::transaction::TransactionDb;
+use crate::vertical::VerticalDb;
+
+/// A data-mining context combining horizontal and vertical views.
+///
+/// # Examples
+///
+/// ```
+/// use rulebases_dataset::{MiningContext, TransactionDb, Itemset};
+///
+/// let db = TransactionDb::from_rows(vec![
+///     vec![1, 3, 4],
+///     vec![2, 3, 5],
+///     vec![1, 2, 3, 5],
+///     vec![2, 5],
+///     vec![1, 2, 3, 5],
+/// ]);
+/// let ctx = MiningContext::new(db);
+/// // h({B}) = {B, E}: every transaction with B also has E.
+/// assert_eq!(ctx.closure(&Itemset::from_ids([2])), Itemset::from_ids([2, 5]));
+/// assert!(ctx.is_closed(&Itemset::from_ids([2, 5])));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MiningContext {
+    horizontal: TransactionDb,
+    vertical: VerticalDb,
+}
+
+impl MiningContext {
+    /// Builds a context from a horizontal database (transposing it once).
+    pub fn new(db: TransactionDb) -> Self {
+        let vertical = VerticalDb::from_horizontal(&db);
+        MiningContext {
+            horizontal: db,
+            vertical,
+        }
+    }
+
+    /// The horizontal view.
+    #[inline]
+    pub fn horizontal(&self) -> &TransactionDb {
+        &self.horizontal
+    }
+
+    /// The vertical view.
+    #[inline]
+    pub fn vertical(&self) -> &VerticalDb {
+        &self.vertical
+    }
+
+    /// Number of objects `|O|`.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.vertical.n_objects()
+    }
+
+    /// Size of the item universe `|I|`.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.horizontal.n_items()
+    }
+
+    /// `g(itemset)`: the extent.
+    pub fn extent(&self, itemset: &Itemset) -> BitSet {
+        self.vertical.extent(itemset)
+    }
+
+    /// `f(objects)`: the intent — items common to every object in the set.
+    ///
+    /// The intent of the empty object set is the full universe (the
+    /// intersection over nothing), matching the Galois-connection
+    /// convention.
+    pub fn intent(&self, objects: &BitSet) -> Itemset {
+        let mut ones = objects.iter();
+        let Some(first) = ones.next() else {
+            return Itemset::universe(self.n_items());
+        };
+        let mut intent = Itemset::from_sorted(self.horizontal.transaction(first).to_vec());
+        for t in ones {
+            if intent.is_empty() {
+                break;
+            }
+            intent.intersect_with(self.horizontal.transaction(t));
+        }
+        intent
+    }
+
+    /// The Galois closure `h(itemset) = f(g(itemset))`.
+    pub fn closure(&self, itemset: &Itemset) -> Itemset {
+        self.intent(&self.extent(itemset))
+    }
+
+    /// Closure of an itemset whose extent is already known (saves the
+    /// extent recomputation in levelwise miners).
+    pub fn closure_of_extent(&self, extent: &BitSet) -> Itemset {
+        self.intent(extent)
+    }
+
+    /// Whether `h(itemset) = itemset`.
+    pub fn is_closed(&self, itemset: &Itemset) -> bool {
+        // The closure always contains the itemset, so equal length suffices.
+        self.closure(itemset).len() == itemset.len()
+    }
+
+    /// Absolute support (via the vertical view).
+    pub fn support(&self, itemset: &Itemset) -> Support {
+        self.vertical.support(itemset)
+    }
+
+    /// Relative support in `[0, 1]`.
+    pub fn frequency(&self, itemset: &Itemset) -> f64 {
+        if self.n_objects() == 0 {
+            return 0.0;
+        }
+        self.support(itemset) as f64 / self.n_objects() as f64
+    }
+
+    /// Converts a threshold to an absolute count for this context.
+    pub fn min_support_count(&self, minsup: MinSupport) -> Support {
+        minsup.to_count(self.n_objects())
+    }
+}
+
+impl From<TransactionDb> for MiningContext {
+    fn from(db: TransactionDb) -> Self {
+        MiningContext::new(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    /// Objects: o1=ACD, o2=BCE, o3=ABCE, o4=BE, o5=ABCE with
+    /// A=1 B=2 C=3 D=4 E=5.
+    fn ctx() -> MiningContext {
+        MiningContext::new(TransactionDb::from_rows(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+            vec![1, 2, 3, 5],
+        ]))
+    }
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn closures_match_paper_example() {
+        let c = ctx();
+        // Known closures of the running example lattice:
+        assert_eq!(c.closure(&set(&[1])), set(&[1, 3])); // h(A) = AC
+        assert_eq!(c.closure(&set(&[2])), set(&[2, 5])); // h(B) = BE
+        assert_eq!(c.closure(&set(&[3])), set(&[3])); // C closed
+        assert_eq!(c.closure(&set(&[5])), set(&[2, 5])); // h(E) = BE
+        assert_eq!(c.closure(&set(&[4])), set(&[1, 3, 4])); // h(D) = ACD
+        assert_eq!(c.closure(&set(&[1, 2])), set(&[1, 2, 3, 5])); // h(AB) = ABCE
+        assert_eq!(c.closure(&set(&[2, 3])), set(&[2, 3, 5])); // h(BC) = BCE
+        assert_eq!(c.closure(&set(&[1, 3])), set(&[1, 3])); // AC closed
+    }
+
+    #[test]
+    fn closure_of_empty_set() {
+        let c = ctx();
+        // No item is common to all five objects.
+        assert_eq!(c.closure(&Itemset::empty()), Itemset::empty());
+
+        // With a column full of 9s, the empty set closes to {9}.
+        let c2 = MiningContext::new(TransactionDb::from_rows(vec![
+            vec![1, 9],
+            vec![2, 9],
+        ]));
+        assert_eq!(c2.closure(&Itemset::empty()), set(&[9]));
+    }
+
+    #[test]
+    fn intent_of_empty_extent_is_universe() {
+        let c = ctx();
+        let empty = BitSet::new(c.n_objects());
+        assert_eq!(c.intent(&empty), Itemset::universe(c.n_items()));
+        // Consequently the closure of an unsupported itemset is everything.
+        assert_eq!(c.closure(&set(&[1, 4, 5])), Itemset::universe(6));
+    }
+
+    #[test]
+    fn closure_axioms_on_example() {
+        let c = ctx();
+        for ids in [
+            vec![],
+            vec![1],
+            vec![2],
+            vec![1, 2],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+        ] {
+            let x = Itemset::from_ids(ids);
+            let hx = c.closure(&x);
+            assert!(x.is_subset_of(&hx), "extensive on {x:?}");
+            assert_eq!(c.closure(&hx), hx, "idempotent on {x:?}");
+            assert_eq!(c.support(&x), c.support(&hx), "support-preserving on {x:?}");
+        }
+    }
+
+    #[test]
+    fn is_closed_matches_definition() {
+        let c = ctx();
+        for (ids, closed) in [
+            (vec![3], true),
+            (vec![1, 3], true),
+            (vec![2, 5], true),
+            (vec![2, 3, 5], true),
+            (vec![1, 2, 3, 5], true),
+            (vec![1, 3, 4], true),
+            (vec![1], false),
+            (vec![2], false),
+            (vec![2, 3], false),
+        ] {
+            assert_eq!(c.is_closed(&Itemset::from_ids(ids.clone())), closed, "{ids:?}");
+        }
+    }
+
+    #[test]
+    fn extent_and_support_are_consistent() {
+        let c = ctx();
+        let x = set(&[2, 3]);
+        let ext = c.extent(&x);
+        assert_eq!(ext.count() as u64, c.support(&x));
+        assert_eq!(c.closure_of_extent(&ext), set(&[2, 3, 5]));
+    }
+
+    #[test]
+    fn frequency_and_min_support() {
+        let c = ctx();
+        assert!((c.frequency(&set(&[2, 5])) - 0.8).abs() < 1e-12);
+        assert_eq!(c.min_support_count(MinSupport::Fraction(0.4)), 2);
+        assert_eq!(c.min_support_count(MinSupport::Count(3)), 3);
+    }
+
+    #[test]
+    fn galois_antitone_on_example() {
+        // X ⊆ Y ⇒ g(Y) ⊆ g(X).
+        let c = ctx();
+        let gx = c.extent(&set(&[2]));
+        let gy = c.extent(&set(&[2, 3]));
+        assert!(gy.is_subset_of(&gx));
+        let _ = Item(0); // silence unused import in some cfg combinations
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for dataset loading and parsing.
+
+use std::fmt;
+
+/// Errors produced while reading or parsing datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed input file.
+    Parse {
+        /// 1-based line number of the offending input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "i/o error: {e}"),
+            DatasetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let parse = DatasetError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(parse.to_string(), "parse error at line 3: bad token");
+
+        let io: DatasetError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn source_chains_io() {
+        use std::error::Error;
+        let io: DatasetError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(io.source().is_some());
+        let parse = DatasetError::Parse {
+            line: 1,
+            message: String::new(),
+        };
+        assert!(parse.source().is_none());
+    }
+}

@@ -1,0 +1,307 @@
+//! IBM Quest-style synthetic basket generator.
+//!
+//! Reimplementation of the classic generator of Agrawal & Srikant (VLDB'94)
+//! used to produce the T10I4D100K / T20I6D100K datasets of the paper's
+//! experiments:
+//!
+//! 1. Draw `n_patterns` *potential maximal itemsets*; each has
+//!    Poisson-distributed size around `avg_pattern_len`, shares a random
+//!    fraction of items with its predecessor (controlled by
+//!    `correlation`), and receives an exponentially distributed weight.
+//! 2. Each transaction has Poisson-distributed size around
+//!    `avg_transaction_len` and is filled by sampling patterns by weight;
+//!    each pattern is *corrupted* (items dropped) according to its
+//!    per-pattern corruption level, modelling customers that buy only part
+//!    of a pattern.
+//!
+//! The naming convention `TxIyDz` means: avg transaction size `x`, avg
+//! pattern size `y`, `z` transactions.
+
+use crate::transaction::{TransactionDb, TransactionDbBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{exponential, poisson};
+
+/// Parameters of the Quest generator.
+#[derive(Clone, Debug)]
+pub struct QuestConfig {
+    /// Number of transactions `D`.
+    pub n_transactions: usize,
+    /// Size of the item universe `N`.
+    pub n_items: usize,
+    /// Average transaction size `|T|`.
+    pub avg_transaction_len: f64,
+    /// Average potential-pattern size `|I|`.
+    pub avg_pattern_len: f64,
+    /// Number of potential maximal itemsets `L`.
+    pub n_patterns: usize,
+    /// Mean fraction of items a pattern shares with its predecessor.
+    pub correlation: f64,
+    /// Mean per-pattern corruption level (probability of dropping items).
+    pub corruption_mean: f64,
+    /// RNG seed — same seed, same dataset.
+    pub seed: u64,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            n_transactions: 10_000,
+            n_items: 1_000,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 4.0,
+            n_patterns: 2_000,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// The classic `T10I4` profile (avg transaction 10, avg pattern 4) at a
+    /// chosen scale.
+    pub fn t10i4(n_transactions: usize, seed: u64) -> Self {
+        QuestConfig {
+            n_transactions,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 4.0,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The classic `T20I6` profile.
+    pub fn t20i6(n_transactions: usize, seed: u64) -> Self {
+        QuestConfig {
+            n_transactions,
+            avg_transaction_len: 20.0,
+            avg_pattern_len: 6.0,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> TransactionDb {
+        QuestGenerator::new(self.clone()).generate()
+    }
+}
+
+/// The generator itself; kept as a struct so the pattern table can be
+/// inspected by tests.
+pub struct QuestGenerator {
+    config: QuestConfig,
+    rng: SmallRng,
+    patterns: Vec<Vec<u32>>,
+    /// Cumulative pattern weights for roulette sampling.
+    cumulative_weights: Vec<f64>,
+    corruption: Vec<f64>,
+}
+
+impl QuestGenerator {
+    /// Builds the pattern table for `config`.
+    pub fn new(config: QuestConfig) -> Self {
+        assert!(config.n_items > 0, "empty item universe");
+        assert!(config.n_patterns > 0, "need at least one pattern");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut patterns: Vec<Vec<u32>> = Vec::with_capacity(config.n_patterns);
+        let mut weights: Vec<f64> = Vec::with_capacity(config.n_patterns);
+        let mut corruption: Vec<f64> = Vec::with_capacity(config.n_patterns);
+
+        for p in 0..config.n_patterns {
+            let size = (poisson(&mut rng, config.avg_pattern_len - 1.0) + 1)
+                .min(config.n_items);
+            let mut items: Vec<u32> = Vec::with_capacity(size);
+            if p > 0 && config.correlation > 0.0 {
+                // Fraction of items carried over from the previous pattern;
+                // exponentially distributed with the configured mean.
+                let frac = (exponential(&mut rng) * config.correlation).min(1.0);
+                let carry = ((size as f64) * frac).round() as usize;
+                let prev = &patterns[p - 1];
+                for _ in 0..carry.min(prev.len()) {
+                    let pick = prev[rng.gen_range(0..prev.len())];
+                    if !items.contains(&pick) {
+                        items.push(pick);
+                    }
+                }
+            }
+            while items.len() < size {
+                let pick = rng.gen_range(0..config.n_items as u32);
+                if !items.contains(&pick) {
+                    items.push(pick);
+                }
+            }
+            items.sort_unstable();
+            patterns.push(items);
+            weights.push(exponential(&mut rng));
+            let level = config.corruption_mean + 0.1 * normal_sample(&mut rng);
+            corruption.push(level.clamp(0.0, 1.0));
+        }
+
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative_weights = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+
+        QuestGenerator {
+            config,
+            rng,
+            patterns,
+            cumulative_weights,
+            corruption,
+        }
+    }
+
+    /// The potential maximal itemsets (for tests/inspection).
+    pub fn patterns(&self) -> &[Vec<u32>] {
+        &self.patterns
+    }
+
+    fn sample_pattern(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        match self
+            .cumulative_weights
+            .binary_search_by(|w| w.partial_cmp(&u).unwrap())
+        {
+            Ok(i) | Err(i) => i.min(self.patterns.len() - 1),
+        }
+    }
+
+    /// Generates the transaction database.
+    pub fn generate(mut self) -> TransactionDb {
+        let cfg = self.config.clone();
+        let mut builder =
+            TransactionDbBuilder::with_capacity(cfg.n_transactions, cfg.avg_transaction_len as usize);
+        let mut row: Vec<u32> = Vec::with_capacity(cfg.avg_transaction_len as usize * 2);
+
+        for _ in 0..cfg.n_transactions {
+            let target = poisson(&mut self.rng, cfg.avg_transaction_len - 1.0) + 1;
+            row.clear();
+            // Avoid infinite loops on tiny universes: cap pattern draws.
+            let mut draws = 0;
+            while row.len() < target && draws < 4 * target + 8 {
+                draws += 1;
+                let p = self.sample_pattern();
+                let level = self.corruption[p];
+                let pattern = &self.patterns[p];
+                // Corrupt: keep each item with probability (1 - level).
+                let kept: Vec<u32> = pattern
+                    .iter()
+                    .copied()
+                    .filter(|_| self.rng.gen::<f64>() >= level)
+                    .collect();
+                if kept.is_empty() {
+                    continue;
+                }
+                // If the pattern overflows the target size, keep it anyway
+                // half the time (as in the original generator), otherwise
+                // discard it.
+                if row.len() + kept.len() > target && self.rng.gen::<bool>() {
+                    continue;
+                }
+                row.extend_from_slice(&kept);
+            }
+            if row.is_empty() {
+                // Ensure no empty baskets: add one random item.
+                row.push(self.rng.gen_range(0..cfg.n_items as u32));
+            }
+            builder.push_ids(row.iter().copied());
+        }
+        builder.build().with_universe(cfg.n_items)
+    }
+}
+
+/// Standard normal sample via Box-Muller.
+fn normal_sample<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = QuestConfig {
+            n_transactions: 200,
+            n_items: 100,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.n_transactions(), b.n_transactions());
+        for t in 0..a.n_transactions() {
+            assert_eq!(a.transaction(t), b.transaction(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = QuestConfig {
+            n_transactions: 100,
+            n_items: 100,
+            ..Default::default()
+        };
+        cfg.seed = 1;
+        let a = cfg.generate();
+        cfg.seed = 2;
+        let b = cfg.generate();
+        let same = (0..100).all(|t| a.transaction(t) == b.transaction(t));
+        assert!(!same, "seeds 1 and 2 produced identical data");
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = QuestConfig::t10i4(500, 7);
+        let db = cfg.generate();
+        assert_eq!(db.n_transactions(), 500);
+        assert_eq!(db.n_items(), 1000);
+        let avg = db.avg_transaction_len();
+        assert!(
+            avg > 6.0 && avg < 14.0,
+            "avg transaction length {avg} too far from 10"
+        );
+        // Sparse regime: density well under 10%.
+        assert!(db.density() < 0.05, "density {} not sparse", db.density());
+    }
+
+    #[test]
+    fn no_empty_transactions() {
+        let db = QuestConfig {
+            n_transactions: 300,
+            n_items: 50,
+            avg_transaction_len: 2.0,
+            avg_pattern_len: 2.0,
+            n_patterns: 20,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
+        assert!(db.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn patterns_are_sorted_nonempty_within_universe() {
+        let generator = QuestGenerator::new(QuestConfig {
+            n_items: 64,
+            n_patterns: 128,
+            seed: 11,
+            ..Default::default()
+        });
+        for p in generator.patterns() {
+            assert!(!p.is_empty());
+            assert!(p.windows(2).all(|w| w[0] < w[1]));
+            assert!(p.iter().all(|&i| i < 64));
+        }
+    }
+}

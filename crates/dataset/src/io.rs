@@ -1,0 +1,217 @@
+//! Dataset I/O: FIMI `.dat`, basket, and categorical CSV formats.
+//!
+//! * **FIMI `.dat`** — one transaction per line, whitespace-separated
+//!   integer item ids (the format of the FIMI repository datasets the
+//!   mining community standardized on).
+//! * **Basket** — one transaction per line, comma-separated string labels,
+//!   interned through an [`ItemDictionary`].
+//! * **Categorical CSV** — a header row of attribute names followed by one
+//!   row per object; every cell becomes the item `"attr=value"`, the
+//!   encoding used for MUSHROOMS and the census extracts.
+
+use crate::error::DatasetError;
+use crate::item::ItemDictionary;
+use crate::transaction::{TransactionDb, TransactionDbBuilder};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a FIMI `.dat` database from a reader.
+pub fn read_dat<R: Read>(reader: R) -> Result<TransactionDb, DatasetError> {
+    let reader = BufReader::new(reader);
+    let mut builder = TransactionDbBuilder::new();
+    let mut ids: Vec<u32> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        ids.clear();
+        for tok in trimmed.split_ascii_whitespace() {
+            let id: u32 = tok.parse().map_err(|_| DatasetError::Parse {
+                line: lineno + 1,
+                message: format!("invalid item id {tok:?}"),
+            })?;
+            ids.push(id);
+        }
+        builder.push_ids(ids.iter().copied());
+    }
+    Ok(builder.build())
+}
+
+/// Reads a FIMI `.dat` database from a file path.
+pub fn read_dat_file<P: AsRef<Path>>(path: P) -> Result<TransactionDb, DatasetError> {
+    read_dat(File::open(path)?)
+}
+
+/// Parses a FIMI `.dat` database from a string (handy in tests).
+pub fn read_dat_str(s: &str) -> Result<TransactionDb, DatasetError> {
+    read_dat(s.as_bytes())
+}
+
+/// Writes a database in FIMI `.dat` format.
+///
+/// Note: the format cannot represent *empty* transactions — they write as
+/// blank lines, which every FIMI reader (including [`read_dat`]) skips.
+/// Round-trips are exact for databases without empty transactions.
+pub fn write_dat<W: Write>(db: &TransactionDb, writer: W) -> Result<(), DatasetError> {
+    let mut w = BufWriter::new(writer);
+    for t in db.iter() {
+        for (i, item) in t.iter().enumerate() {
+            if i > 0 {
+                write!(w, " ")?;
+            }
+            write!(w, "{}", item.id())?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a database to a `.dat` file.
+pub fn write_dat_file<P: AsRef<Path>>(db: &TransactionDb, path: P) -> Result<(), DatasetError> {
+    write_dat(db, File::create(path)?)
+}
+
+/// Reads a basket file: one transaction per line, items are comma-separated
+/// labels interned into a dictionary.
+pub fn read_basket<R: Read>(reader: R) -> Result<TransactionDb, DatasetError> {
+    let reader = BufReader::new(reader);
+    let mut dict = ItemDictionary::new();
+    let mut builder = TransactionDbBuilder::new();
+    let mut ids: Vec<u32> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        ids.clear();
+        for label in trimmed.split(',') {
+            let label = label.trim();
+            if !label.is_empty() {
+                ids.push(dict.intern(label).id());
+            }
+        }
+        builder.push_ids(ids.iter().copied());
+    }
+    Ok(builder.build().with_dictionary(dict))
+}
+
+/// Reads a categorical CSV table (no quoting support — values must not
+/// contain commas). The first line is the header of attribute names; every
+/// cell of the body becomes the item `"<attr>=<value>"`. Empty cells and
+/// the conventional missing marker `?` are skipped.
+pub fn read_categorical_csv<R: Read>(reader: R) -> Result<TransactionDb, DatasetError> {
+    let mut reader = BufReader::new(reader);
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let attrs: Vec<String> = header.trim().split(',').map(|s| s.trim().to_owned()).collect();
+    if attrs.is_empty() || attrs.iter().all(String::is_empty) {
+        return Err(DatasetError::Parse {
+            line: 1,
+            message: "empty CSV header".into(),
+        });
+    }
+
+    let mut dict = ItemDictionary::new();
+    let mut builder = TransactionDbBuilder::new();
+    let mut ids: Vec<u32> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if cells.len() != attrs.len() {
+            return Err(DatasetError::Parse {
+                line: lineno + 2,
+                message: format!(
+                    "expected {} cells, found {}",
+                    attrs.len(),
+                    cells.len()
+                ),
+            });
+        }
+        ids.clear();
+        for (attr, value) in attrs.iter().zip(&cells) {
+            if value.is_empty() || *value == "?" {
+                continue;
+            }
+            ids.push(dict.intern(&format!("{attr}={value}")).id());
+        }
+        builder.push_ids(ids.iter().copied());
+    }
+    Ok(builder.build().with_dictionary(dict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::Itemset;
+
+    #[test]
+    fn dat_roundtrip() {
+        let db = TransactionDb::from_rows(vec![vec![1, 3, 4], vec![2], vec![0, 9]]);
+        let mut buf = Vec::new();
+        write_dat(&db, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text, "1 3 4\n2\n0 9\n");
+        let back = read_dat(&buf[..]).unwrap();
+        assert_eq!(back.n_transactions(), 3);
+        assert_eq!(back.transaction(2), db.transaction(2));
+    }
+
+    #[test]
+    fn dat_skips_blank_and_comment_lines() {
+        let db = read_dat_str("# header\n1 2\n\n  \n3\n").unwrap();
+        assert_eq!(db.n_transactions(), 2);
+        assert_eq!(db.support(&Itemset::from_ids([3])), 1);
+    }
+
+    #[test]
+    fn dat_rejects_garbage() {
+        let err = read_dat_str("1 x 3\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("invalid item id"), "{msg}");
+    }
+
+    #[test]
+    fn basket_interns_labels() {
+        let db = read_basket("beer,chips\nchips, soda\nbeer\n".as_bytes()).unwrap();
+        assert_eq!(db.n_transactions(), 3);
+        let dict = db.dictionary().unwrap();
+        let beer = dict.lookup("beer").unwrap();
+        let chips = dict.lookup("chips").unwrap();
+        assert_eq!(db.support(&Itemset::from_items([beer])), 2);
+        assert_eq!(db.support(&Itemset::from_items([chips])), 2);
+    }
+
+    #[test]
+    fn categorical_csv_encodes_attr_value_pairs() {
+        let csv = "color,size\nred,big\nred,small\nblue,?\n";
+        let db = read_categorical_csv(csv.as_bytes()).unwrap();
+        assert_eq!(db.n_transactions(), 3);
+        let dict = db.dictionary().unwrap();
+        let red = dict.lookup("color=red").unwrap();
+        assert_eq!(db.support(&Itemset::from_items([red])), 2);
+        // The `?` cell was skipped.
+        assert_eq!(db.transaction(2).len(), 1);
+    }
+
+    #[test]
+    fn categorical_csv_rejects_ragged_rows() {
+        let err = read_categorical_csv("a,b\n1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 2 cells"));
+    }
+
+    #[test]
+    fn categorical_csv_rejects_empty_header() {
+        let err = read_categorical_csv("\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("empty CSV header"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Items and the item dictionary.
+//!
+//! An [`Item`] is a dense integer identifier for one element of the item
+//! universe `I` of a data-mining context `D = (O, I, R)`. Dense ids let the
+//! rest of the workspace index per-item arrays and bitsets directly.
+//! [`ItemDictionary`] maps human-readable labels (e.g. `"odor=almond"`)
+//! to ids and back.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense item identifier.
+///
+/// `Item` is a transparent wrapper around `u32`: cheap to copy, totally
+/// ordered, and usable as an index into per-item tables via [`Item::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct Item(pub u32);
+
+impl Item {
+    /// Creates an item from its raw id.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        Item(id)
+    }
+
+    /// The raw integer id.
+    #[inline]
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize`, for indexing per-item tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Item {
+    #[inline]
+    fn from(id: u32) -> Self {
+        Item(id)
+    }
+}
+
+impl From<Item> for u32 {
+    #[inline]
+    fn from(item: Item) -> Self {
+        item.0
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A bidirectional mapping between item labels and dense [`Item`] ids.
+///
+/// Ids are assigned in interning order, starting at 0, so a dictionary with
+/// `n` entries covers exactly the universe `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use rulebases_dataset::{Item, ItemDictionary};
+///
+/// let mut dict = ItemDictionary::new();
+/// let beer = dict.intern("beer");
+/// let chips = dict.intern("chips");
+/// assert_eq!(beer, Item::new(0));
+/// assert_eq!(chips, Item::new(1));
+/// assert_eq!(dict.intern("beer"), beer); // idempotent
+/// assert_eq!(dict.label(beer), Some("beer"));
+/// assert_eq!(dict.lookup("chips"), Some(chips));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ItemDictionary {
+    labels: Vec<String>,
+    by_label: HashMap<String, Item>,
+}
+
+impl ItemDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary pre-populated with `labels`, in order.
+    ///
+    /// Duplicate labels are interned once; the resulting universe may
+    /// therefore be smaller than `labels.len()`.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict = Self::new();
+        for label in labels {
+            dict.intern(label.as_ref());
+        }
+        dict
+    }
+
+    /// Interns `label`, returning its id. Existing labels keep their id.
+    pub fn intern(&mut self, label: &str) -> Item {
+        if let Some(&item) = self.by_label.get(label) {
+            return item;
+        }
+        let item = Item::new(self.labels.len() as u32);
+        self.labels.push(label.to_owned());
+        self.by_label.insert(label.to_owned(), item);
+        item
+    }
+
+    /// Looks up the id of `label` without interning.
+    pub fn lookup(&self, label: &str) -> Option<Item> {
+        self.by_label.get(label).copied()
+    }
+
+    /// The label of `item`, if `item` is within the universe.
+    pub fn label(&self, item: Item) -> Option<&str> {
+        self.labels.get(item.index()).map(String::as_str)
+    }
+
+    /// Number of interned items (the size of the universe).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over `(item, label)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Item, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (Item::new(i as u32), l.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_roundtrip() {
+        let item = Item::new(42);
+        assert_eq!(item.id(), 42);
+        assert_eq!(item.index(), 42);
+        assert_eq!(u32::from(item), 42);
+        assert_eq!(Item::from(42u32), item);
+    }
+
+    #[test]
+    fn item_ordering_matches_ids() {
+        assert!(Item::new(1) < Item::new(2));
+        assert_eq!(Item::new(7), Item::new(7));
+    }
+
+    #[test]
+    fn dictionary_interns_in_order() {
+        let mut dict = ItemDictionary::new();
+        assert!(dict.is_empty());
+        let a = dict.intern("a");
+        let b = dict.intern("b");
+        let a2 = dict.intern("a");
+        assert_eq!(a, Item::new(0));
+        assert_eq!(b, Item::new(1));
+        assert_eq!(a, a2);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn dictionary_lookup_and_label() {
+        let dict = ItemDictionary::from_labels(["x", "y", "x"]);
+        assert_eq!(dict.len(), 2);
+        assert_eq!(dict.lookup("y"), Some(Item::new(1)));
+        assert_eq!(dict.lookup("z"), None);
+        assert_eq!(dict.label(Item::new(0)), Some("x"));
+        assert_eq!(dict.label(Item::new(9)), None);
+    }
+
+    #[test]
+    fn dictionary_iter_is_ordered() {
+        let dict = ItemDictionary::from_labels(["p", "q", "r"]);
+        let pairs: Vec<_> = dict.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (Item::new(0), "p"),
+                (Item::new(1), "q"),
+                (Item::new(2), "r")
+            ]
+        );
+    }
+
+    #[test]
+    fn dictionary_serde_roundtrip() {
+        let dict = ItemDictionary::from_labels(["a", "b"]);
+        let json = serde_json::to_string(&dict).unwrap();
+        let back: ItemDictionary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.lookup("b"), Some(Item::new(1)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Deterministic dataset subsampling and projection.
+//!
+//! The harness scales experiments by object count; these helpers derive
+//! smaller databases from bigger ones without re-running the generators,
+//! and project databases onto item subsets (useful for focused mining and
+//! for building test fixtures from larger data).
+
+use crate::itemset::Itemset;
+use crate::transaction::{TransactionDb, TransactionDbBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The first `n` transactions (or the whole database if shorter).
+pub fn head(db: &TransactionDb, n: usize) -> TransactionDb {
+    let mut builder = TransactionDbBuilder::with_capacity(n.min(db.n_transactions()), 8);
+    for t in db.iter().take(n) {
+        builder.push_ids(t.iter().map(|i| i.id()));
+    }
+    builder.build().with_universe(db.n_items())
+}
+
+/// A uniform random sample of `n` transactions without replacement
+/// (reservoir sampling, deterministic per seed). Object order follows the
+/// original database.
+pub fn sample(db: &TransactionDb, n: usize, seed: u64) -> TransactionDb {
+    let total = db.n_transactions();
+    if n >= total {
+        return head(db, total);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut reservoir: Vec<usize> = (0..n).collect();
+    for t in n..total {
+        let j = rng.gen_range(0..=t);
+        if j < n {
+            reservoir[j] = t;
+        }
+    }
+    reservoir.sort_unstable();
+    let mut builder = TransactionDbBuilder::with_capacity(n, 8);
+    for &t in &reservoir {
+        builder.push_ids(db.transaction(t).iter().map(|i| i.id()));
+    }
+    builder.build().with_universe(db.n_items())
+}
+
+/// Projects the database onto `items`: every transaction is intersected
+/// with the given itemset; empty projections are kept (objects survive,
+/// related to nothing), so object counts — and therefore relative
+/// supports of the kept items — are unchanged.
+pub fn project(db: &TransactionDb, items: &Itemset) -> TransactionDb {
+    let mut builder = TransactionDbBuilder::with_capacity(db.n_transactions(), items.len());
+    for t in db.iter() {
+        builder.push_ids(
+            t.iter()
+                .filter(|i| items.contains(**i))
+                .map(|i| i.id()),
+        );
+    }
+    builder.build().with_universe(db.n_items())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_rows(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+            vec![1, 2, 3, 5],
+        ])
+    }
+
+    #[test]
+    fn head_takes_prefix() {
+        let h = head(&db(), 2);
+        assert_eq!(h.n_transactions(), 2);
+        assert_eq!(h.transaction(0), db().transaction(0));
+        assert_eq!(h.n_items(), db().n_items());
+        // Oversized n is clamped.
+        assert_eq!(head(&db(), 99).n_transactions(), 5);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_without_replacement() {
+        let a = sample(&db(), 3, 7);
+        let b = sample(&db(), 3, 7);
+        assert_eq!(a.n_transactions(), 3);
+        for t in 0..3 {
+            assert_eq!(a.transaction(t), b.transaction(t));
+        }
+        // A different seed eventually gives a different sample (5 choose 3
+        // = 10 subsets; seeds 0..20 must hit at least two).
+        let baseline: Vec<_> = (0..3).map(|t| a.transaction(t).to_vec()).collect();
+        let differs = (0..20u64).any(|s| {
+            let c = sample(&db(), 3, s);
+            (0..3).any(|t| c.transaction(t) != baseline[t].as_slice())
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn sample_preserves_rows_verbatim() {
+        let s = sample(&db(), 4, 3);
+        let original: Vec<Vec<_>> = db().iter().map(|t| t.to_vec()).collect();
+        for t in 0..s.n_transactions() {
+            assert!(original.iter().any(|row| row.as_slice() == s.transaction(t)));
+        }
+    }
+
+    #[test]
+    fn project_keeps_objects_and_filters_items() {
+        let p = project(&db(), &Itemset::from_ids([2, 3]));
+        assert_eq!(p.n_transactions(), 5);
+        assert_eq!(p.transaction(0).len(), 1); // {3}
+        assert_eq!(p.transaction(3).len(), 1); // {2}
+        // Supports of the kept items are unchanged.
+        assert_eq!(
+            p.support(&Itemset::from_ids([2])),
+            db().support(&Itemset::from_ids([2]))
+        );
+        assert_eq!(
+            p.support(&Itemset::from_ids([2, 3])),
+            db().support(&Itemset::from_ids([2, 3]))
+        );
+        // Dropped items vanish.
+        assert_eq!(p.support(&Itemset::from_ids([5])), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Dataset statistics (the "Table 1" of the experiment suite).
+
+use crate::support::Support;
+use crate::transaction::TransactionDb;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a transaction database.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of objects `|O|`.
+    pub n_objects: usize,
+    /// Universe size `|I|`.
+    pub n_items: usize,
+    /// Number of items that actually occur.
+    pub n_items_used: usize,
+    /// Average transaction length.
+    pub avg_len: f64,
+    /// Shortest transaction.
+    pub min_len: usize,
+    /// Longest transaction.
+    pub max_len: usize,
+    /// Relation density `entries / (|O|·|I|)`.
+    pub density: f64,
+    /// Support of the most frequent item.
+    pub max_item_support: Support,
+}
+
+impl DatasetStats {
+    /// Computes statistics in one pass over the database.
+    pub fn compute(db: &TransactionDb) -> Self {
+        let lens: Vec<usize> = db.iter().map(<[_]>::len).collect();
+        let supports = db.item_supports();
+        DatasetStats {
+            n_objects: db.n_transactions(),
+            n_items: db.n_items(),
+            n_items_used: supports.iter().filter(|&&s| s > 0).count(),
+            avg_len: db.avg_transaction_len(),
+            min_len: lens.iter().copied().min().unwrap_or(0),
+            max_len: lens.iter().copied().max().unwrap_or(0),
+            density: db.density(),
+            max_item_support: supports.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|O|={} |I|={} (used {}) avg|t|={:.2} len∈[{}, {}] density={:.4}",
+            self.n_objects,
+            self.n_items,
+            self.n_items_used,
+            self.avg_len,
+            self.min_len,
+            self.max_len,
+            self.density,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_db() {
+        let db = TransactionDb::from_rows(vec![vec![1, 2, 3], vec![2], vec![2, 3]]);
+        let s = DatasetStats::compute(&db);
+        assert_eq!(s.n_objects, 3);
+        assert_eq!(s.n_items, 4);
+        assert_eq!(s.n_items_used, 3); // item 0 never occurs
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 3);
+        assert_eq!(s.max_item_support, 3); // item 2 in every row
+        assert!((s.avg_len - 2.0).abs() < 1e-12);
+        assert!((s.density - 6.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_db() {
+        let s = DatasetStats::compute(&TransactionDb::from_rows(vec![]));
+        assert_eq!(s.n_objects, 0);
+        assert_eq!(s.min_len, 0);
+        assert_eq!(s.max_item_support, 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let db = TransactionDb::from_rows(vec![vec![0, 1]]);
+        let text = DatasetStats::compute(&db).to_string();
+        assert!(text.contains("|O|=1"));
+        assert!(text.contains("|I|=2"));
+    }
+}

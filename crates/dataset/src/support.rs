@@ -1,0 +1,98 @@
+//! Support thresholds and support values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An absolute support: the number of objects (transactions) containing an
+/// itemset.
+pub type Support = u64;
+
+/// A minimum-support threshold, either absolute or relative.
+///
+/// The paper (and its companion experiments) state thresholds as relative
+/// percentages of `|O|`; algorithms work on absolute counts. The
+/// [`MinSupport::to_count`] conversion rounds *up*, so `Fraction(f)` means
+/// `supp(I) ≥ ⌈f · |O|⌉` — an itemset is frequent iff its relative support
+/// reaches the fraction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MinSupport {
+    /// Absolute object count. `Count(0)` is normalized to 1: an itemset
+    /// supported by no object is never considered frequent.
+    Count(Support),
+    /// Fraction of the object count, in `[0, 1]`.
+    Fraction(f64),
+}
+
+impl MinSupport {
+    /// Converts the threshold to an absolute count for a database with
+    /// `n_objects` objects. The result is always at least 1.
+    pub fn to_count(self, n_objects: usize) -> Support {
+        match self {
+            MinSupport::Count(c) => c.max(1),
+            MinSupport::Fraction(f) => {
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "relative minsup {f} outside [0, 1]"
+                );
+                let exact = f * n_objects as f64;
+                (exact.ceil() as Support).max(1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for MinSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinSupport::Count(c) => write!(f, "{c}"),
+            MinSupport::Fraction(x) => write!(f, "{}%", x * 100.0),
+        }
+    }
+}
+
+impl From<f64> for MinSupport {
+    fn from(f: f64) -> Self {
+        MinSupport::Fraction(f)
+    }
+}
+
+impl From<u64> for MinSupport {
+    fn from(c: u64) -> Self {
+        MinSupport::Count(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_threshold_is_at_least_one() {
+        assert_eq!(MinSupport::Count(0).to_count(100), 1);
+        assert_eq!(MinSupport::Count(7).to_count(100), 7);
+    }
+
+    #[test]
+    fn fraction_rounds_up() {
+        assert_eq!(MinSupport::Fraction(0.5).to_count(10), 5);
+        assert_eq!(MinSupport::Fraction(0.5).to_count(11), 6);
+        assert_eq!(MinSupport::Fraction(0.0).to_count(10), 1);
+        assert_eq!(MinSupport::Fraction(1.0).to_count(10), 10);
+        // 2% of 8124 = 162.48 → 163
+        assert_eq!(MinSupport::Fraction(0.02).to_count(8124), 163);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn fraction_out_of_range_panics() {
+        MinSupport::Fraction(1.5).to_count(10);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(MinSupport::from(0.25), MinSupport::Fraction(0.25));
+        assert_eq!(MinSupport::from(3u64), MinSupport::Count(3));
+        assert_eq!(format!("{}", MinSupport::Fraction(0.25)), "25%");
+        assert_eq!(format!("{}", MinSupport::Count(3)), "3");
+    }
+}

@@ -1,0 +1,417 @@
+//! Horizontal transaction database.
+//!
+//! [`TransactionDb`] stores the binary relation `R ⊆ O × I` of a data-mining
+//! context row by row: each object (transaction) is a sorted run of items in
+//! one shared, contiguous buffer (CSR layout). This is the representation
+//! scanned by levelwise algorithms (Apriori, Close) and by the closure
+//! operator when it intersects transactions.
+
+use crate::item::{Item, ItemDictionary};
+use crate::itemset::Itemset;
+use crate::support::Support;
+use serde::{Deserialize, Serialize};
+
+/// An immutable horizontal transaction database (CSR layout).
+///
+/// Build one with [`TransactionDbBuilder`] or the `From` impls, which sort
+/// and deduplicate each transaction.
+///
+/// # Examples
+///
+/// ```
+/// use rulebases_dataset::{TransactionDb, Itemset};
+///
+/// let db = TransactionDb::from_rows(vec![
+///     vec![1, 3, 4],
+///     vec![2, 3, 5],
+///     vec![1, 2, 3, 5],
+///     vec![2, 5],
+/// ]);
+/// assert_eq!(db.n_transactions(), 4);
+/// assert_eq!(db.support(&Itemset::from_ids([2, 5])), 3);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransactionDb {
+    /// Concatenated sorted transactions.
+    items: Vec<Item>,
+    /// `offsets[t]..offsets[t+1]` delimits transaction `t`; length is
+    /// `n_transactions + 1`.
+    offsets: Vec<usize>,
+    /// Size of the item universe: all item ids are `< n_items`.
+    n_items: usize,
+    /// Optional label dictionary.
+    dict: Option<ItemDictionary>,
+}
+
+impl TransactionDb {
+    /// Builds a database from raw id rows. Rows are sorted and deduplicated;
+    /// the universe is sized by the largest id seen. Empty rows are kept
+    /// (they are legitimate objects related to no item).
+    pub fn from_rows(rows: Vec<Vec<u32>>) -> Self {
+        let mut builder = TransactionDbBuilder::new();
+        for row in rows {
+            builder.push_ids(row);
+        }
+        builder.build()
+    }
+
+    /// Builds a database from itemsets.
+    pub fn from_itemsets<I: IntoIterator<Item = Itemset>>(rows: I) -> Self {
+        let mut builder = TransactionDbBuilder::new();
+        for row in rows {
+            builder.push_itemset(&row);
+        }
+        builder.build()
+    }
+
+    /// Attaches a label dictionary (consuming `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dictionary is smaller than the item universe.
+    pub fn with_dictionary(mut self, dict: ItemDictionary) -> Self {
+        assert!(
+            dict.len() >= self.n_items,
+            "dictionary covers {} items but the universe has {}",
+            dict.len(),
+            self.n_items
+        );
+        self.n_items = self.n_items.max(dict.len());
+        self.dict = Some(dict);
+        self
+    }
+
+    /// Forces the universe size to `n_items` (useful when some items never
+    /// occur in the data but exist conceptually).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_items` is smaller than the largest id present.
+    pub fn with_universe(mut self, n_items: usize) -> Self {
+        let max_seen = self.items.iter().map(|i| i.index() + 1).max().unwrap_or(0);
+        assert!(
+            n_items >= max_seen,
+            "universe {n_items} smaller than max item id + 1 = {max_seen}"
+        );
+        self.n_items = n_items;
+        self
+    }
+
+    /// The label dictionary, if any.
+    pub fn dictionary(&self) -> Option<&ItemDictionary> {
+        self.dict.as_ref()
+    }
+
+    /// Number of transactions `|O|`.
+    #[inline]
+    pub fn n_transactions(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Size of the item universe `|I|` (max id + 1, or dictionary size).
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total number of `(object, item)` pairs in the relation.
+    #[inline]
+    pub fn n_entries(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The `t`-th transaction as a sorted item slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= n_transactions()`.
+    #[inline]
+    pub fn transaction(&self, t: usize) -> &[Item] {
+        &self.items[self.offsets[t]..self.offsets[t + 1]]
+    }
+
+    /// Iterates over all transactions in object order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Item]> + '_ {
+        (0..self.n_transactions()).map(move |t| self.transaction(t))
+    }
+
+    /// Whether transaction `t` contains every item of `query`.
+    #[inline]
+    pub fn transaction_contains(&self, t: usize, query: &Itemset) -> bool {
+        sorted_contains(self.transaction(t), query.as_slice())
+    }
+
+    /// Absolute support of `itemset` by a full scan.
+    ///
+    /// Levelwise miners count many candidates per scan; this method is the
+    /// one-off variant used by tests and the high-level API. The empty
+    /// itemset is supported by every transaction.
+    pub fn support(&self, itemset: &Itemset) -> Support {
+        self.iter()
+            .filter(|t| sorted_contains(t, itemset.as_slice()))
+            .count() as Support
+    }
+
+    /// Relative support (frequency) of `itemset` in `[0, 1]`.
+    pub fn frequency(&self, itemset: &Itemset) -> f64 {
+        if self.n_transactions() == 0 {
+            return 0.0;
+        }
+        self.support(itemset) as f64 / self.n_transactions() as f64
+    }
+
+    /// Per-item supports: `result[i]` = number of transactions containing
+    /// item `i`.
+    pub fn item_supports(&self) -> Vec<Support> {
+        let mut counts = vec![0; self.n_items];
+        for &item in &self.items {
+            counts[item.index()] += 1;
+        }
+        counts
+    }
+
+    /// Average transaction length.
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.n_transactions() == 0 {
+            return 0.0;
+        }
+        self.items.len() as f64 / self.n_transactions() as f64
+    }
+
+    /// Density of the relation: `n_entries / (|O| · |I|)`.
+    pub fn density(&self) -> f64 {
+        let cells = self.n_transactions() * self.n_items;
+        if cells == 0 {
+            return 0.0;
+        }
+        self.items.len() as f64 / cells as f64
+    }
+}
+
+/// Membership of a sorted needle inside a sorted haystack.
+#[inline]
+fn sorted_contains(haystack: &[Item], needle: &[Item]) -> bool {
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    let mut h = 0;
+    'outer: for &x in needle {
+        while h < haystack.len() {
+            if haystack[h] < x {
+                h += 1;
+            } else if haystack[h] == x {
+                h += 1;
+                continue 'outer;
+            } else {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Incremental builder for [`TransactionDb`].
+#[derive(Clone, Debug, Default)]
+pub struct TransactionDbBuilder {
+    items: Vec<Item>,
+    offsets: Vec<usize>,
+    max_item: Option<u32>,
+    scratch: Vec<Item>,
+}
+
+impl TransactionDbBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TransactionDbBuilder {
+            items: Vec::new(),
+            offsets: vec![0],
+            max_item: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with room for `n_transactions × avg_len` entries.
+    pub fn with_capacity(n_transactions: usize, avg_len: usize) -> Self {
+        let mut b = Self::new();
+        b.items.reserve(n_transactions * avg_len);
+        b.offsets.reserve(n_transactions);
+        b
+    }
+
+    /// Appends one transaction given as raw ids (sorted + deduplicated
+    /// internally).
+    pub fn push_ids<I: IntoIterator<Item = u32>>(&mut self, ids: I) {
+        self.scratch.clear();
+        self.scratch.extend(ids.into_iter().map(Item::new));
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        self.push_sorted_scratch();
+    }
+
+    /// Appends one transaction given as an itemset (already sorted).
+    pub fn push_itemset(&mut self, set: &Itemset) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(set.as_slice());
+        self.push_sorted_scratch();
+    }
+
+    fn push_sorted_scratch(&mut self) {
+        if let Some(last) = self.scratch.last() {
+            self.max_item = Some(self.max_item.map_or(last.id(), |m| m.max(last.id())));
+        }
+        self.items.extend_from_slice(&self.scratch);
+        self.offsets.push(self.items.len());
+    }
+
+    /// Number of transactions pushed so far.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalizes the database.
+    pub fn build(self) -> TransactionDb {
+        TransactionDb {
+            items: self.items,
+            offsets: self.offsets,
+            n_items: self.max_item.map_or(0, |m| m as usize + 1),
+            dict: None,
+        }
+    }
+}
+
+impl From<Vec<Vec<u32>>> for TransactionDb {
+    fn from(rows: Vec<Vec<u32>>) -> Self {
+        TransactionDb::from_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example context of the paper family (Pasquier et al.):
+    /// five objects over items {A=1, B=2, C=3, D=4, E=5}.
+    pub(crate) fn paper_db() -> TransactionDb {
+        TransactionDb::from_rows(vec![
+            vec![1, 3, 4],       // o1: A C D
+            vec![2, 3, 5],       // o2: B C E
+            vec![1, 2, 3, 5],    // o3: A B C E
+            vec![2, 5],          // o4: B E
+            vec![1, 2, 3, 5],    // o5: A B C E
+        ])
+    }
+
+    #[test]
+    fn shape_and_rows() {
+        let db = paper_db();
+        assert_eq!(db.n_transactions(), 5);
+        assert_eq!(db.n_items(), 6); // ids 0..=5, id 0 unused
+        assert_eq!(db.n_entries(), 3 + 3 + 4 + 2 + 4);
+        assert_eq!(
+            db.transaction(2),
+            &[Item(1), Item(2), Item(3), Item(5)]
+        );
+    }
+
+    #[test]
+    fn rows_are_sorted_and_deduped() {
+        let db = TransactionDb::from_rows(vec![vec![4, 2, 4, 1]]);
+        assert_eq!(db.transaction(0), &[Item(1), Item(2), Item(4)]);
+    }
+
+    #[test]
+    fn empty_rows_are_kept() {
+        let db = TransactionDb::from_rows(vec![vec![], vec![1], vec![]]);
+        assert_eq!(db.n_transactions(), 3);
+        assert!(db.transaction(0).is_empty());
+        assert_eq!(db.support(&Itemset::empty()), 3);
+        assert_eq!(db.support(&Itemset::from_ids([1])), 1);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDb::from_rows(vec![]);
+        assert_eq!(db.n_transactions(), 0);
+        assert_eq!(db.n_items(), 0);
+        assert_eq!(db.frequency(&Itemset::empty()), 0.0);
+        assert_eq!(db.density(), 0.0);
+    }
+
+    #[test]
+    fn supports_match_paper_example() {
+        let db = paper_db();
+        let s = |ids: &[u32]| db.support(&Itemset::from_ids(ids.iter().copied()));
+        assert_eq!(s(&[1]), 3); // A
+        assert_eq!(s(&[2]), 4); // B
+        assert_eq!(s(&[3]), 4); // C
+        assert_eq!(s(&[4]), 1); // D
+        assert_eq!(s(&[5]), 4); // E
+        assert_eq!(s(&[2, 5]), 4); // BE
+        assert_eq!(s(&[1, 3]), 3); // AC
+        assert_eq!(s(&[2, 3, 5]), 3); // BCE
+        assert_eq!(s(&[1, 2, 3, 5]), 2); // ABCE
+        assert_eq!(s(&[1, 4, 5]), 0);
+        assert_eq!(db.support(&Itemset::empty()), 5);
+    }
+
+    #[test]
+    fn item_supports_vector() {
+        let db = paper_db();
+        assert_eq!(db.item_supports(), vec![0, 3, 4, 4, 1, 4]);
+    }
+
+    #[test]
+    fn frequency_and_stats() {
+        let db = paper_db();
+        assert!((db.frequency(&Itemset::from_ids([2, 5])) - 0.8).abs() < 1e-12);
+        assert!((db.avg_transaction_len() - 16.0 / 5.0).abs() < 1e-12);
+        assert!((db.density() - 16.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_universe_grows_only() {
+        let db = TransactionDb::from_rows(vec![vec![1, 2]]).with_universe(10);
+        assert_eq!(db.n_items(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than max item")]
+    fn with_universe_cannot_shrink() {
+        let _ = TransactionDb::from_rows(vec![vec![5]]).with_universe(3);
+    }
+
+    #[test]
+    fn with_dictionary_sets_universe() {
+        let dict = ItemDictionary::from_labels(["a", "b", "c"]);
+        let db = TransactionDb::from_rows(vec![vec![0, 2]]).with_dictionary(dict);
+        assert_eq!(db.n_items(), 3);
+        assert_eq!(db.dictionary().unwrap().label(Item(1)), Some("b"));
+    }
+
+    #[test]
+    fn builder_incremental() {
+        let mut b = TransactionDbBuilder::with_capacity(2, 3);
+        assert!(b.is_empty());
+        b.push_ids([3, 1]);
+        b.push_itemset(&Itemset::from_ids([0, 2]));
+        assert_eq!(b.len(), 2);
+        let db = b.build();
+        assert_eq!(db.transaction(0), &[Item(1), Item(3)]);
+        assert_eq!(db.transaction(1), &[Item(0), Item(2)]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let db = paper_db();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: TransactionDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_transactions(), 5);
+        assert_eq!(back.support(&Itemset::from_ids([2, 5])), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Vertical database representation.
+//!
+//! [`VerticalDb`] stores, for every item, the *cover* (tidset) of objects
+//! containing it, as a [`BitSet`] over object ids. Supports are then
+//! word-wise intersections + popcounts, which is what makes closure
+//! computation and vertical miners (CHARM) fast on dense data.
+
+use crate::bitset::BitSet;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::support::Support;
+use crate::transaction::TransactionDb;
+
+/// Per-item object covers (the transposed relation).
+#[derive(Clone, Debug)]
+pub struct VerticalDb {
+    covers: Vec<BitSet>,
+    n_objects: usize,
+}
+
+impl VerticalDb {
+    /// Transposes a horizontal database.
+    pub fn from_horizontal(db: &TransactionDb) -> Self {
+        let n_objects = db.n_transactions();
+        let mut covers = vec![BitSet::new(n_objects); db.n_items()];
+        for (t, row) in db.iter().enumerate() {
+            for &item in row {
+                covers[item.index()].insert(t);
+            }
+        }
+        VerticalDb { covers, n_objects }
+    }
+
+    /// Number of objects `|O|`.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// Size of the item universe `|I|`.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.covers.len()
+    }
+
+    /// The cover (tidset) of a single item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item is outside the universe.
+    #[inline]
+    pub fn cover(&self, item: Item) -> &BitSet {
+        &self.covers[item.index()]
+    }
+
+    /// The extent `g(itemset)`: objects containing every item of `itemset`.
+    ///
+    /// The extent of the empty itemset is all of `O`; items outside the
+    /// universe are related to no object, so their presence empties the
+    /// extent.
+    pub fn extent(&self, itemset: &Itemset) -> BitSet {
+        if itemset.iter().any(|i| i.index() >= self.covers.len()) {
+            return BitSet::new(self.n_objects);
+        }
+        let mut iter = itemset.iter();
+        let Some(first) = iter.next() else {
+            return BitSet::full(self.n_objects);
+        };
+        let mut extent = self.cover(first).clone();
+        for item in iter {
+            extent.intersect_with(self.cover(item));
+            if extent.is_empty() {
+                break;
+            }
+        }
+        extent
+    }
+
+    /// Extends a known extent with one more item:
+    /// `g(X ∪ {i}) = g(X) ∩ cover(i)`.
+    pub fn extend_extent(&self, extent: &BitSet, item: Item) -> BitSet {
+        extent.intersection(self.cover(item))
+    }
+
+    /// Absolute support of `itemset` via cover intersection. Items outside
+    /// the universe are supported by no object.
+    pub fn support(&self, itemset: &Itemset) -> Support {
+        if itemset.iter().any(|i| i.index() >= self.covers.len()) {
+            return 0;
+        }
+        let mut items = itemset.iter();
+        let Some(first) = items.next() else {
+            return self.n_objects as Support;
+        };
+        let Some(second) = items.next() else {
+            return self.cover(first).count() as Support;
+        };
+        let mut acc = self.cover(first).intersection(self.cover(second));
+        for item in items {
+            acc.intersect_with(self.cover(item));
+            if acc.is_empty() {
+                return 0;
+            }
+        }
+        acc.count() as Support
+    }
+
+    /// Per-item supports.
+    pub fn item_supports(&self) -> Vec<Support> {
+        self.covers.iter().map(|c| c.count() as Support).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TransactionDb;
+
+    fn paper_db() -> TransactionDb {
+        TransactionDb::from_rows(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+            vec![1, 2, 3, 5],
+        ])
+    }
+
+    #[test]
+    fn covers_match_columns() {
+        let v = VerticalDb::from_horizontal(&paper_db());
+        assert_eq!(v.n_objects(), 5);
+        assert_eq!(v.n_items(), 6);
+        assert_eq!(v.cover(Item(1)), &BitSet::from_indices(5, [0, 2, 4]));
+        assert_eq!(v.cover(Item(4)), &BitSet::from_indices(5, [0]));
+        assert!(v.cover(Item(0)).is_empty());
+    }
+
+    #[test]
+    fn extent_intersects_covers() {
+        let v = VerticalDb::from_horizontal(&paper_db());
+        let ext = v.extent(&Itemset::from_ids([2, 3, 5]));
+        assert_eq!(ext, BitSet::from_indices(5, [1, 2, 4]));
+        assert_eq!(v.extent(&Itemset::empty()), BitSet::full(5));
+        assert!(v.extent(&Itemset::from_ids([1, 4, 5])).is_empty());
+    }
+
+    #[test]
+    fn extend_extent_one_item() {
+        let v = VerticalDb::from_horizontal(&paper_db());
+        let base = v.extent(&Itemset::from_ids([2]));
+        let extended = v.extend_extent(&base, Item(5));
+        assert_eq!(extended, v.extent(&Itemset::from_ids([2, 5])));
+    }
+
+    #[test]
+    fn support_matches_horizontal_scan() {
+        let db = paper_db();
+        let v = VerticalDb::from_horizontal(&db);
+        for set in [
+            Itemset::empty(),
+            Itemset::from_ids([1]),
+            Itemset::from_ids([2, 5]),
+            Itemset::from_ids([1, 2, 3, 5]),
+            Itemset::from_ids([1, 4, 5]),
+            Itemset::from_ids([0]),
+        ] {
+            assert_eq!(v.support(&set), db.support(&set), "support of {set:?}");
+        }
+    }
+
+    #[test]
+    fn item_supports_match() {
+        let db = paper_db();
+        let v = VerticalDb::from_horizontal(&db);
+        assert_eq!(v.item_supports(), db.item_supports());
+    }
+
+    #[test]
+    fn empty_db_vertical() {
+        let db = TransactionDb::from_rows(vec![]);
+        let v = VerticalDb::from_horizontal(&db);
+        assert_eq!(v.n_objects(), 0);
+        assert_eq!(v.support(&Itemset::empty()), 0);
+    }
+}

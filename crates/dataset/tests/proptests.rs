@@ -1,0 +1,197 @@
+//! Property-based tests for the dataset substrate: set-algebra laws,
+//! model-based bitset checks, database invariants, and I/O round-trips.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rulebases_dataset::io::{read_dat, write_dat};
+use rulebases_dataset::{BitSet, Itemset, MiningContext, TransactionDb};
+use std::collections::BTreeSet;
+
+fn itemsets() -> impl Strategy<Value = Itemset> {
+    vec(0u32..40, 0..12).prop_map(Itemset::from_ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- Itemset algebra ------------------------------------------------
+
+    #[test]
+    fn itemset_invariant_holds(ids in vec(0u32..40, 0..20)) {
+        let s = Itemset::from_ids(ids);
+        let slice = s.as_slice();
+        prop_assert!(slice.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in itemsets(), b in itemsets()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.is_subset_of(&a.union(&b)));
+        prop_assert!(b.is_subset_of(&a.union(&b)));
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_bounded(a in itemsets(), b in itemsets()) {
+        let i = a.intersection(&b);
+        prop_assert_eq!(&i, &b.intersection(&a));
+        prop_assert!(i.is_subset_of(&a));
+        prop_assert!(i.is_subset_of(&b));
+        prop_assert_eq!(a.intersection(&a), a.clone());
+    }
+
+    #[test]
+    fn difference_partitions(a in itemsets(), b in itemsets()) {
+        let d = a.difference(&b);
+        let i = a.intersection(&b);
+        prop_assert!(d.is_disjoint_from(&b));
+        prop_assert_eq!(d.union(&i), a.clone());
+        prop_assert_eq!(d.len() + i.len(), a.len());
+    }
+
+    #[test]
+    fn in_place_intersection_matches(a in itemsets(), b in itemsets()) {
+        let mut c = a.clone();
+        c.intersect_with(b.as_slice());
+        prop_assert_eq!(c, a.intersection(&b));
+    }
+
+    #[test]
+    fn demorgan_within_universe(a in itemsets(), b in itemsets()) {
+        // (U∖A) ∩ (U∖B) = U∖(A∪B) over a universe covering both.
+        let u = Itemset::universe(40);
+        let lhs = u.difference(&a).intersection(&u.difference(&b));
+        let rhs = u.difference(&a.union(&b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in itemsets(), b in itemsets()) {
+        prop_assert_eq!(a.is_subset_of(&b), a.union(&b) == b);
+        prop_assert_eq!(a.is_superset_of(&b), a.union(&b) == a);
+    }
+
+    #[test]
+    fn lectic_cmp_is_a_total_order(a in itemsets(), b in itemsets(), c in itemsets()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.lectic_cmp(&b), b.lectic_cmp(&a).reverse());
+        prop_assert_eq!(a.lectic_cmp(&b) == Ordering::Equal, a == b);
+        // Transitivity (spot version: if a<b and b<c then a<c).
+        if a.lectic_cmp(&b) == Ordering::Less && b.lectic_cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.lectic_cmp(&c), Ordering::Less);
+        }
+        // Subset implies lectically smaller-or-equal.
+        if a.is_subset_of(&b) {
+            prop_assert_ne!(a.lectic_cmp(&b), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn facets_enumerate_all_one_smaller_subsets(ids in vec(0u32..20, 1..8)) {
+        let s = Itemset::from_ids(ids);
+        let facets: Vec<Itemset> = s.facets().collect();
+        prop_assert_eq!(facets.len(), s.len());
+        for f in &facets {
+            prop_assert_eq!(f.len() + 1, s.len());
+            prop_assert!(f.is_proper_subset_of(&s));
+        }
+        let unique: BTreeSet<_> = facets.iter().cloned().collect();
+        prop_assert_eq!(unique.len(), facets.len());
+    }
+
+    #[test]
+    fn proper_subsets_count(ids in vec(0u32..20, 0..7)) {
+        let s = Itemset::from_ids(ids);
+        let expected = (1usize << s.len()).saturating_sub(2);
+        prop_assert_eq!(s.proper_subsets().count(), expected.max(0));
+    }
+
+    // ---- BitSet vs BTreeSet model ---------------------------------------
+
+    #[test]
+    fn bitset_matches_btreeset_model(
+        a_idx in vec(0usize..150, 0..40),
+        b_idx in vec(0usize..150, 0..40),
+    ) {
+        let a = BitSet::from_indices(150, a_idx.iter().copied());
+        let b = BitSet::from_indices(150, b_idx.iter().copied());
+        let ma: BTreeSet<usize> = a_idx.into_iter().collect();
+        let mb: BTreeSet<usize> = b_idx.into_iter().collect();
+
+        prop_assert_eq!(a.count(), ma.len());
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), ma.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(
+            a.intersection(&b).iter().collect::<BTreeSet<_>>(),
+            ma.intersection(&mb).copied().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(a.intersection_count(&b), ma.intersection(&mb).count());
+        prop_assert_eq!(a.is_subset_of(&b), ma.is_subset(&mb));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(u.count(), ma.union(&mb).count());
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        prop_assert_eq!(d.count(), ma.difference(&mb).count());
+    }
+
+    // ---- TransactionDb invariants ---------------------------------------
+
+    #[test]
+    fn support_is_antimonotone(rows in vec(vec(0u32..10, 0..6), 1..12), a in vec(0u32..10, 0..4), extra in 0u32..10) {
+        let db = TransactionDb::from_rows(rows);
+        let x = Itemset::from_ids(a);
+        let y = x.with(rulebases_dataset::Item::new(extra));
+        prop_assert!(db.support(&y) <= db.support(&x));
+        prop_assert_eq!(db.support(&Itemset::empty()), db.n_transactions() as u64);
+    }
+
+    #[test]
+    fn db_rows_are_normalized(rows in vec(vec(0u32..10, 0..8), 0..10)) {
+        let db = TransactionDb::from_rows(rows.clone());
+        prop_assert_eq!(db.n_transactions(), rows.len());
+        for t in db.iter() {
+            prop_assert!(t.windows(2).all(|w| w[0] < w[1]));
+        }
+        let total: usize = db.iter().map(<[_]>::len).sum();
+        prop_assert_eq!(total, db.n_entries());
+    }
+
+    #[test]
+    fn dat_round_trip(rows in vec(vec(0u32..50, 1..8), 0..15)) {
+        // FIMI cannot represent empty transactions (blank line = skipped),
+        // so the property quantifies over non-empty rows.
+        let db = TransactionDb::from_rows(rows);
+        let mut buf = Vec::new();
+        write_dat(&db, &mut buf).unwrap();
+        let back = read_dat(&buf[..]).unwrap();
+        prop_assert_eq!(back.n_transactions(), db.n_transactions());
+        for t in 0..db.n_transactions() {
+            prop_assert_eq!(back.transaction(t), db.transaction(t));
+        }
+    }
+
+    // ---- Galois connection ----------------------------------------------
+
+    #[test]
+    fn galois_connection_laws(rows in vec(vec(0u32..8, 0..6), 1..10), a in vec(0u32..8, 0..4)) {
+        let ctx = MiningContext::new(TransactionDb::from_rows(rows));
+        let x = Itemset::from_ids(a.into_iter().filter(|&i| (i as usize) < ctx.n_items()));
+
+        // g is antitone: X ⊆ h(X) ⇒ g(h(X)) = g(X).
+        let gx = ctx.extent(&x);
+        let hx = ctx.closure(&x);
+        prop_assert_eq!(&ctx.extent(&hx), &gx);
+
+        // f∘g and g∘f are closures on their sides: intent(extent(·))
+        // is idempotent.
+        let fgx = ctx.intent(&gx);
+        prop_assert_eq!(&fgx, &hx);
+        prop_assert_eq!(ctx.closure(&fgx), fgx.clone());
+
+        // Support equals extent size.
+        prop_assert_eq!(ctx.support(&x), gx.count() as u64);
+    }
+}

@@ -1,0 +1,62 @@
+//! The abstract closure-operator interface.
+//!
+//! Both the Galois closure `h = f ∘ g` of a mining context and the logical
+//! closure under a set of implications are *closure operators*: extensive,
+//! monotone, idempotent maps on itemsets. NextClosure, the stem-base
+//! construction, and the derivation engines are all generic over this
+//! trait.
+
+use rulebases_dataset::{Itemset, MiningContext};
+
+/// A closure operator on subsets of a fixed item universe.
+///
+/// Implementations must satisfy the closure axioms:
+///
+/// * **extensive**: `X ⊆ close(X)`,
+/// * **monotone**: `X ⊆ Y ⇒ close(X) ⊆ close(Y)`,
+/// * **idempotent**: `close(close(X)) = close(X)`.
+pub trait ClosureOperator {
+    /// Size of the item universe the operator works on.
+    fn n_items(&self) -> usize;
+
+    /// The closure of `set`.
+    fn close(&self, set: &Itemset) -> Itemset;
+
+    /// Whether `set` is a fixpoint of the operator.
+    fn is_closed(&self, set: &Itemset) -> bool {
+        self.close(set).len() == set.len()
+    }
+}
+
+impl ClosureOperator for MiningContext {
+    fn n_items(&self) -> usize {
+        MiningContext::n_items(self)
+    }
+
+    fn close(&self, set: &Itemset) -> Itemset {
+        self.closure(set)
+    }
+
+    fn is_closed(&self, set: &Itemset) -> bool {
+        MiningContext::is_closed(self, set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::paper_example;
+
+    #[test]
+    fn context_implements_closure_operator() {
+        let ctx = MiningContext::new(paper_example());
+        let op: &dyn ClosureOperator = &ctx;
+        assert_eq!(op.n_items(), 6);
+        assert_eq!(
+            op.close(&Itemset::from_ids([2])),
+            Itemset::from_ids([2, 5])
+        );
+        assert!(op.is_closed(&Itemset::from_ids([2, 5])));
+        assert!(!op.is_closed(&Itemset::from_ids([2])));
+    }
+}

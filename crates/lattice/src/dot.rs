@@ -1,0 +1,74 @@
+//! Graphviz (DOT) export of the iceberg lattice.
+//!
+//! The paper family's figures draw the closed-itemset lattice as a Hasse
+//! diagram; this module renders exactly that, with supports and optional
+//! item labels, so `dot -Tsvg` reproduces the visual.
+
+use crate::lattice::IcebergLattice;
+use rulebases_dataset::ItemDictionary;
+use std::fmt::Write as _;
+
+/// Renders the lattice as a DOT digraph (edges point from a closed set to
+/// its upper covers; `rankdir=BT` puts the bottom at the bottom).
+pub fn to_dot(lattice: &IcebergLattice, dict: Option<&ItemDictionary>) -> String {
+    let mut out = String::new();
+    out.push_str("digraph iceberg_lattice {\n");
+    out.push_str("  rankdir=BT;\n");
+    out.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+    for i in 0..lattice.n_nodes() {
+        let (set, support) = lattice.node(i);
+        let label = match dict {
+            Some(d) => format!("{}", set.display(d)),
+            None => format!("{set:?}"),
+        };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{}\\nsupp={}\"];",
+            label.replace('"', "\\\""),
+            support
+        );
+    }
+    for (lo, hi) in lattice.edges() {
+        let _ = writeln!(out, "  n{lo} -> n{hi};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::{paper_example, MiningContext, MinSupport};
+    use rulebases_mining::{Close, ClosedMiner};
+
+    fn lattice() -> (IcebergLattice, ItemDictionary) {
+        let db = paper_example();
+        let dict = db.dictionary().unwrap().clone();
+        let ctx = MiningContext::new(db);
+        let fc = Close::default().mine_closed(&ctx, MinSupport::Count(2));
+        (IcebergLattice::from_closed(&fc), dict)
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let (lattice, _) = lattice();
+        let dot = to_dot(&lattice, None);
+        assert!(dot.starts_with("digraph"));
+        for i in 0..lattice.n_nodes() {
+            assert!(dot.contains(&format!("n{i} [label=")), "node {i} missing");
+        }
+        assert_eq!(
+            dot.matches(" -> ").count(),
+            lattice.n_edges(),
+            "edge count mismatch"
+        );
+    }
+
+    #[test]
+    fn dot_uses_labels_when_given() {
+        let (lattice, dict) = lattice();
+        let dot = to_dot(&lattice, Some(&dict));
+        assert!(dot.contains("{B, E}"), "labelled node missing:\n{dot}");
+        assert!(dot.contains("supp=4"));
+    }
+}

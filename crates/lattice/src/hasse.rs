@@ -1,0 +1,220 @@
+//! Hasse-diagram (covering relation) construction.
+//!
+//! The transitive reduction of the frequent-closed-itemset order is what
+//! Theorem 2 reduces the Luxenburger basis to. Two algorithms are
+//! provided and benchmarked against each other (ablation E7):
+//!
+//! * [`upper_covers_by_pairs`] — works from the closed sets alone,
+//!   comparing each set against its supersets in size order;
+//! * [`upper_covers_by_closure`] — uses the context: the upper covers of a
+//!   closed `X` are the minimal elements of `{h(X ∪ {i}) : i ∉ X}`.
+
+use rulebases_dataset::{Item, Itemset, MiningContext, Support};
+use rulebases_mining::ClosedItemsets;
+
+/// Computes, for each closed set, the indices of its **upper covers**
+/// (immediate successors in the subset order) from the sets alone.
+///
+/// `sets` must be in canonical order (size, then lexicographic), as
+/// produced by [`ClosedItemsets::iter`]. Runs in `O(n² · w)` where `w`
+/// is the itemset width — fine up to tens of thousands of closed sets.
+pub fn upper_covers_by_pairs(sets: &[(Itemset, Support)]) -> Vec<Vec<usize>> {
+    debug_assert!(sets.windows(2).all(|w| w[0].0 < w[1].0), "not canonical");
+    let n = sets.len();
+    let mut upper = vec![Vec::new(); n];
+    for i in 0..n {
+        let x = &sets[i].0;
+        let covers: &mut Vec<usize> = &mut upper[i];
+        // Visit supersets in increasing size: any chain witness below a
+        // candidate has already been recorded as a cover.
+        for (j, (y, _)) in sets.iter().enumerate().skip(i + 1) {
+            if y.len() <= x.len() || !x.is_proper_subset_of(y) {
+                continue;
+            }
+            let dominated = covers.iter().any(|&k| sets[k].0.is_subset_of(y));
+            if !dominated {
+                covers.push(j);
+            }
+        }
+    }
+    upper
+}
+
+/// Computes upper covers using the mining context: for each closed `X`,
+/// the covers are the minimal sets among `{h(X ∪ {i}) : i ∉ X}` that are
+/// still frequent (present in `fc`).
+///
+/// Much faster than the pairwise algorithm when the item universe is small
+/// relative to `|FC|²`.
+pub fn upper_covers_by_closure(fc: &ClosedItemsets, ctx: &MiningContext) -> Vec<Vec<usize>> {
+    let mut upper = vec![Vec::new(); fc.len()];
+    for (i, (x, _)) in fc.iter().enumerate() {
+        // Candidate successors: closures of one-item extensions.
+        let mut candidates: Vec<usize> = Vec::new();
+        for item in 0..ctx.n_items() as u32 {
+            let it = Item::new(item);
+            if x.contains(it) {
+                continue;
+            }
+            let closure = ctx.closure(&x.with(it));
+            if let Some(j) = fc.position(&closure) {
+                if j != i && !candidates.contains(&j) {
+                    candidates.push(j);
+                }
+            }
+        }
+        // Keep the minimal candidates.
+        let minimal: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&j| {
+                let (y, _) = fc.get(j);
+                !candidates.iter().any(|&k| {
+                    k != j && {
+                        let (z, _) = fc.get(k);
+                        z.is_proper_subset_of(y)
+                    }
+                })
+            })
+            .collect();
+        upper[i] = minimal;
+    }
+    // Canonical edge order for deterministic output.
+    for covers in &mut upper {
+        covers.sort_unstable();
+    }
+    upper
+}
+
+/// Checks that `upper` is exactly the covering relation of `sets`:
+/// every edge joins a set to a minimal proper superset, and every
+/// comparable pair is connected by some path. Used by tests; `O(n³)`.
+pub fn verify_covers(sets: &[(Itemset, Support)], upper: &[Vec<usize>]) -> Result<(), String> {
+    let n = sets.len();
+    for (i, covers) in upper.iter().enumerate() {
+        for &j in covers {
+            if !sets[i].0.is_proper_subset_of(&sets[j].0) {
+                return Err(format!("edge {i}→{j} is not a proper subset"));
+            }
+            for (k, (z, _)) in sets.iter().enumerate() {
+                if k != i
+                    && k != j
+                    && sets[i].0.is_proper_subset_of(z)
+                    && z.is_proper_subset_of(&sets[j].0)
+                {
+                    return Err(format!("edge {i}→{j} skips intermediate {k}"));
+                }
+            }
+        }
+    }
+    // Reachability must coincide with the subset order.
+    for i in 0..n {
+        let mut seen = vec![false; n];
+        let mut stack = vec![i];
+        while let Some(v) = stack.pop() {
+            for &w in &upper[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        for j in 0..n {
+            let subset = i != j && sets[i].0.is_proper_subset_of(&sets[j].0);
+            if subset != seen[j] {
+                return Err(format!(
+                    "reachability {i}→{j} is {} but subset order says {}",
+                    seen[j], subset
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::{paper_example, MinSupport};
+    use rulebases_mining::{Close, ClosedMiner};
+
+    fn paper_fc() -> (MiningContext, ClosedItemsets) {
+        let ctx = MiningContext::new(paper_example());
+        let fc = Close::default().mine_closed(&ctx, MinSupport::Count(2));
+        (ctx, fc)
+    }
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn pairs_algorithm_on_paper_example() {
+        let (_, fc) = paper_fc();
+        let sets: Vec<_> = fc.iter().map(|(s, sup)| (s.clone(), sup)).collect();
+        let upper = upper_covers_by_pairs(&sets);
+        verify_covers(&sets, &upper).unwrap();
+
+        // Lattice: ∅ → C, BE;  C → AC, BCE;  BE → BCE;  AC → ABCE;
+        // BCE → ABCE.
+        let idx = |ids: &[u32]| fc.position(&set(ids)).unwrap();
+        let empty = fc.position(&Itemset::empty()).unwrap();
+        assert_eq!(upper[empty], vec![idx(&[3]), idx(&[2, 5])]);
+        assert_eq!(upper[idx(&[3])], vec![idx(&[1, 3]), idx(&[2, 3, 5])]);
+        assert_eq!(upper[idx(&[2, 5])], vec![idx(&[2, 3, 5])]);
+        assert_eq!(upper[idx(&[1, 3])], vec![idx(&[1, 2, 3, 5])]);
+        assert_eq!(upper[idx(&[2, 3, 5])], vec![idx(&[1, 2, 3, 5])]);
+        assert!(upper[idx(&[1, 2, 3, 5])].is_empty());
+    }
+
+    #[test]
+    fn closure_algorithm_matches_pairs() {
+        let (ctx, fc) = paper_fc();
+        let sets: Vec<_> = fc.iter().map(|(s, sup)| (s.clone(), sup)).collect();
+        let by_pairs = upper_covers_by_pairs(&sets);
+        let by_closure = upper_covers_by_closure(&fc, &ctx);
+        assert_eq!(by_pairs, by_closure);
+    }
+
+    #[test]
+    fn closure_algorithm_at_minsup_one() {
+        let ctx = MiningContext::new(paper_example());
+        let fc = Close::default().mine_closed(&ctx, MinSupport::Count(1));
+        let sets: Vec<_> = fc.iter().map(|(s, sup)| (s.clone(), sup)).collect();
+        let by_pairs = upper_covers_by_pairs(&sets);
+        let by_closure = upper_covers_by_closure(&fc, &ctx);
+        assert_eq!(by_pairs, by_closure);
+        verify_covers(&sets, &by_pairs).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_transitive_edge() {
+        let sets = vec![
+            (Itemset::empty(), 3),
+            (set(&[1]), 2),
+            (set(&[1, 2]), 1),
+        ];
+        // ∅→{1,2} skips {1}.
+        let bad = vec![vec![1, 2], vec![2], vec![]];
+        assert!(verify_covers(&sets, &bad).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_missing_edge() {
+        let sets = vec![
+            (Itemset::empty(), 3),
+            (set(&[1]), 2),
+            (set(&[1, 2]), 1),
+        ];
+        let missing = vec![vec![1], vec![], vec![]];
+        assert!(verify_covers(&sets, &missing).is_err());
+    }
+
+    #[test]
+    fn singleton_lattice() {
+        let sets = vec![(set(&[0, 1]), 5)];
+        let upper = upper_covers_by_pairs(&sets);
+        assert_eq!(upper, vec![Vec::<usize>::new()]);
+        verify_covers(&sets, &upper).unwrap();
+    }
+}

@@ -1,0 +1,252 @@
+//! Implications and logical (Armstrong) closure.
+//!
+//! An implication `P → C` states "every object containing `P` contains
+//! `C`". A set of implications induces a closure operator — the *logical
+//! closure*: saturate a set by firing every implication whose premise it
+//! contains. This engine is what *derives* all exact association rules
+//! from the Duquenne-Guigues basis, and what the minimality property tests
+//! use to show that removing any basis rule loses information.
+
+use crate::closure_op::ClosureOperator;
+use rulebases_dataset::Itemset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An implication between itemsets (an exact, 100%-confidence rule without
+/// its support annotation).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Implication {
+    /// The premise (antecedent) `P`.
+    pub premise: Itemset,
+    /// The conclusion (consequent) `C`; stored in full (not `C ∖ P`).
+    pub conclusion: Itemset,
+}
+
+impl Implication {
+    /// Creates `premise → conclusion`.
+    pub fn new(premise: Itemset, conclusion: Itemset) -> Self {
+        Implication {
+            premise,
+            conclusion,
+        }
+    }
+
+    /// Whether `set` respects this implication (premise ⊆ set ⇒
+    /// conclusion ⊆ set).
+    pub fn holds_in(&self, set: &Itemset) -> bool {
+        !self.premise.is_subset_of(set) || self.conclusion.is_subset_of(set)
+    }
+}
+
+impl fmt::Display for Implication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} → {:?}",
+            self.premise,
+            self.conclusion.difference(&self.premise)
+        )
+    }
+}
+
+/// A list of implications with its induced logical-closure operator.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ImplicationSet {
+    implications: Vec<Implication>,
+    n_items: usize,
+}
+
+impl ImplicationSet {
+    /// An empty implication set over a universe of `n_items`.
+    pub fn new(n_items: usize) -> Self {
+        ImplicationSet {
+            implications: Vec::new(),
+            n_items,
+        }
+    }
+
+    /// Builds from a list of implications.
+    pub fn from_implications(n_items: usize, implications: Vec<Implication>) -> Self {
+        ImplicationSet {
+            implications,
+            n_items,
+        }
+    }
+
+    /// Adds an implication.
+    pub fn push(&mut self, implication: Implication) {
+        self.implications.push(implication);
+    }
+
+    /// Number of implications.
+    pub fn len(&self) -> usize {
+        self.implications.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.implications.is_empty()
+    }
+
+    /// Iterates over the implications.
+    pub fn iter(&self) -> impl Iterator<Item = &Implication> {
+        self.implications.iter()
+    }
+
+    /// The implications as a slice.
+    pub fn as_slice(&self) -> &[Implication] {
+        &self.implications
+    }
+
+    /// Removes and returns the `i`-th implication (used by minimality
+    /// tests).
+    pub fn remove(&mut self, i: usize) -> Implication {
+        self.implications.remove(i)
+    }
+
+    /// The logical closure of `set`: the least superset closed under every
+    /// implication. Fires rules to a fixpoint; each pass is `O(|L| · |I|)`
+    /// and at most `|I|` passes occur, so the worst case is
+    /// `O(|L| · |I|²)` (plenty fast at basis sizes).
+    pub fn logical_closure(&self, set: &Itemset) -> Itemset {
+        let mut closed = set.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for imp in &self.implications {
+                if imp.premise.is_subset_of(&closed) && !imp.conclusion.is_subset_of(&closed) {
+                    closed = closed.union(&imp.conclusion);
+                    changed = true;
+                }
+            }
+        }
+        closed
+    }
+
+    /// Whether `set` is a model of the implication set (respects every
+    /// implication).
+    pub fn models(&self, set: &Itemset) -> bool {
+        self.implications.iter().all(|imp| imp.holds_in(set))
+    }
+
+    /// Whether `implication` is entailed: its conclusion follows logically
+    /// from its premise under this set (Armstrong derivability).
+    pub fn entails(&self, implication: &Implication) -> bool {
+        implication
+            .conclusion
+            .is_subset_of(&self.logical_closure(&implication.premise))
+    }
+
+    /// Whether this set entails every implication of `other`.
+    pub fn entails_all(&self, other: &ImplicationSet) -> bool {
+        other.iter().all(|imp| self.entails(imp))
+    }
+
+    /// Whether the two sets are logically equivalent.
+    pub fn equivalent_to(&self, other: &ImplicationSet) -> bool {
+        self.entails_all(other) && other.entails_all(self)
+    }
+}
+
+impl ClosureOperator for ImplicationSet {
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn close(&self, set: &Itemset) -> Itemset {
+        self.logical_closure(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    fn imp(p: &[u32], c: &[u32]) -> Implication {
+        Implication::new(set(p), set(c))
+    }
+
+    #[test]
+    fn closure_fires_chains() {
+        // 1→2, 2→3: closure of {1} is {1,2,3}.
+        let l = ImplicationSet::from_implications(4, vec![imp(&[1], &[2]), imp(&[2], &[3])]);
+        assert_eq!(l.logical_closure(&set(&[1])), set(&[1, 2, 3]));
+        assert_eq!(l.logical_closure(&set(&[3])), set(&[3]));
+        assert_eq!(l.logical_closure(&Itemset::empty()), Itemset::empty());
+    }
+
+    #[test]
+    fn closure_needs_full_premise() {
+        let l = ImplicationSet::from_implications(5, vec![imp(&[1, 2], &[3])]);
+        assert_eq!(l.logical_closure(&set(&[1])), set(&[1]));
+        assert_eq!(l.logical_closure(&set(&[1, 2])), set(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_premise_always_fires() {
+        let l = ImplicationSet::from_implications(3, vec![imp(&[], &[0])]);
+        assert_eq!(l.logical_closure(&Itemset::empty()), set(&[0]));
+        assert_eq!(l.logical_closure(&set(&[2])), set(&[0, 2]));
+    }
+
+    #[test]
+    fn models_and_holds() {
+        let rule = imp(&[1], &[2]);
+        assert!(rule.holds_in(&set(&[1, 2, 3])));
+        assert!(rule.holds_in(&set(&[3]))); // premise absent
+        assert!(!rule.holds_in(&set(&[1, 3])));
+
+        let l = ImplicationSet::from_implications(4, vec![imp(&[1], &[2]), imp(&[3], &[2])]);
+        assert!(l.models(&set(&[2])));
+        assert!(!l.models(&set(&[1])));
+    }
+
+    #[test]
+    fn entailment_via_armstrong() {
+        // From 1→2 and 2→3, the implication 1→3 follows...
+        let l = ImplicationSet::from_implications(4, vec![imp(&[1], &[2]), imp(&[2], &[3])]);
+        assert!(l.entails(&imp(&[1], &[3])));
+        assert!(l.entails(&imp(&[1, 3], &[2]))); // augmentation
+        assert!(!l.entails(&imp(&[2], &[1]))); // ...but not the converse
+    }
+
+    #[test]
+    fn equivalence_of_different_presentations() {
+        // {1→2, 1→3} ≡ {1→23}.
+        let a = ImplicationSet::from_implications(4, vec![imp(&[1], &[2]), imp(&[1], &[3])]);
+        let b = ImplicationSet::from_implications(4, vec![imp(&[1], &[2, 3])]);
+        assert!(a.equivalent_to(&b));
+        let c = ImplicationSet::from_implications(4, vec![imp(&[1], &[2])]);
+        assert!(!a.equivalent_to(&c));
+        assert!(a.entails_all(&c));
+        assert!(!c.entails_all(&a));
+    }
+
+    #[test]
+    fn closure_operator_axioms() {
+        let l = ImplicationSet::from_implications(
+            5,
+            vec![imp(&[0], &[1]), imp(&[1, 2], &[3]), imp(&[3], &[4])],
+        );
+        for ids in [vec![], vec![0], vec![0, 2], vec![2, 3], vec![4]] {
+            let x = Itemset::from_ids(ids);
+            let cx = l.close(&x);
+            assert!(x.is_subset_of(&cx), "extensive");
+            assert_eq!(l.close(&cx), cx, "idempotent");
+        }
+        // Monotone spot-check.
+        assert!(l
+            .close(&set(&[0]))
+            .is_subset_of(&l.close(&set(&[0, 2]))));
+    }
+
+    #[test]
+    fn display_subtracts_premise() {
+        let rule = imp(&[1], &[1, 2]);
+        assert_eq!(rule.to_string(), "{1} → {2}");
+    }
+}

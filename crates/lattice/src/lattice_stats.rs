@@ -1,0 +1,121 @@
+//! Structural statistics of an iceberg lattice.
+//!
+//! Used by the experiment harness to characterize how much structure the
+//! transitive reduction can exploit (chains shrink the basis; antichains
+//! do not).
+
+use crate::lattice::IcebergLattice;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary numbers for one lattice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatticeStats {
+    /// Number of closed sets.
+    pub n_nodes: usize,
+    /// Number of Hasse edges.
+    pub n_edges: usize,
+    /// Number of comparable pairs (edges of the full order).
+    pub n_comparable_pairs: usize,
+    /// Length of the longest chain, in edges (bottom to a maximal set).
+    pub height: usize,
+    /// Number of maximal elements.
+    pub n_maximal: usize,
+    /// Mean number of upper covers over non-maximal nodes.
+    pub mean_out_degree: f64,
+}
+
+impl LatticeStats {
+    /// Computes all statistics.
+    pub fn compute(lattice: &IcebergLattice) -> Self {
+        let n = lattice.n_nodes();
+        let n_edges = lattice.n_edges();
+
+        // Longest chain by DP over the topological (canonical) order:
+        // every edge goes from a smaller set to a larger one, i.e. from a
+        // lower node index to a higher one.
+        let mut depth = vec![0usize; n];
+        let mut height = 0;
+        for i in 0..n {
+            for &j in lattice.upper_covers(i) {
+                depth[j] = depth[j].max(depth[i] + 1);
+                height = height.max(depth[j]);
+            }
+        }
+
+        let maximal = lattice.maximal();
+        let non_maximal = n - maximal.len();
+        let mean_out_degree = if non_maximal == 0 {
+            0.0
+        } else {
+            n_edges as f64 / non_maximal as f64
+        };
+        LatticeStats {
+            n_nodes: n,
+            n_edges,
+            n_comparable_pairs: lattice.comparable_pairs().len(),
+            height,
+            n_maximal: maximal.len(),
+            mean_out_degree,
+        }
+    }
+
+    /// The reduction ratio `comparable pairs / Hasse edges` — how much
+    /// Theorem 2's transitive reduction buys.
+    pub fn reduction_ratio(&self) -> f64 {
+        self.n_comparable_pairs as f64 / self.n_edges.max(1) as f64
+    }
+}
+
+impl fmt::Display for LatticeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|FC|={} edges={} pairs={} height={} maximal={} out°={:.2}",
+            self.n_nodes,
+            self.n_edges,
+            self.n_comparable_pairs,
+            self.height,
+            self.n_maximal,
+            self.mean_out_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::{paper_example, MiningContext, MinSupport};
+    use rulebases_mining::{Close, ClosedMiner};
+
+    #[test]
+    fn paper_lattice_stats() {
+        let ctx = MiningContext::new(paper_example());
+        let fc = Close::default().mine_closed(&ctx, MinSupport::Count(2));
+        let lattice = IcebergLattice::from_closed(&fc);
+        let stats = LatticeStats::compute(&lattice);
+        assert_eq!(stats.n_nodes, 6);
+        assert_eq!(stats.n_edges, 7);
+        assert_eq!(stats.n_comparable_pairs, 12);
+        // Longest chain: ∅ → C → AC|BCE → ABCE.
+        assert_eq!(stats.height, 3);
+        assert_eq!(stats.n_maximal, 1);
+        assert!((stats.reduction_ratio() - 12.0 / 7.0).abs() < 1e-12);
+        assert!(stats.to_string().contains("height=3"));
+    }
+
+    #[test]
+    fn singleton_lattice_stats() {
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![vec![
+            0, 1,
+        ]]));
+        let fc = Close::default().mine_closed(&ctx, MinSupport::Count(1));
+        let lattice = IcebergLattice::from_closed(&fc);
+        let stats = LatticeStats::compute(&lattice);
+        assert_eq!(stats.n_nodes, 1);
+        assert_eq!(stats.n_edges, 0);
+        assert_eq!(stats.height, 0);
+        assert_eq!(stats.n_maximal, 1);
+        assert_eq!(stats.mean_out_degree, 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Ganter's NextClosure algorithm and the stem-base construction.
+//!
+//! NextClosure enumerates all fixpoints of an arbitrary closure operator
+//! in *lectic* order. Running it with the logical closure of an evolving
+//! implication list yields the classic stem-base algorithm (Ganter &
+//! Obiedkov): the sets visited are exactly the closed and pseudo-closed
+//! sets of the context, and the implications collected are the
+//! **Duquenne-Guigues basis** of the full (support-unconstrained) closure
+//! system. The frequent-restricted variant the paper uses lives in
+//! [`crate::pseudo`]; the two are cross-checked in the test suites.
+
+use crate::closure_op::ClosureOperator;
+use crate::implications::{Implication, ImplicationSet};
+use rulebases_dataset::{Item, Itemset};
+
+/// Computes the lectically next closed set after `current`, or `None` if
+/// `current` is the last one (the closure of the full universe).
+pub fn next_closed<C: ClosureOperator>(op: &C, current: &Itemset) -> Option<Itemset> {
+    let n = op.n_items();
+    let mut a = current.clone();
+    for i in (0..n as u32).rev() {
+        let item = Item::new(i);
+        if a.contains(item) {
+            a.remove(item);
+        } else {
+            let candidate = op.close(&a.with(item));
+            // Accept iff no new element is smaller than i.
+            let ok = candidate
+                .iter()
+                .filter(|x| !a.contains(*x))
+                .all(|x| x.id() >= i);
+            if ok {
+                return Some(candidate);
+            }
+        }
+    }
+    None
+}
+
+/// Iterator over all closed sets of a closure operator, in lectic order.
+///
+/// The first element is `close(∅)`; the last is `close(universe)` (the
+/// universe itself for Galois closures).
+pub struct AllClosed<'a, C: ClosureOperator> {
+    op: &'a C,
+    next: Option<Itemset>,
+}
+
+impl<'a, C: ClosureOperator> AllClosed<'a, C> {
+    /// Starts the enumeration.
+    pub fn new(op: &'a C) -> Self {
+        AllClosed {
+            op,
+            next: Some(op.close(&Itemset::empty())),
+        }
+    }
+}
+
+impl<C: ClosureOperator> Iterator for AllClosed<'_, C> {
+    type Item = Itemset;
+
+    fn next(&mut self) -> Option<Itemset> {
+        let current = self.next.take()?;
+        self.next = next_closed(self.op, &current);
+        Some(current)
+    }
+}
+
+/// The result of the stem-base construction.
+#[derive(Clone, Debug)]
+pub struct StemBase {
+    /// All closed sets of the operator, in lectic order.
+    pub closed: Vec<Itemset>,
+    /// The Duquenne-Guigues basis: one implication `P → close(P)` per
+    /// pseudo-closed set `P`, in lectic order of `P`.
+    pub implications: ImplicationSet,
+}
+
+impl StemBase {
+    /// The pseudo-closed sets (the premises of the basis).
+    pub fn pseudo_closed(&self) -> impl Iterator<Item = &Itemset> {
+        self.implications.iter().map(|imp| &imp.premise)
+    }
+}
+
+/// Computes the stem base (Duquenne-Guigues basis) of a closure operator
+/// over the **full** closure system, via NextClosure on the evolving
+/// logical closure.
+///
+/// Exponential in the worst case (it visits every closed and pseudo-closed
+/// set) — use on small universes or through the frequent-restricted
+/// variant in [`crate::pseudo`].
+pub fn stem_base<C: ClosureOperator>(op: &C) -> StemBase {
+    let n = op.n_items();
+    let mut implications = ImplicationSet::new(n);
+    let mut closed = Vec::new();
+
+    // ∅ is always closed under an empty implication list.
+    let mut a = Itemset::empty();
+    loop {
+        let b = op.close(&a);
+        if a == b {
+            closed.push(a.clone());
+        } else {
+            implications.push(Implication::new(a.clone(), b));
+        }
+        if a.len() == n {
+            break;
+        }
+        match next_closed(&implications, &a) {
+            Some(next) => a = next,
+            None => break,
+        }
+    }
+    StemBase {
+        closed,
+        implications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::{paper_example, MiningContext};
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn all_closed_enumerates_full_lattice() {
+        let ctx = MiningContext::new(paper_example());
+        let closed: Vec<Itemset> = AllClosed::new(&ctx).collect();
+        // Full closure system of the running example: ∅, C, AC, BE, ACD,
+        // BCE, ABCE, plus the universe (closure of the empty extent).
+        assert!(closed.contains(&Itemset::empty()));
+        assert!(closed.contains(&set(&[3])));
+        assert!(closed.contains(&set(&[1, 3])));
+        assert!(closed.contains(&set(&[2, 5])));
+        assert!(closed.contains(&set(&[1, 3, 4])));
+        assert!(closed.contains(&set(&[2, 3, 5])));
+        assert!(closed.contains(&set(&[1, 2, 3, 5])));
+        assert!(closed.contains(&Itemset::universe(6)));
+        assert_eq!(closed.len(), 8);
+
+        // Every enumerated set is closed; enumeration has no duplicates.
+        for c in &closed {
+            assert!(ctx.is_closed(c) || c.len() == 6, "{c:?}");
+        }
+        let mut dedup = closed.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), closed.len());
+    }
+
+    #[test]
+    fn lectic_order_is_respected() {
+        let ctx = MiningContext::new(paper_example());
+        let closed: Vec<Itemset> = AllClosed::new(&ctx).collect();
+        for w in closed.windows(2) {
+            assert_eq!(
+                w[0].lectic_cmp(&w[1]),
+                std::cmp::Ordering::Less,
+                "{:?} !< {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn stem_base_of_paper_example() {
+        let ctx = MiningContext::new(paper_example());
+        let stem = stem_base(&ctx);
+        // Closed sets match the NextClosure enumeration.
+        assert_eq!(stem.closed.len(), 8);
+
+        // The basis is sound: every implication holds in the context
+        // (conclusion ⊆ h(premise)).
+        for imp in stem.implications.iter() {
+            assert!(
+                imp.conclusion.is_subset_of(&ctx.closure(&imp.premise)),
+                "{imp} unsound"
+            );
+        }
+
+        // The basis is complete: the logical closure reproduces h on every
+        // subset of the universe (2^6 checks).
+        for mask in 0u32..64 {
+            let x = Itemset::from_ids((0..6).filter(|i| mask >> i & 1 == 1));
+            let galois = ctx.closure(&x);
+            let logical = stem.implications.logical_closure(&x);
+            assert_eq!(logical, galois, "closures differ on {x:?}");
+        }
+    }
+
+    #[test]
+    fn stem_base_premises_are_pseudo_closed() {
+        let ctx = MiningContext::new(paper_example());
+        let stem = stem_base(&ctx);
+        let pseudo: Vec<&Itemset> = stem.pseudo_closed().collect();
+        for p in &pseudo {
+            // Not closed…
+            assert!(!ctx.is_closed(p), "{p:?} closed");
+            // …and contains h(Q) for every pseudo-closed proper subset Q.
+            for q in &pseudo {
+                if q.is_proper_subset_of(p) {
+                    assert!(
+                        ctx.closure(q).is_subset_of(p),
+                        "{p:?} misses closure of {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stem_base_is_minimal() {
+        // Removing any implication breaks completeness.
+        let ctx = MiningContext::new(paper_example());
+        let stem = stem_base(&ctx);
+        let full = &stem.implications;
+        for skip in 0..full.len() {
+            let mut reduced = ImplicationSet::new(6);
+            for (i, imp) in full.iter().enumerate() {
+                if i != skip {
+                    reduced.push(imp.clone());
+                }
+            }
+            assert!(
+                !reduced.entails_all(full),
+                "basis still complete without implication #{skip}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_closed_from_last_is_none() {
+        let ctx = MiningContext::new(paper_example());
+        assert_eq!(next_closed(&ctx, &Itemset::universe(6)), None);
+    }
+
+    #[test]
+    fn degenerate_single_object_context() {
+        // One object {0,1}: the only closed set is {0,1} itself (= h(∅)).
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![vec![
+            0, 1,
+        ]]));
+        let closed: Vec<Itemset> = AllClosed::new(&ctx).collect();
+        assert_eq!(closed, vec![set(&[0, 1])]);
+        let stem = stem_base(&ctx);
+        // One implication: ∅ → {0,1}.
+        assert_eq!(stem.implications.len(), 1);
+        assert_eq!(
+            stem.implications.as_slice()[0].premise,
+            Itemset::empty()
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! The Apriori algorithm (Agrawal & Srikant, VLDB'94).
+//!
+//! The levelwise baseline the paper compares Close and A-Close against: it
+//! enumerates *all* frequent itemsets, counting one candidate level per
+//! database pass.
+
+use crate::candidates::join_and_prune;
+use crate::counting::{count_candidates, CountingStrategy};
+use crate::itemsets::{FrequentItemsets, MiningStats};
+use crate::traits::FrequentMiner;
+use rulebases_dataset::{Itemset, MiningContext, MinSupport};
+
+/// Apriori frequent-itemset miner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Apriori {
+    /// How candidate supports are counted.
+    pub counting: CountingStrategy,
+}
+
+impl Apriori {
+    /// Apriori with automatic counting-strategy selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apriori with an explicit counting strategy.
+    pub fn with_counting(counting: CountingStrategy) -> Self {
+        Apriori { counting }
+    }
+
+    /// Mines all frequent itemsets of `ctx` at threshold `minsup`.
+    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> FrequentItemsets {
+        let n = ctx.n_objects();
+        let mut stats = MiningStats::default();
+        if n == 0 {
+            return FrequentItemsets::new(1, 0);
+        }
+        let min_count = ctx.min_support_count(minsup);
+        let mut result = FrequentItemsets::new(min_count, n);
+
+        // Level 1: one pass counting single items.
+        stats.db_passes += 1;
+        let item_supports = ctx.vertical().item_supports();
+        stats.candidates_counted += item_supports.len();
+        let mut level: Vec<Itemset> = Vec::new();
+        for (i, &support) in item_supports.iter().enumerate() {
+            if support >= min_count {
+                let single = Itemset::from_ids([i as u32]);
+                result.insert(single.clone(), support);
+                level.push(single);
+            }
+        }
+
+        // Levels k >= 2.
+        let mut k = 2;
+        while level.len() >= 2 {
+            let candidates = join_and_prune(&level);
+            if candidates.is_empty() {
+                break;
+            }
+            stats.db_passes += 1;
+            stats.candidates_counted += candidates.len();
+            let counts = count_candidates(ctx, &candidates, k, self.counting);
+            let mut next = Vec::with_capacity(candidates.len());
+            for (candidate, support) in candidates.into_iter().zip(counts) {
+                if support >= min_count {
+                    result.insert(candidate.clone(), support);
+                    next.push(candidate);
+                }
+            }
+            level = next;
+            k += 1;
+        }
+
+        result.stats = stats;
+        result
+    }
+}
+
+impl FrequentMiner for Apriori {
+    fn name(&self) -> &'static str {
+        "apriori"
+    }
+
+    fn mine_frequent(&self, ctx: &MiningContext, minsup: MinSupport) -> FrequentItemsets {
+        self.mine(ctx, minsup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::paper_example;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn paper_example_at_minsup_two_fifths() {
+        let ctx = MiningContext::new(paper_example());
+        let f = Apriori::new().mine(&ctx, MinSupport::Fraction(0.4));
+        // 15 frequent itemsets (see Pasquier et al.'s running example).
+        assert_eq!(f.len(), 15);
+        assert_eq!(f.support(&set(&[1])), Some(3));
+        assert_eq!(f.support(&set(&[2, 5])), Some(4));
+        assert_eq!(f.support(&set(&[1, 2, 3, 5])), Some(2));
+        assert_eq!(f.support(&set(&[4])), None); // D has support 1 < 2
+        assert_eq!(f.level_counts(), vec![0, 4, 6, 4, 1]);
+    }
+
+    #[test]
+    fn minsup_one_keeps_everything_supported() {
+        let ctx = MiningContext::new(paper_example());
+        let f = Apriori::new().mine(&ctx, MinSupport::Count(1));
+        // D appears now; ACD is the largest set containing it.
+        assert_eq!(f.support(&set(&[4])), Some(1));
+        assert_eq!(f.support(&set(&[1, 3, 4])), Some(1));
+        assert_eq!(f.support(&set(&[1, 4, 5])), None); // unsupported
+    }
+
+    #[test]
+    fn high_minsup_leaves_only_top_items() {
+        let ctx = MiningContext::new(paper_example());
+        let f = Apriori::new().mine(&ctx, MinSupport::Fraction(0.8));
+        // Only B, C, E (support 4) and BE (support 4) reach 80%.
+        assert_eq!(f.len(), 4);
+        assert!(f.contains(&set(&[2, 5])));
+    }
+
+    #[test]
+    fn all_counting_strategies_agree() {
+        let ctx = MiningContext::new(paper_example());
+        let baseline = Apriori::with_counting(CountingStrategy::Vertical)
+            .mine(&ctx, MinSupport::Count(2));
+        for strategy in [
+            CountingStrategy::Auto,
+            CountingStrategy::SubsetHash,
+            CountingStrategy::HashTree,
+        ] {
+            let f = Apriori::with_counting(strategy).mine(&ctx, MinSupport::Count(2));
+            assert_eq!(f.len(), baseline.len(), "{strategy:?}");
+            for (set, support) in baseline.iter() {
+                assert_eq!(f.support(set), Some(support), "{strategy:?} on {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_context() {
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![]));
+        let f = Apriori::new().mine(&ctx, MinSupport::Fraction(0.5));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn stats_track_passes() {
+        let ctx = MiningContext::new(paper_example());
+        let f = Apriori::new().mine(&ctx, MinSupport::Count(2));
+        // Levels 1..=4 counted, plus the attempted level 5 join yields no
+        // candidates: 4 passes.
+        assert_eq!(f.stats.db_passes, 4);
+        assert!(f.stats.candidates_counted >= 15);
+    }
+}

@@ -1,0 +1,119 @@
+//! Brute-force reference miners.
+//!
+//! Exponential-time oracles used by the test suites (including the
+//! cross-crate property tests) to validate every real miner on small
+//! random contexts. They enumerate the frequent itemsets by depth-first
+//! extent refinement — simple enough to be obviously correct.
+
+use crate::itemsets::{ClosedItemsets, FrequentItemsets};
+use rulebases_dataset::{BitSet, Itemset, MiningContext, MinSupport, Support};
+
+/// Enumerates **all** frequent itemsets by DFS over the item order,
+/// pruning on extent size.
+pub fn brute_frequent(ctx: &MiningContext, minsup: MinSupport) -> FrequentItemsets {
+    let n = ctx.n_objects();
+    if n == 0 {
+        return FrequentItemsets::new(1, 0);
+    }
+    let min_count = ctx.min_support_count(minsup);
+    let mut result = FrequentItemsets::new(min_count, n);
+    let full = BitSet::full(n);
+    let mut prefix = Vec::new();
+    dfs(ctx, &full, 0, min_count, &mut prefix, &mut result);
+    result
+}
+
+fn dfs(
+    ctx: &MiningContext,
+    extent: &BitSet,
+    next_item: usize,
+    min_count: Support,
+    prefix: &mut Vec<u32>,
+    out: &mut FrequentItemsets,
+) {
+    for i in next_item..ctx.n_items() {
+        let refined = ctx
+            .vertical()
+            .extend_extent(extent, rulebases_dataset::Item::new(i as u32));
+        let support = refined.count() as Support;
+        if support < min_count {
+            continue;
+        }
+        prefix.push(i as u32);
+        out.insert(Itemset::from_ids(prefix.iter().copied()), support);
+        dfs(ctx, &refined, i + 1, min_count, prefix, out);
+        prefix.pop();
+    }
+}
+
+/// Enumerates all frequent **closed** itemsets by filtering
+/// [`brute_frequent`] through the closure test, and adds the lattice
+/// bottom `h(∅)` (for consistency with the real closed miners).
+pub fn brute_closed(ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
+    let n = ctx.n_objects();
+    if n == 0 {
+        return ClosedItemsets::from_pairs(Vec::new(), 1, 0);
+    }
+    let min_count = ctx.min_support_count(minsup);
+    let mut pairs: Vec<(Itemset, Support)> = brute_frequent(ctx, minsup)
+        .iter()
+        .filter(|(s, _)| ctx.is_closed(s))
+        .map(|(s, sup)| (s.clone(), sup))
+        .collect();
+    // The bottom h(∅) is frequent unless the threshold exceeds |O|.
+    if n as Support >= min_count {
+        pairs.push((ctx.closure(&Itemset::empty()), n as Support));
+    }
+    ClosedItemsets::from_pairs(pairs, min_count, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+    use crate::close::Close;
+    use rulebases_dataset::paper_example;
+
+    #[test]
+    fn brute_frequent_matches_apriori() {
+        let ctx = MiningContext::new(paper_example());
+        for count in 1..=5u64 {
+            let brute = brute_frequent(&ctx, MinSupport::Count(count));
+            let apriori = Apriori::new().mine(&ctx, MinSupport::Count(count));
+            assert_eq!(brute.len(), apriori.len(), "minsup {count}");
+            for (s, sup) in brute.iter() {
+                assert_eq!(apriori.support(s), Some(sup), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn brute_closed_matches_close() {
+        let ctx = MiningContext::new(paper_example());
+        for count in 1..=5u64 {
+            let brute = brute_closed(&ctx, MinSupport::Count(count));
+            let close = Close::new().mine(&ctx, MinSupport::Count(count));
+            assert_eq!(
+                brute.into_sorted_vec(),
+                close.into_sorted_vec(),
+                "minsup {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_count_never_exceeds_frequent_count() {
+        let ctx = MiningContext::new(paper_example());
+        let f = brute_frequent(&ctx, MinSupport::Count(2));
+        let fc = brute_closed(&ctx, MinSupport::Count(2));
+        // `fc` includes the (empty) bottom, which `f` does not store.
+        assert!(fc.len() <= f.len() + 1);
+    }
+
+    #[test]
+    fn empty_context() {
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![]));
+        assert!(brute_frequent(&ctx, MinSupport::Count(1)).is_empty());
+        assert!(brute_closed(&ctx, MinSupport::Count(1)).is_empty());
+    }
+}

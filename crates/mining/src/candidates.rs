@@ -1,0 +1,96 @@
+//! Levelwise candidate generation (the Apriori join + prune step), shared
+//! by Apriori, Close, A-Close, and the minimal-generator miner.
+
+use rulebases_dataset::Itemset;
+use std::collections::HashSet;
+
+/// Generates the candidate `k`-itemsets from the frequent `(k-1)`-itemsets.
+///
+/// `previous` must contain itemsets of equal size `k-1`, sorted
+/// lexicographically (`Itemset`'s canonical order restricted to one size is
+/// lexicographic). Two sets sharing their first `k-2` items are joined; a
+/// candidate survives only if **every** `(k-1)`-facet appears in
+/// `previous` (the antimonotonicity prune). The output is sorted.
+pub fn join_and_prune(previous: &[Itemset]) -> Vec<Itemset> {
+    if previous.len() < 2 {
+        return Vec::new();
+    }
+    let k_minus_1 = previous[0].len();
+    debug_assert!(previous.iter().all(|s| s.len() == k_minus_1));
+    debug_assert!(previous.windows(2).all(|w| w[0] < w[1]), "input not sorted");
+
+    let member: HashSet<&Itemset> = previous.iter().collect();
+    let mut candidates = Vec::new();
+
+    // Group by shared (k-2)-prefix; within a group items differ only in the
+    // last element, in increasing order.
+    let mut group_start = 0;
+    while group_start < previous.len() {
+        let prefix = &previous[group_start].as_slice()[..k_minus_1 - 1];
+        let mut group_end = group_start + 1;
+        while group_end < previous.len()
+            && &previous[group_end].as_slice()[..k_minus_1 - 1] == prefix
+        {
+            group_end += 1;
+        }
+        for i in group_start..group_end {
+            for j in (i + 1)..group_end {
+                let candidate = previous[i].union(&previous[j]);
+                debug_assert_eq!(candidate.len(), k_minus_1 + 1);
+                if candidate.facets().all(|facet| member.contains(&facet)) {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        group_start = group_end;
+    }
+    debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn joins_singletons_into_pairs() {
+        let l1 = vec![set(&[1]), set(&[2]), set(&[3])];
+        let c2 = join_and_prune(&l1);
+        assert_eq!(c2, vec![set(&[1, 2]), set(&[1, 3]), set(&[2, 3])]);
+    }
+
+    #[test]
+    fn prunes_candidates_with_missing_facets() {
+        // {1,2}, {1,3} join to {1,2,3}, but {2,3} is absent → pruned.
+        let l2 = vec![set(&[1, 2]), set(&[1, 3])];
+        assert!(join_and_prune(&l2).is_empty());
+
+        // With {2,3} present the candidate survives.
+        let l2 = vec![set(&[1, 2]), set(&[1, 3]), set(&[2, 3])];
+        assert_eq!(join_and_prune(&l2), vec![set(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn only_joins_shared_prefixes() {
+        let l2 = vec![set(&[1, 2]), set(&[3, 4])];
+        assert!(join_and_prune(&l2).is_empty());
+    }
+
+    #[test]
+    fn empty_and_single_input() {
+        assert!(join_and_prune(&[]).is_empty());
+        assert!(join_and_prune(&[set(&[1])]).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique() {
+        let l1: Vec<Itemset> = (0..6u32).map(|i| set(&[i])).collect();
+        let c2 = join_and_prune(&l1);
+        assert_eq!(c2.len(), 15);
+        assert!(c2.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,256 @@
+//! A CHARM-style vertical closed-itemset miner (Zaki & Hsiao, SDM'02).
+//!
+//! CHARM is the best-known follow-on to Close/A-Close: it explores an
+//! itemset-tidset (IT) tree depth-first, using four tidset properties to
+//! jump straight between closure classes, and a subsumption hash to drop
+//! non-closed candidates. Included as an independent cross-check of the
+//! paper's miners and as the vertical-representation baseline in the
+//! benchmark ablations.
+
+use crate::itemsets::{ClosedItemsets, MiningStats};
+use crate::traits::ClosedMiner;
+use rulebases_dataset::{BitSet, Item, Itemset, MiningContext, MinSupport, Support};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The CHARM frequent-closed-itemset miner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Charm;
+
+struct Node {
+    set: Itemset,
+    tidset: BitSet,
+}
+
+/// Closed candidates found so far, hashed by tidset for subsumption checks.
+#[derive(Default)]
+struct Collector {
+    by_tidset_hash: HashMap<u64, Vec<usize>>,
+    sets: Vec<(Itemset, Support)>,
+}
+
+impl Collector {
+    fn tidset_hash(tidset: &BitSet) -> u64 {
+        let mut h = DefaultHasher::new();
+        tidset.hash(&mut h);
+        h.finish()
+    }
+
+    /// Inserts `set` unless an already-found closed set with the same
+    /// tidset subsumes it (then `set` is not closed).
+    fn insert(&mut self, set: Itemset, tidset: &BitSet) {
+        let support = tidset.count() as Support;
+        let key = Self::tidset_hash(tidset);
+        let bucket = self.by_tidset_hash.entry(key).or_default();
+        for &idx in bucket.iter() {
+            let (existing, existing_support) = &self.sets[idx];
+            if *existing_support == support && set.is_subset_of(existing) {
+                return; // subsumed: not closed
+            }
+        }
+        bucket.push(self.sets.len());
+        self.sets.push((set, support));
+    }
+}
+
+impl Charm {
+    /// Creates a CHARM miner.
+    pub fn new() -> Self {
+        Charm
+    }
+
+    /// Mines the frequent closed itemsets of `ctx` at `minsup`.
+    ///
+    /// Like the other closed miners, the result includes the lattice
+    /// bottom `h(∅)`.
+    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
+        let n = ctx.n_objects();
+        if n == 0 {
+            return ClosedItemsets::from_pairs(Vec::new(), 1, 0);
+        }
+        let min_count = ctx.min_support_count(minsup);
+        let mut stats = MiningStats::default();
+        stats.db_passes = 1; // vertical covers are materialized once
+
+        // Root class: frequent items, sorted by increasing support (the
+        // order CHARM relies on to find closures early), ties by id.
+        let mut root: Vec<Node> = (0..ctx.n_items())
+            .filter_map(|i| {
+                let cover = ctx.vertical().cover(Item::new(i as u32));
+                let support = cover.count() as Support;
+                (support >= min_count).then(|| Node {
+                    set: Itemset::from_ids([i as u32]),
+                    tidset: cover.clone(),
+                })
+            })
+            .collect();
+        stats.candidates_counted += ctx.n_items();
+        root.sort_by(|a, b| {
+            a.tidset
+                .count()
+                .cmp(&b.tidset.count())
+                .then_with(|| a.set.cmp(&b.set))
+        });
+
+        let mut collector = Collector::default();
+        Self::extend(&mut root, &mut collector, min_count, &mut stats);
+
+        let mut pairs = collector.sets;
+        // Lattice bottom — frequent unless the threshold exceeds |O|.
+        if n as Support >= min_count {
+            pairs.push((ctx.closure(&Itemset::empty()), n as Support));
+        }
+
+        let mut result = ClosedItemsets::from_pairs(pairs, min_count, n);
+        result.stats = stats;
+        result
+    }
+
+    fn extend(
+        class: &mut Vec<Node>,
+        collector: &mut Collector,
+        min_count: Support,
+        stats: &mut MiningStats,
+    ) {
+        let mut i = 0;
+        while i < class.len() {
+            // `x_set` accumulates items proven to share `x_tid` (props 1-2);
+            // the tidset itself never changes.
+            let mut x_set = class[i].set.clone();
+            let x_tid = class[i].tidset.clone();
+            let x_count = x_tid.count() as Support;
+            let mut children: Vec<Node> = Vec::new();
+
+            let mut j = i + 1;
+            while j < class.len() {
+                stats.candidates_counted += 1;
+                let t = x_tid.intersection(&class[j].tidset);
+                let support = t.count() as Support;
+                if support < min_count {
+                    j += 1;
+                    continue;
+                }
+                let covers_i = support == x_count; // t(Xi) ⊆ t(Xj)
+                let covers_j = support == class[j].tidset.count() as Support; // t(Xj) ⊆ t(Xi)
+                match (covers_i, covers_j) {
+                    // Property 1: identical tidsets — absorb Xj, drop it.
+                    (true, true) => {
+                        x_set = x_set.union(&class[j].set);
+                        class.remove(j);
+                    }
+                    // Property 2: t(Xi) ⊂ t(Xj) — absorb Xj's items, keep Xj.
+                    (true, false) => {
+                        x_set = x_set.union(&class[j].set);
+                        j += 1;
+                    }
+                    // Property 3: t(Xj) ⊂ t(Xi) — child node, drop Xj.
+                    (false, true) => {
+                        children.push(Node {
+                            set: class[j].set.clone(),
+                            tidset: t,
+                        });
+                        class.remove(j);
+                    }
+                    // Property 4: incomparable — child node, keep Xj.
+                    (false, false) => {
+                        children.push(Node {
+                            set: class[j].set.clone(),
+                            tidset: t,
+                        });
+                        j += 1;
+                    }
+                }
+            }
+
+            if !children.is_empty() {
+                // Children extend the final accumulated x_set.
+                for child in &mut children {
+                    child.set = child.set.union(&x_set);
+                }
+                children.sort_by(|a, b| {
+                    a.tidset
+                        .count()
+                        .cmp(&b.tidset.count())
+                        .then_with(|| a.set.cmp(&b.set))
+                });
+                Self::extend(&mut children, collector, min_count, stats);
+            }
+
+            collector.insert(x_set, &x_tid);
+            i += 1;
+        }
+    }
+}
+
+impl ClosedMiner for Charm {
+    fn name(&self) -> &'static str {
+        "charm"
+    }
+
+    fn mine_closed(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
+        self.mine(ctx, minsup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::close::Close;
+    use rulebases_dataset::paper_example;
+
+    #[test]
+    fn matches_close_on_paper_example() {
+        let ctx = MiningContext::new(paper_example());
+        for count in 1..=5u64 {
+            let charm = Charm::new().mine(&ctx, MinSupport::Count(count));
+            let close = Close::new().mine(&ctx, MinSupport::Count(count));
+            assert_eq!(
+                charm.into_sorted_vec(),
+                close.into_sorted_vec(),
+                "minsup count {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_reported_set_is_closed() {
+        let ctx = MiningContext::new(paper_example());
+        let fc = Charm::new().mine(&ctx, MinSupport::Count(1));
+        for (s, sup) in fc.iter() {
+            assert!(ctx.is_closed(s), "{s:?} is not closed");
+            assert_eq!(ctx.support(s), sup);
+        }
+    }
+
+    #[test]
+    fn handles_identical_columns() {
+        // Items 1 and 2 always co-occur: property 1 must merge them.
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![3],
+        ]));
+        let fc = Charm::new().mine(&ctx, MinSupport::Count(1));
+        assert!(fc.contains(&Itemset::from_ids([1, 2])));
+        assert!(!fc.contains(&Itemset::from_ids([1])));
+        assert!(!fc.contains(&Itemset::from_ids([2])));
+    }
+
+    #[test]
+    fn empty_context() {
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![]));
+        assert!(Charm::new().mine(&ctx, MinSupport::Count(1)).is_empty());
+    }
+
+    #[test]
+    fn single_transaction() {
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![vec![
+            1, 2, 3,
+        ]]));
+        let fc = Charm::new().mine(&ctx, MinSupport::Count(1));
+        // Only one closed set: the whole transaction (= bottom).
+        assert_eq!(fc.len(), 1);
+        assert!(fc.contains(&Itemset::from_ids([1, 2, 3])));
+    }
+}

@@ -1,0 +1,303 @@
+//! The FP-growth algorithm (Han, Pei, Yin — SIGMOD 2000).
+//!
+//! The pattern-growth baseline that displaced Apriori right after the
+//! paper's era: transactions are compressed into a prefix tree (FP-tree)
+//! ordered by descending item frequency, and frequent itemsets grow by
+//! recursing into *conditional* trees — no candidate generation, two
+//! database passes total. Included as the modern `|F|` miner for the
+//! benchmark comparisons and as a third independent implementation to
+//! cross-check Apriori and the closed-set expansion.
+
+use crate::itemsets::{FrequentItemsets, MiningStats};
+use crate::traits::FrequentMiner;
+use rulebases_dataset::{Item, Itemset, MiningContext, MinSupport, Support};
+use std::collections::HashMap;
+
+/// The FP-growth frequent-itemset miner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FpGrowth;
+
+/// One FP-tree node, stored in an arena.
+struct Node {
+    item: Item,
+    count: Support,
+    parent: usize,
+    /// Next node carrying the same item (header-list chaining).
+    next: Option<usize>,
+    children: Vec<usize>,
+}
+
+/// An FP-tree: arena of nodes plus per-item header chains.
+struct Tree {
+    nodes: Vec<Node>,
+    /// item → (first node in chain, total count).
+    headers: HashMap<Item, (usize, Support)>,
+}
+
+const ROOT: usize = 0;
+
+impl Tree {
+    fn new() -> Self {
+        Tree {
+            nodes: vec![Node {
+                item: Item::new(u32::MAX),
+                count: 0,
+                parent: ROOT,
+                next: None,
+                children: Vec::new(),
+            }],
+            headers: HashMap::new(),
+        }
+    }
+
+    /// Inserts one (filtered, frequency-ordered) transaction with a count.
+    fn insert(&mut self, items: &[Item], count: Support) {
+        let mut current = ROOT;
+        for &item in items {
+            let found = self.nodes[current]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].item == item);
+            current = match found {
+                Some(child) => {
+                    self.nodes[child].count += count;
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        item,
+                        count,
+                        parent: current,
+                        next: None,
+                        children: Vec::new(),
+                    });
+                    self.nodes[current].children.push(idx);
+                    // Chain into the header list.
+                    match self.headers.get_mut(&item) {
+                        Some((first, _)) => {
+                            self.nodes[idx].next = Some(*first);
+                            *first = idx;
+                        }
+                        None => {
+                            self.headers.insert(item, (idx, 0));
+                        }
+                    }
+                    idx
+                }
+            };
+            self.headers
+                .get_mut(&item)
+                .expect("header exists after insert")
+                .1 += count;
+        }
+    }
+
+    /// Items of the tree sorted by ascending total count (the mining
+    /// order), ties broken by item id for determinism.
+    fn items_ascending(&self) -> Vec<Item> {
+        let mut items: Vec<(Item, Support)> =
+            self.headers.iter().map(|(&i, &(_, c))| (i, c)).collect();
+        items.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        items.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// The prefix path of `node` (excluding the node itself), root-first.
+    fn prefix_path(&self, mut node: usize) -> Vec<Item> {
+        let mut path = Vec::new();
+        node = self.nodes[node].parent;
+        while node != ROOT {
+            path.push(self.nodes[node].item);
+            node = self.nodes[node].parent;
+        }
+        path.reverse();
+        path
+    }
+}
+
+impl FpGrowth {
+    /// Creates an FP-growth miner.
+    pub fn new() -> Self {
+        FpGrowth
+    }
+
+    /// Mines all frequent itemsets of `ctx` at `minsup`.
+    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> FrequentItemsets {
+        let n = ctx.n_objects();
+        if n == 0 {
+            return FrequentItemsets::new(1, 0);
+        }
+        let min_count = ctx.min_support_count(minsup);
+        let mut result = FrequentItemsets::new(min_count, n);
+        let mut stats = MiningStats::default();
+
+        // Pass 1: item frequencies; global descending-frequency order.
+        stats.db_passes += 1;
+        let supports = ctx.vertical().item_supports();
+        stats.candidates_counted += supports.len();
+        let mut rank: HashMap<Item, usize> = HashMap::new();
+        {
+            let mut frequent: Vec<(Item, Support)> = supports
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s >= min_count)
+                .map(|(i, &s)| (Item::new(i as u32), s))
+                .collect();
+            // Descending frequency, ascending id on ties.
+            frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (pos, (item, _)) in frequent.iter().enumerate() {
+                rank.insert(*item, pos);
+            }
+        }
+
+        // Pass 2: build the global FP-tree.
+        stats.db_passes += 1;
+        let mut tree = Tree::new();
+        let mut row: Vec<Item> = Vec::new();
+        for t in ctx.horizontal().iter() {
+            row.clear();
+            row.extend(t.iter().copied().filter(|i| rank.contains_key(i)));
+            row.sort_by_key(|i| rank[i]);
+            if !row.is_empty() {
+                tree.insert(&row, 1);
+            }
+        }
+
+        // Recursive pattern growth.
+        let mut suffix: Vec<Item> = Vec::new();
+        Self::grow(&tree, min_count, &mut suffix, &mut result, &mut stats);
+        result.stats = stats;
+        result
+    }
+
+    fn grow(
+        tree: &Tree,
+        min_count: Support,
+        suffix: &mut Vec<Item>,
+        out: &mut FrequentItemsets,
+        stats: &mut MiningStats,
+    ) {
+        for item in tree.items_ascending() {
+            let (first, total) = tree.headers[&item];
+            if total < min_count {
+                continue;
+            }
+            suffix.push(item);
+            out.insert(Itemset::from_items(suffix.iter().copied()), total);
+            stats.candidates_counted += 1;
+
+            // Conditional pattern base → conditional tree.
+            let mut conditional = Tree::new();
+            let mut node = Some(first);
+            let mut base: Vec<(Vec<Item>, Support)> = Vec::new();
+            let mut cond_counts: HashMap<Item, Support> = HashMap::new();
+            while let Some(idx) = node {
+                let count = tree.nodes[idx].count;
+                let path = tree.prefix_path(idx);
+                for &p in &path {
+                    *cond_counts.entry(p).or_insert(0) += count;
+                }
+                if !path.is_empty() {
+                    base.push((path, count));
+                }
+                node = tree.nodes[idx].next;
+            }
+            for (path, count) in base {
+                // Keep only conditionally frequent items; the path is
+                // already in global frequency order, which is a valid
+                // (fixed) order for the conditional tree too.
+                let filtered: Vec<Item> = path
+                    .into_iter()
+                    .filter(|p| cond_counts[p] >= min_count)
+                    .collect();
+                if !filtered.is_empty() {
+                    conditional.insert(&filtered, count);
+                }
+            }
+            if !conditional.headers.is_empty() {
+                Self::grow(&conditional, min_count, suffix, out, stats);
+            }
+            suffix.pop();
+        }
+    }
+}
+
+impl FrequentMiner for FpGrowth {
+    fn name(&self) -> &'static str {
+        "fp-growth"
+    }
+
+    fn mine_frequent(&self, ctx: &MiningContext, minsup: MinSupport) -> FrequentItemsets {
+        self.mine(ctx, minsup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_frequent;
+    use rulebases_dataset::{paper_example, TransactionDb};
+
+    fn assert_matches_brute(db: TransactionDb, min_count: u64) {
+        let ctx = MiningContext::new(db);
+        let brute = brute_frequent(&ctx, MinSupport::Count(min_count));
+        let fp = FpGrowth::new().mine(&ctx, MinSupport::Count(min_count));
+        assert_eq!(fp.len(), brute.len(), "cardinality at minsup {min_count}");
+        for (set, support) in brute.iter() {
+            assert_eq!(fp.support(set), Some(support), "{set:?}");
+        }
+    }
+
+    #[test]
+    fn paper_example_all_thresholds() {
+        for min_count in 1..=5 {
+            assert_matches_brute(paper_example(), min_count);
+        }
+    }
+
+    #[test]
+    fn single_path_tree() {
+        // All transactions identical: the FP-tree is one path.
+        assert_matches_brute(
+            TransactionDb::from_rows(vec![vec![1, 2, 3]; 4]),
+            2,
+        );
+    }
+
+    #[test]
+    fn disjoint_transactions() {
+        assert_matches_brute(
+            TransactionDb::from_rows(vec![vec![0], vec![1], vec![2], vec![0]]),
+            1,
+        );
+    }
+
+    #[test]
+    fn shared_prefixes_and_ties() {
+        assert_matches_brute(
+            TransactionDb::from_rows(vec![
+                vec![1, 2, 3, 4],
+                vec![1, 2, 4],
+                vec![1, 3],
+                vec![2, 3],
+                vec![1, 2, 3],
+                vec![4],
+            ]),
+            2,
+        );
+    }
+
+    #[test]
+    fn empty_context() {
+        let ctx = MiningContext::new(TransactionDb::from_rows(vec![]));
+        assert!(FpGrowth::new().mine(&ctx, MinSupport::Count(1)).is_empty());
+    }
+
+    #[test]
+    fn two_passes_regardless_of_depth() {
+        let ctx = MiningContext::new(paper_example());
+        let f = FpGrowth::new().mine(&ctx, MinSupport::Count(1));
+        assert_eq!(f.stats.db_passes, 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Minimal generators (key itemsets).
+//!
+//! An itemset `G` is a (minimal) *generator* iff no proper subset has the
+//! same support — equivalently, `G` is a minimal element of its closure
+//! class `{X | h(X) = h(G)}`. Generators are what A-Close mines levelwise,
+//! and what the generic/informative rule bases (the [B00] extension) use
+//! as minimal antecedents.
+
+use crate::candidates::join_and_prune;
+use crate::itemsets::{ClosedItemsets, MiningStats};
+use rulebases_dataset::{Itemset, MiningContext, Support};
+use std::collections::HashMap;
+
+/// The frequent minimal generators of a context at a threshold.
+#[derive(Clone, Debug, Default)]
+pub struct GeneratorSet {
+    /// `(generator, support)`, canonically sorted.
+    pairs: Vec<(Itemset, Support)>,
+    /// Absolute threshold used.
+    pub min_count: Support,
+    /// Number of objects in the mined context.
+    pub n_objects: usize,
+    /// Miner bookkeeping.
+    pub stats: MiningStats,
+}
+
+impl GeneratorSet {
+    /// Number of generators (the empty set, which generates the lattice
+    /// bottom, is always included when the context is non-empty).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no generators.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates `(generator, support)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Itemset, Support)> {
+        self.pairs.iter().map(|(g, s)| (g, *s))
+    }
+
+    /// Whether `itemset` is a minimal generator.
+    pub fn contains(&self, itemset: &Itemset) -> bool {
+        self.pairs
+            .binary_search_by(|(g, _)| g.cmp(itemset))
+            .is_ok()
+    }
+
+    /// Groups generators by their closure, using `fc` for closure lookup.
+    ///
+    /// Returns, for each closed itemset index in `fc`, the list of its
+    /// minimal generators.
+    pub fn by_closure(&self, fc: &ClosedItemsets) -> Vec<Vec<&Itemset>> {
+        let mut grouped: Vec<Vec<&Itemset>> = vec![Vec::new(); fc.len()];
+        for (g, _) in self.iter() {
+            let (closure, _) = fc
+                .closure_of(g)
+                .unwrap_or_else(|| panic!("generator {g:?} has no closure in FC"));
+            let idx = fc.position(closure).expect("closure indexed");
+            grouped[idx].push(g);
+        }
+        grouped
+    }
+}
+
+/// Mines all frequent minimal generators levelwise (the first phase of
+/// A-Close).
+///
+/// The empty itemset is included as the generator of the lattice bottom.
+pub fn mine_generators(ctx: &MiningContext, min_count: Support) -> GeneratorSet {
+    let n = ctx.n_objects();
+    let mut stats = MiningStats::default();
+    if n == 0 {
+        return GeneratorSet::default();
+    }
+    // ∅ generates the lattice bottom; it is frequent unless the
+    // threshold exceeds |O|.
+    let mut pairs: Vec<(Itemset, Support)> = if n as Support >= min_count {
+        vec![(Itemset::empty(), n as Support)]
+    } else {
+        Vec::new()
+    };
+
+    // Level 1: a frequent singleton is a generator unless its support
+    // equals |O| (then it belongs to the bottom's closure class, generated
+    // by ∅).
+    stats.db_passes += 1;
+    let item_supports = ctx.vertical().item_supports();
+    stats.candidates_counted += item_supports.len();
+    let mut level: Vec<(Itemset, Support)> = Vec::new();
+    for (i, &support) in item_supports.iter().enumerate() {
+        if support >= min_count && support < n as Support {
+            level.push((Itemset::from_ids([i as u32]), support));
+        }
+    }
+    pairs.extend(level.iter().cloned());
+
+    // Levels k >= 2.
+    while level.len() >= 2 {
+        let supports: HashMap<&Itemset, Support> =
+            level.iter().map(|(g, s)| (g, *s)).collect();
+        let sets: Vec<Itemset> = level.iter().map(|(g, _)| g.clone()).collect();
+        let candidates = join_and_prune(&sets);
+        if candidates.is_empty() {
+            break;
+        }
+        stats.db_passes += 1;
+        let mut next: Vec<(Itemset, Support)> = Vec::new();
+        for candidate in candidates {
+            stats.candidates_counted += 1;
+            let support = ctx.vertical().support(&candidate);
+            if support < min_count {
+                continue;
+            }
+            // Generator test: support strictly below every facet's.
+            let is_generator = candidate.facets().all(|facet| {
+                supports
+                    .get(&facet)
+                    .map_or(false, |&fs| fs != support)
+            });
+            if is_generator {
+                next.push((candidate, support));
+            }
+        }
+        pairs.extend(next.iter().cloned());
+        level = next;
+    }
+
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    GeneratorSet {
+        pairs,
+        min_count,
+        n_objects: n,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::close::Close;
+    use crate::traits::ClosedMiner;
+    use rulebases_dataset::{paper_example, MinSupport};
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn paper_example_generators() {
+        let ctx = MiningContext::new(paper_example());
+        let gens = mine_generators(&ctx, 2);
+        // Closure classes at minsup 2:
+        //   ∅→∅, {C}→C, {A}→AC, {B},{E}→BE, {BC},{CE}→BCE,
+        //   {AB},{AE}→ABCE.
+        let expected = vec![
+            Itemset::empty(),
+            set(&[1]),
+            set(&[2]),
+            set(&[3]),
+            set(&[5]),
+            set(&[1, 2]),
+            set(&[1, 5]),
+            set(&[2, 3]),
+            set(&[3, 5]),
+        ];
+        let got: Vec<Itemset> = gens.iter().map(|(g, _)| g.clone()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn generator_supports_are_correct() {
+        let ctx = MiningContext::new(paper_example());
+        let gens = mine_generators(&ctx, 2);
+        for (g, s) in gens.iter() {
+            assert_eq!(ctx.support(g), s, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn no_generator_has_equal_support_subset() {
+        let ctx = MiningContext::new(paper_example());
+        let gens = mine_generators(&ctx, 1);
+        for (g, s) in gens.iter() {
+            for facet in g.facets() {
+                assert_ne!(ctx.support(&facet), s, "{g:?} not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn by_closure_groups_match() {
+        let ctx = MiningContext::new(paper_example());
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Count(2));
+        let gens = mine_generators(&ctx, 2);
+        let grouped = gens.by_closure(&fc);
+        // BE (index of {2,5}) is generated by {B} and {E}.
+        let be_idx = fc.position(&set(&[2, 5])).unwrap();
+        let mut be_gens: Vec<_> = grouped[be_idx].iter().map(|g| (*g).clone()).collect();
+        be_gens.sort();
+        assert_eq!(be_gens, vec![set(&[2]), set(&[5])]);
+        // Every closed set has at least one generator.
+        for (i, group) in grouped.iter().enumerate() {
+            assert!(!group.is_empty(), "closed #{i} has no generator");
+        }
+    }
+
+    #[test]
+    fn contains_lookup() {
+        let ctx = MiningContext::new(paper_example());
+        let gens = mine_generators(&ctx, 2);
+        assert!(gens.contains(&set(&[2])));
+        assert!(!gens.contains(&set(&[2, 5]))); // closed, not a generator
+        assert!(gens.contains(&Itemset::empty()));
+    }
+
+    #[test]
+    fn empty_context_has_no_generators() {
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![]));
+        assert!(mine_generators(&ctx, 1).is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Hash tree for candidate support counting.
+//!
+//! The classic Apriori data structure (Agrawal & Srikant, VLDB'94): `k`-item
+//! candidates are stored in a tree whose interior nodes hash on successive
+//! items, so one pass over a transaction visits only the candidates that
+//! can possibly be contained in it. Buckets are a *hash* partition — two
+//! different items can share a bucket — so the leaf always verifies full
+//! containment against the whole transaction.
+
+use rulebases_dataset::{Item, Itemset, Support};
+
+const FANOUT: usize = 16;
+const LEAF_CAPACITY: usize = 8;
+
+enum Node {
+    Interior(Box<[Option<Node>; FANOUT]>),
+    /// `(candidate index, items)` pairs.
+    Leaf(Vec<(usize, Itemset)>),
+}
+
+impl Node {
+    fn empty_leaf() -> Node {
+        Node::Leaf(Vec::new())
+    }
+
+    fn leaf_push(&mut self, idx: usize, set: Itemset) {
+        if let Node::Leaf(entries) = self {
+            entries.push((idx, set));
+        } else {
+            unreachable!("leaf_push on interior node");
+        }
+    }
+}
+
+#[inline]
+fn bucket(item: Item) -> usize {
+    item.index() % FANOUT
+}
+
+/// A hash tree over equally sized candidate itemsets.
+pub struct HashTree {
+    root: Node,
+    k: usize,
+    len: usize,
+}
+
+impl HashTree {
+    /// Builds a hash tree over `candidates`, all of which must have `k`
+    /// items.
+    pub fn build(candidates: &[Itemset], k: usize) -> Self {
+        assert!(k >= 1, "hash tree needs k >= 1");
+        let mut tree = HashTree {
+            root: Node::empty_leaf(),
+            k,
+            len: 0,
+        };
+        for (idx, c) in candidates.iter().enumerate() {
+            assert_eq!(c.len(), k, "candidate {c:?} is not a {k}-itemset");
+            tree.insert(idx, c);
+        }
+        tree
+    }
+
+    /// Number of candidates stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn insert(&mut self, idx: usize, candidate: &Itemset) {
+        let k = self.k;
+        let mut node = &mut self.root;
+        let mut depth = 0;
+        loop {
+            // Split saturated leaves while we can still discriminate.
+            if let Node::Leaf(entries) = node {
+                if entries.len() >= LEAF_CAPACITY && depth < k {
+                    let old = std::mem::take(entries);
+                    let mut children: Box<[Option<Node>; FANOUT]> =
+                        Box::new(std::array::from_fn(|_| None));
+                    for (i, set) in old {
+                        let b = bucket(set.as_slice()[depth]);
+                        children[b]
+                            .get_or_insert_with(Node::empty_leaf)
+                            .leaf_push(i, set);
+                    }
+                    *node = Node::Interior(children);
+                }
+            }
+            match node {
+                Node::Leaf(entries) => {
+                    entries.push((idx, candidate.clone()));
+                    self.len += 1;
+                    return;
+                }
+                Node::Interior(children) => {
+                    let b = bucket(candidate.as_slice()[depth]);
+                    node = children[b].get_or_insert_with(Node::empty_leaf);
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Adds 1 to `counts[i]` for every stored candidate `i` contained in
+    /// the (sorted) `transaction`.
+    pub fn count_transaction(&self, transaction: &[Item], counts: &mut [Support]) {
+        if transaction.len() < self.k {
+            return;
+        }
+        Self::visit(&self.root, transaction, transaction, counts);
+    }
+
+    fn visit(
+        node: &Node,
+        transaction: &[Item],
+        remaining: &[Item],
+        counts: &mut [Support],
+    ) {
+        match node {
+            Node::Leaf(entries) => {
+                for (idx, candidate) in entries {
+                    // The path only constrains item *hashes*; verify the
+                    // actual candidate against the full transaction.
+                    if contains_sorted(transaction, candidate.as_slice()) {
+                        counts[*idx] += 1;
+                    }
+                }
+            }
+            Node::Interior(children) => {
+                // Descend once per bucket reachable from the remaining
+                // items; deeper path items must come after the chosen one.
+                let mut visited = [false; FANOUT];
+                for (pos, &item) in remaining.iter().enumerate() {
+                    let b = bucket(item);
+                    if visited[b] {
+                        continue;
+                    }
+                    visited[b] = true;
+                    if let Some(child) = &children[b] {
+                        Self::visit(child, transaction, &remaining[pos + 1..], counts);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether the sorted `needle` is contained in the sorted `haystack`.
+fn contains_sorted(haystack: &[Item], needle: &[Item]) -> bool {
+    let mut h = 0;
+    'outer: for &x in needle {
+        while h < haystack.len() {
+            if haystack[h] < x {
+                h += 1;
+            } else if haystack[h] == x {
+                h += 1;
+                continue 'outer;
+            } else {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item::new(i)).collect()
+    }
+
+    #[test]
+    fn counts_simple_candidates() {
+        let candidates = vec![set(&[1, 2]), set(&[2, 3]), set(&[1, 3])];
+        let tree = HashTree::build(&candidates, 2);
+        assert_eq!(tree.len(), 3);
+        let mut counts = vec![0; 3];
+        tree.count_transaction(&items(&[1, 2, 3]), &mut counts);
+        assert_eq!(counts, vec![1, 1, 1]);
+        tree.count_transaction(&items(&[1, 2]), &mut counts);
+        assert_eq!(counts, vec![2, 1, 1]);
+        tree.count_transaction(&items(&[3]), &mut counts);
+        assert_eq!(counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn short_transactions_are_skipped() {
+        let tree = HashTree::build(&[set(&[1, 2, 3])], 3);
+        let mut counts = vec![0; 1];
+        tree.count_transaction(&items(&[1, 2]), &mut counts);
+        assert_eq!(counts, vec![0]);
+    }
+
+    #[test]
+    fn bucket_collisions_do_not_overcount() {
+        // Items 0 and 16 share bucket 0 (FANOUT = 16). The candidate
+        // {0, 16} must not be counted for a transaction containing 16 but
+        // not 0 — the regression this tree once had.
+        let candidates = vec![set(&[0, 16])];
+        let tree = HashTree::build(&candidates, 2);
+        let mut counts = vec![0; 1];
+        tree.count_transaction(&items(&[16, 32]), &mut counts);
+        assert_eq!(counts, vec![0]);
+        tree.count_transaction(&items(&[0, 16]), &mut counts);
+        assert_eq!(counts, vec![1]);
+    }
+
+    #[test]
+    fn matches_naive_counting_with_colliding_items() {
+        // Candidate items spread far beyond one bucket cycle, plus enough
+        // candidates to force leaf splits.
+        let ids: Vec<u32> = (0..12).map(|i| i * 17 + (i % 3)).collect();
+        let mut candidates = Vec::new();
+        for a in 0..ids.len() {
+            for b in (a + 1)..ids.len() {
+                for c in (b + 1)..ids.len() {
+                    candidates.push(set(&[ids[a], ids[b], ids[c]]));
+                }
+            }
+        }
+        let tree = HashTree::build(&candidates, 3);
+        assert_eq!(tree.len(), candidates.len());
+
+        let transactions = [
+            items(&ids[0..5]),
+            items(&[ids[2], ids[5], ids[7], ids[9], ids[11]]),
+            items(&[ids[0], ids[3], ids[6], ids[9]]),
+            items(&[ids[1], ids[2]]),
+            items(&ids),
+            items(&[0, 16, 32, 48]), // collision-heavy non-candidate items
+        ];
+        let mut counts = vec![0; candidates.len()];
+        for t in &transactions {
+            tree.count_transaction(t, &mut counts);
+        }
+        for (i, c) in candidates.iter().enumerate() {
+            let expected = transactions
+                .iter()
+                .filter(|t| contains_sorted(t, c.as_slice()))
+                .count() as Support;
+            assert_eq!(counts[i], expected, "candidate {c:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a 2-itemset")]
+    fn rejects_wrong_arity() {
+        let _ = HashTree::build(&[set(&[1, 2, 3])], 2);
+    }
+}

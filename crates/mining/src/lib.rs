@@ -1,0 +1,58 @@
+//! # rulebases-mining
+//!
+//! Frequent- and frequent-closed-itemset miners for the `rulebases`
+//! workspace — the algorithmic substrate of *"Mining Bases for Association
+//! Rules Using Closed Sets"* (Taouil et al., ICDE 2000).
+//!
+//! Implemented algorithms:
+//!
+//! * [`Apriori`] — the classic levelwise frequent-itemset baseline, with
+//!   three interchangeable [counting strategies](counting::CountingStrategy)
+//!   (subset hashing, hash tree, vertical bitsets);
+//! * [`Close`] — the paper family's levelwise closed-set miner
+//!   (generators + closure-by-intersection);
+//! * [`AClose`] — minimal generators first, closures at the end;
+//! * [`Charm`] — the vertical IT-tree cross-check;
+//! * [`FpGrowth`] — the pattern-growth frequent-itemset baseline;
+//! * [`generators::mine_generators`] — frequent minimal generators (key
+//!   itemsets), also used by the generic/informative rule bases;
+//! * [`brute`] — exponential oracles backing the property-test suites.
+//!
+//! ```
+//! use rulebases_dataset::{paper_example, MiningContext, MinSupport};
+//! use rulebases_mining::{Apriori, Close};
+//!
+//! let ctx = MiningContext::new(paper_example());
+//! let frequent = Apriori::new().mine(&ctx, MinSupport::Fraction(0.4));
+//! let closed = Close::new().mine(&ctx, MinSupport::Fraction(0.4));
+//! assert_eq!(frequent.len(), 15);
+//! assert_eq!(closed.len(), 6); // ∅, C, AC, BE, BCE, ABCE
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aclose;
+pub mod apriori;
+pub mod brute;
+pub mod candidates;
+pub mod charm;
+pub mod close;
+pub mod counting;
+pub mod fpgrowth;
+pub mod generators;
+pub mod hash_tree;
+pub mod itemsets;
+pub mod tidlist;
+pub mod traits;
+
+pub use aclose::AClose;
+pub use apriori::Apriori;
+pub use charm::Charm;
+pub use close::Close;
+pub use counting::CountingStrategy;
+pub use fpgrowth::FpGrowth;
+pub use generators::{mine_generators, GeneratorSet};
+pub use itemsets::{ClosedItemsets, FrequentItemsets, MiningStats};
+pub use tidlist::TidListDb;
+pub use traits::{ClosedAlgorithm, ClosedMiner, FrequentMiner};

@@ -1,0 +1,186 @@
+//! Sparse tid-lists: the paper-era vertical representation.
+//!
+//! Before dense bitsets became the default, vertical miners (Eclat,
+//! CHARM) stored each item's cover as a sorted list of transaction ids.
+//! Tid-lists win when covers are *sparse* (intersection cost scales with
+//! the cover sizes, not with `|O|/64` words); bitsets win on dense
+//! covers. [`TidListDb`] mirrors [`rulebases_dataset::VerticalDb`]'s API
+//! so the two representations can be ablated against each other (bench
+//! `counting`, EXPERIMENTS E8).
+
+use rulebases_dataset::{Item, Itemset, Support, TransactionDb};
+
+/// A sorted list of transaction ids.
+pub type TidList = Vec<u32>;
+
+/// Per-item sparse covers.
+#[derive(Clone, Debug)]
+pub struct TidListDb {
+    covers: Vec<TidList>,
+    n_objects: usize,
+}
+
+/// Intersects two sorted tid-lists.
+pub fn intersect(a: &[u32], b: &[u32]) -> TidList {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Size of the intersection of two sorted tid-lists, without
+/// materializing it.
+pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+impl TidListDb {
+    /// Transposes a horizontal database into sorted tid-lists.
+    pub fn from_horizontal(db: &TransactionDb) -> Self {
+        let mut covers = vec![Vec::new(); db.n_items()];
+        for (t, row) in db.iter().enumerate() {
+            for &item in row {
+                covers[item.index()].push(t as u32);
+            }
+        }
+        // Rows are visited in ascending tid order, so lists are sorted.
+        TidListDb {
+            covers,
+            n_objects: db.n_transactions(),
+        }
+    }
+
+    /// Number of objects `|O|`.
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// Size of the item universe.
+    pub fn n_items(&self) -> usize {
+        self.covers.len()
+    }
+
+    /// The tid-list of one item (empty for out-of-universe items).
+    pub fn cover(&self, item: Item) -> &[u32] {
+        self.covers
+            .get(item.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The extent of an itemset as a tid-list (all tids for ∅).
+    pub fn extent(&self, itemset: &Itemset) -> TidList {
+        let mut items = itemset.iter();
+        let Some(first) = items.next() else {
+            return (0..self.n_objects as u32).collect();
+        };
+        let mut acc = self.cover(first).to_vec();
+        for item in items {
+            if acc.is_empty() {
+                break;
+            }
+            acc = intersect(&acc, self.cover(item));
+        }
+        acc
+    }
+
+    /// Absolute support via tid-list intersections.
+    pub fn support(&self, itemset: &Itemset) -> Support {
+        let mut items = itemset.iter();
+        let Some(first) = items.next() else {
+            return self.n_objects as Support;
+        };
+        let Some(second) = items.next() else {
+            return self.cover(first).len() as Support;
+        };
+        let mut acc = intersect(self.cover(first), self.cover(second));
+        for item in items {
+            if acc.is_empty() {
+                return 0;
+            }
+            acc = intersect(&acc, self.cover(item));
+        }
+        acc.len() as Support
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::paper_example;
+
+    #[test]
+    fn intersection_basics() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 9]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_count(&[1, 3, 5], &[2, 3, 5, 9]), 2);
+        assert_eq!(intersect_count(&[1, 2], &[3, 4]), 0);
+    }
+
+    #[test]
+    fn matches_bitset_vertical_on_paper_example() {
+        let db = paper_example();
+        let bitsets = rulebases_dataset::VerticalDb::from_horizontal(&db);
+        let tids = TidListDb::from_horizontal(&db);
+        assert_eq!(tids.n_objects(), bitsets.n_objects());
+        for i in 0..db.n_items() as u32 {
+            let item = Item::new(i);
+            let from_bits: Vec<u32> = bitsets.cover(item).iter().map(|t| t as u32).collect();
+            assert_eq!(tids.cover(item), from_bits.as_slice(), "item {i}");
+        }
+        for ids in [vec![], vec![2], vec![2, 5], vec![1, 2, 3, 5], vec![1, 4, 5]] {
+            let set = Itemset::from_ids(ids);
+            assert_eq!(tids.support(&set), bitsets.support(&set), "{set:?}");
+            let from_bits: Vec<u32> =
+                bitsets.extent(&set).iter().map(|t| t as u32).collect();
+            assert_eq!(tids.extent(&set), from_bits, "{set:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_universe_items_are_unsupported() {
+        let tids = TidListDb::from_horizontal(&paper_example());
+        assert_eq!(tids.support(&Itemset::from_ids([99])), 0);
+        assert!(tids.cover(Item::new(99)).is_empty());
+    }
+
+    #[test]
+    fn empty_database() {
+        let tids =
+            TidListDb::from_horizontal(&TransactionDb::from_rows(vec![]));
+        assert_eq!(tids.n_objects(), 0);
+        assert_eq!(tids.support(&Itemset::empty()), 0);
+        assert!(tids.extent(&Itemset::empty()).is_empty());
+    }
+
+    #[test]
+    fn lists_are_sorted() {
+        let tids = TidListDb::from_horizontal(&paper_example());
+        for i in 0..tids.n_items() as u32 {
+            let cover = tids.cover(Item::new(i));
+            assert!(cover.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

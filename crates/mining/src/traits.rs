@@ -1,0 +1,97 @@
+//! Miner traits and algorithm selection.
+
+use crate::aclose::AClose;
+use crate::charm::Charm;
+use crate::close::Close;
+use crate::itemsets::{ClosedItemsets, FrequentItemsets};
+use rulebases_dataset::{MiningContext, MinSupport};
+use std::fmt;
+
+/// A miner producing all frequent itemsets.
+pub trait FrequentMiner {
+    /// Stable identifier for reports and benchmarks.
+    fn name(&self) -> &'static str;
+    /// Mines the frequent itemsets of `ctx` at `minsup`.
+    fn mine_frequent(&self, ctx: &MiningContext, minsup: MinSupport) -> FrequentItemsets;
+}
+
+/// A miner producing the frequent closed itemsets `FC`.
+pub trait ClosedMiner {
+    /// Stable identifier for reports and benchmarks.
+    fn name(&self) -> &'static str;
+    /// Mines the frequent closed itemsets of `ctx` at `minsup`.
+    fn mine_closed(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets;
+}
+
+/// Which closed-itemset algorithm to run — the paper's two (Close,
+/// A-Close) plus the CHARM cross-check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClosedAlgorithm {
+    /// Levelwise generators with per-level closures (Pasquier et al. 1999).
+    #[default]
+    Close,
+    /// Levelwise minimal generators, closures at the end (ICDT'99).
+    AClose,
+    /// Vertical IT-tree search (Zaki & Hsiao).
+    Charm,
+}
+
+impl ClosedAlgorithm {
+    /// All algorithm variants, for exhaustive testing and benchmarking.
+    pub const ALL: [ClosedAlgorithm; 3] = [
+        ClosedAlgorithm::Close,
+        ClosedAlgorithm::AClose,
+        ClosedAlgorithm::Charm,
+    ];
+
+    /// Runs the selected algorithm.
+    pub fn mine(self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
+        match self {
+            ClosedAlgorithm::Close => Close::new().mine_closed(ctx, minsup),
+            ClosedAlgorithm::AClose => AClose::new().mine_closed(ctx, minsup),
+            ClosedAlgorithm::Charm => Charm::new().mine_closed(ctx, minsup),
+        }
+    }
+
+    /// Stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClosedAlgorithm::Close => "close",
+            ClosedAlgorithm::AClose => "a-close",
+            ClosedAlgorithm::Charm => "charm",
+        }
+    }
+}
+
+impl fmt::Display for ClosedAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::paper_example;
+
+    #[test]
+    fn all_algorithms_agree_via_enum() {
+        let ctx = MiningContext::new(paper_example());
+        let reference = ClosedAlgorithm::Close.mine(&ctx, MinSupport::Count(2));
+        for algo in ClosedAlgorithm::ALL {
+            let fc = algo.mine(&ctx, MinSupport::Count(2));
+            assert_eq!(
+                fc.into_sorted_vec(),
+                reference.clone().into_sorted_vec(),
+                "{algo}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ClosedAlgorithm::Close.to_string(), "close");
+        assert_eq!(ClosedAlgorithm::AClose.to_string(), "a-close");
+        assert_eq!(ClosedAlgorithm::Charm.to_string(), "charm");
+    }
+}

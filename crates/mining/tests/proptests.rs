@@ -1,0 +1,164 @@
+//! Property-based tests for the mining crate: counting engines against a
+//! naive scan, the closed/frequent correspondence, and miner bookkeeping.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rulebases_dataset::{Itemset, MiningContext, MinSupport, TransactionDb};
+use rulebases_mining::brute::{brute_closed, brute_frequent};
+use rulebases_mining::counting::{count_candidates, CountingStrategy};
+use rulebases_mining::hash_tree::HashTree;
+use rulebases_mining::{mine_generators, Apriori, Close, ClosedMiner, FrequentMiner};
+
+fn contexts() -> impl Strategy<Value = TransactionDb> {
+    vec(vec(0u32..10, 0..7), 1..12).prop_map(TransactionDb::from_rows)
+}
+
+/// Random candidate sets of a fixed arity `k`, with ids spread across
+/// hash-tree buckets.
+fn candidates(k: usize) -> impl Strategy<Value = Vec<Itemset>> {
+    vec(vec(0u32..60, k..=k), 1..25).prop_map(move |raw| {
+        let mut out: Vec<Itemset> = raw
+            .into_iter()
+            .map(Itemset::from_ids)
+            .filter(|s| s.len() == k) // drop sets that shrank via dedup
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn counting_engines_agree_with_naive_scan(
+        db in contexts(),
+        cands in candidates(2),
+    ) {
+        if cands.is_empty() {
+            return Ok(());
+        }
+        let ctx = MiningContext::new(db);
+        let naive: Vec<u64> = cands
+            .iter()
+            .map(|c| ctx.horizontal().support(c))
+            .collect();
+        for strategy in [
+            CountingStrategy::SubsetHash,
+            CountingStrategy::HashTree,
+            CountingStrategy::Vertical,
+            CountingStrategy::Auto,
+        ] {
+            prop_assert_eq!(
+                &count_candidates(&ctx, &cands, 2, strategy),
+                &naive,
+                "{:?}", strategy
+            );
+        }
+    }
+
+    #[test]
+    fn hash_tree_counts_exactly(db in contexts(), cands in candidates(3)) {
+        if cands.is_empty() {
+            return Ok(());
+        }
+        let ctx = MiningContext::new(db);
+        let tree = HashTree::build(&cands, 3);
+        let mut counts = vec![0u64; cands.len()];
+        for t in ctx.horizontal().iter() {
+            tree.count_transaction(t, &mut counts);
+        }
+        for (i, c) in cands.iter().enumerate() {
+            prop_assert_eq!(counts[i], ctx.horizontal().support(c), "{:?}", c);
+        }
+    }
+
+    #[test]
+    fn closed_expand_covers_frequent(db in contexts(), min_count in 1u64..4) {
+        // Expanding FC regenerates exactly the frequent itemsets with
+        // their supports — the "generating set" property of Definition 1.
+        let ctx = MiningContext::new(db);
+        let threshold = MinSupport::Count(min_count);
+        let fc = brute_closed(&ctx, threshold);
+        let frequent = brute_frequent(&ctx, threshold);
+        if fc.iter().any(|(s, _)| s.len() >= 20) {
+            return Ok(()); // keep the exponential expansion bounded
+        }
+        let expanded = fc.expand_to_frequent();
+        prop_assert_eq!(expanded.len(), frequent.len());
+        for (set, support) in frequent.iter() {
+            prop_assert_eq!(expanded.support(set), Some(support), "{:?}", set);
+        }
+    }
+
+    #[test]
+    fn closure_lookup_equals_galois_closure(db in contexts(), ids in vec(0u32..10, 0..4)) {
+        let ctx = MiningContext::new(db);
+        let fc = brute_closed(&ctx, MinSupport::Count(1));
+        let x = Itemset::from_ids(
+            ids.into_iter().filter(|&i| (i as usize) < ctx.n_items()),
+        );
+        if ctx.support(&x) == 0 || ctx.n_objects() == 0 {
+            return Ok(()); // closure_of only covers frequent itemsets
+        }
+        let (closure, support) = fc.closure_of(&x).expect("supported itemset has a closure");
+        prop_assert_eq!(closure, &ctx.closure(&x));
+        prop_assert_eq!(support, ctx.support(&x));
+    }
+
+    #[test]
+    fn maximal_frequent_equals_maximal_closed(db in contexts(), min_count in 1u64..4) {
+        // "The maximal frequent itemsets are maximal frequent closed
+        // itemsets" — the paper's Section 2 claim.
+        let ctx = MiningContext::new(db);
+        let threshold = MinSupport::Count(min_count);
+        let frequent = brute_frequent(&ctx, threshold);
+        let fc = brute_closed(&ctx, threshold);
+        let mut max_frequent: Vec<Itemset> =
+            frequent.maximal().into_iter().cloned().collect();
+        let mut max_closed: Vec<Itemset> = fc
+            .maximal()
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .collect();
+        max_frequent.sort();
+        max_closed.sort();
+        if frequent.is_empty() {
+            return Ok(()); // only the (empty) bottom exists
+        }
+        prop_assert_eq!(max_frequent, max_closed);
+    }
+
+    #[test]
+    fn close_uses_no_more_passes_than_apriori(db in contexts(), min_count in 1u64..4) {
+        // The paper family's efficiency claim, as an invariant: Close's
+        // levelwise frontier over generators can never be deeper than
+        // Apriori's over all frequent itemsets.
+        let ctx = MiningContext::new(db);
+        let threshold = MinSupport::Count(min_count);
+        let apriori = Apriori::new().mine_frequent(&ctx, threshold);
+        let close = Close::default().mine_closed(&ctx, threshold);
+        prop_assert!(close.stats.db_passes <= apriori.stats.db_passes.max(1));
+    }
+
+    #[test]
+    fn generator_supports_strictly_drop_along_chains(db in contexts(), min_count in 1u64..3) {
+        let ctx = MiningContext::new(db);
+        if ctx.n_objects() == 0 {
+            return Ok(());
+        }
+        let generators = mine_generators(&ctx, min_count);
+        for (g, support) in generators.iter() {
+            // Every proper subset of a generator has strictly larger
+            // support (the defining property, extended transitively).
+            for sub in g.proper_subsets() {
+                prop_assert!(
+                    ctx.support(&sub) > support,
+                    "{:?} has subset {:?} with equal support", g, sub
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Market-basket scenario on sparse synthetic data.
+//!
+//! The sparse regime of the paper's evaluation: IBM-Quest-style baskets
+//! (T10I4 profile). On weakly correlated data most frequent itemsets are
+//! already closed, so the bases buy little — the interesting contrast to
+//! the dense examples. This example mines rules, ranks them by lift, and
+//! prints the basis/baseline sizes.
+//!
+//! ```bash
+//! cargo run --release --example market_basket
+//! ```
+
+use rulebases::{MinSupport, RuleMetrics, RuleMiner};
+use rulebases_dataset::generator::QuestConfig;
+use rulebases_dataset::{DatasetStats, MiningContext};
+
+fn main() {
+    let db = QuestConfig::t10i4(5_000, 42).generate();
+    println!("synthetic baskets: {}", DatasetStats::compute(&db));
+
+    let ctx = MiningContext::new(db);
+    let bases = RuleMiner::new(MinSupport::Fraction(0.01))
+        .min_confidence(0.6)
+        .mine_context(&ctx);
+
+    println!(
+        "minsup 1%: {} frequent itemsets, {} closed ({:.2}x compression)",
+        bases.frequent.len(),
+        bases.n_closed_nonempty(),
+        bases.frequent.len() as f64 / bases.n_closed_nonempty().max(1) as f64
+    );
+
+    // Rank the valid rules by lift.
+    let mut scored: Vec<_> = bases
+        .all_valid_rules()
+        .into_iter()
+        .map(|rule| {
+            let consequent_support = ctx.support(&rule.consequent);
+            let metrics = RuleMetrics::compute(&rule, consequent_support, ctx.n_objects());
+            (rule, metrics)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.lift.total_cmp(&a.1.lift));
+
+    println!("\ntop rules by lift (minconf 60%):");
+    for (rule, metrics) in scored.iter().take(10) {
+        println!(
+            "  {rule}  lift={:.2} conviction={:.2}",
+            metrics.lift, metrics.conviction
+        );
+    }
+
+    let report = bases.report("T10I4-5K");
+    println!("\n{}", rulebases::BasisReport::header());
+    println!("{report}");
+    println!(
+        "\nsparse-regime observation: |F|/|FC| = {:.2} (close to 1 — weak correlation)",
+        report.n_frequent as f64 / report.n_closed.max(1) as f64
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Mines the five-object context used throughout the Pasquier/Taouil/
+//! Bastide/Lakhal papers, prints the frequent closed itemsets, both rule
+//! bases, and shows that the bases regenerate every rule.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use rulebases::{MinSupport, RuleMiner};
+use rulebases_dataset::paper_example;
+
+fn main() {
+    let db = paper_example();
+    let dict = db.dictionary().expect("paper example ships labels").clone();
+
+    println!("context: 5 objects over items A..E");
+    for (i, t) in db.iter().enumerate() {
+        let labels: Vec<&str> = t.iter().map(|&it| dict.label(it).unwrap()).collect();
+        println!("  o{} = {{{}}}", i + 1, labels.join(", "));
+    }
+
+    let bases = RuleMiner::new(MinSupport::Fraction(0.4))
+        .min_confidence(0.5)
+        .mine(db);
+
+    println!("\nfrequent closed itemsets (minsup 40%):");
+    for (set, support) in bases.closed.iter() {
+        println!("  {}  supp={}", set.display(&dict), support);
+    }
+
+    println!(
+        "\nDuquenne-Guigues basis ({} rules for {} exact rules):",
+        bases.dg.len(),
+        bases.exact_rules().len()
+    );
+    for rule in bases.dg.rules() {
+        println!("  {}", rule.display(&dict));
+    }
+
+    let reduced = bases.luxenburger_reduced_rules();
+    println!(
+        "\nreduced Luxenburger basis ({} rules for {} approximate rules at minconf 50%):",
+        reduced.len(),
+        bases.approximate_rules().len()
+    );
+    for rule in &reduced {
+        println!("  {}", rule.display(&dict));
+    }
+
+    // The headline claim, executed: both bases regenerate everything.
+    assert_eq!(bases.derive_exact_rules(), bases.exact_rules());
+    assert_eq!(bases.derive_approximate_rules(), bases.approximate_rules());
+    println!("\nderivation check: all rules reconstructed from the bases ✓");
+
+    println!("\n{}", rulebases::BasisReport::header());
+    println!("{}", bases.report("paper-example"));
+}

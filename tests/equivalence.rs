@@ -1,0 +1,123 @@
+//! Property-based cross-algorithm equivalence on random contexts.
+//!
+//! Every real miner must agree with the brute-force oracle (and therefore
+//! with each other) on arbitrary small contexts — the strongest guard
+//! against algorithm-specific bugs (candidate pruning, closure jumps,
+//! CHARM's subsumption check, hash-tree collisions…).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rulebases_dataset::{Itemset, MiningContext, MinSupport, TransactionDb};
+use rulebases_mining::brute::{brute_closed, brute_frequent};
+use rulebases_mining::{
+    mine_generators, Apriori, ClosedAlgorithm, CountingStrategy, FpGrowth, FrequentMiner,
+};
+
+/// A random context: up to 12 objects over up to 9 items (ids can exceed
+/// the bucket fanout of the hash tree via the stride).
+fn contexts() -> impl Strategy<Value = TransactionDb> {
+    (
+        vec(vec(0u32..9, 0..6), 1..12),
+        1u32..5, // item-id stride, to exercise sparse universes
+    )
+        .prop_map(|(rows, stride)| {
+            TransactionDb::from_rows(
+                rows.into_iter()
+                    .map(|row| row.into_iter().map(|i| i * stride).collect())
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn apriori_matches_brute_force(db in contexts(), min_count in 1u64..4) {
+        let ctx = MiningContext::new(db);
+        let threshold = MinSupport::Count(min_count);
+        let brute = brute_frequent(&ctx, threshold);
+        for strategy in [
+            CountingStrategy::SubsetHash,
+            CountingStrategy::HashTree,
+            CountingStrategy::Vertical,
+        ] {
+            let mined = Apriori::with_counting(strategy).mine_frequent(&ctx, threshold);
+            prop_assert_eq!(mined.len(), brute.len(), "{:?}", strategy);
+            for (set, support) in brute.iter() {
+                prop_assert_eq!(mined.support(set), Some(support), "{:?} on {:?}", strategy, set);
+            }
+        }
+        // FP-growth, the pattern-growth baseline, must agree too.
+        let fp = FpGrowth::new().mine_frequent(&ctx, threshold);
+        prop_assert_eq!(fp.len(), brute.len(), "fp-growth cardinality");
+        for (set, support) in brute.iter() {
+            prop_assert_eq!(fp.support(set), Some(support), "fp-growth on {:?}", set);
+        }
+    }
+
+    #[test]
+    fn closed_miners_match_brute_force(db in contexts(), min_count in 1u64..4) {
+        let ctx = MiningContext::new(db);
+        let threshold = MinSupport::Count(min_count);
+        let brute = brute_closed(&ctx, threshold).into_sorted_vec();
+        for algo in ClosedAlgorithm::ALL {
+            let mined = algo.mine(&ctx, threshold).into_sorted_vec();
+            prop_assert_eq!(&mined, &brute, "{} disagrees with brute force", algo);
+        }
+    }
+
+    #[test]
+    fn closure_axioms_hold(db in contexts(), ids in vec(0u32..9, 0..5)) {
+        let ctx = MiningContext::new(db);
+        // The closure operator is only defined on subsets of the universe.
+        let x = Itemset::from_ids(
+            ids.into_iter().filter(|&i| (i as usize) < ctx.n_items()),
+        );
+        let hx = ctx.closure(&x);
+        // Extensive.
+        prop_assert!(x.is_subset_of(&hx));
+        // Idempotent.
+        prop_assert_eq!(ctx.closure(&hx), hx.clone());
+        // Support-preserving.
+        prop_assert_eq!(ctx.support(&x), ctx.support(&hx));
+        // Monotone (against a random superset).
+        let y = hx.union(&x);
+        prop_assert!(ctx.closure(&x).is_subset_of(&ctx.closure(&y)));
+    }
+
+    #[test]
+    fn generators_are_minimal_and_cover_fc(db in contexts(), min_count in 1u64..3) {
+        let ctx = MiningContext::new(db);
+        if ctx.n_objects() == 0 {
+            return Ok(());
+        }
+        let generators = mine_generators(&ctx, min_count);
+        let fc = brute_closed(&ctx, MinSupport::Count(min_count));
+        // Every generator is minimal: no facet with equal support.
+        for (g, support) in generators.iter() {
+            prop_assert_eq!(ctx.support(g), support);
+            for facet in g.facets() {
+                prop_assert_ne!(ctx.support(&facet), support, "{:?} not minimal", g);
+            }
+        }
+        // Closures of generators cover FC exactly.
+        let mut closures: Vec<Itemset> =
+            generators.iter().map(|(g, _)| ctx.closure(g)).collect();
+        closures.sort();
+        closures.dedup();
+        let mut expected: Vec<Itemset> = fc.iter().map(|(s, _)| s.clone()).collect();
+        expected.sort();
+        prop_assert_eq!(closures, expected);
+    }
+
+    #[test]
+    fn vertical_and_horizontal_supports_agree(db in contexts(), ids in vec(0u32..9, 0..4)) {
+        let ctx = MiningContext::new(db);
+        let x = Itemset::from_ids(ids);
+        prop_assert_eq!(
+            ctx.vertical().support(&x),
+            ctx.horizontal().support(&x)
+        );
+    }
+}
