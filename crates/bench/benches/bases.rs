@@ -2,11 +2,9 @@
 //! full and reduced) and the all-rules baseline they replace.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rulebases::{
-    all_rules, DuquenneGuiguesBasis, LuxenburgerBasis,
-};
+use rulebases::{all_rules, DuquenneGuiguesBasis, LuxenburgerBasis};
 use rulebases_bench::{Scale, StandIn};
-use rulebases_dataset::{MiningContext, MinSupport};
+use rulebases_dataset::{MinSupport, MiningContext};
 use rulebases_lattice::IcebergLattice;
 use rulebases_mining::{Apriori, Close, ClosedMiner, FrequentMiner};
 use std::hint::black_box;
@@ -23,7 +21,7 @@ fn bench_bases(c: &mut Criterion) {
         let ctx = MiningContext::new(dataset.generate(Scale::Test));
         let minsup = MinSupport::Fraction(dataset.default_minsup());
         let frequent = Apriori::new().mine_frequent(&ctx, minsup);
-        let fc = Close::default().mine_closed(&ctx, minsup);
+        let fc = Close.mine_closed(&ctx, minsup);
         let lattice = IcebergLattice::from_closed(&fc);
 
         group.bench_function(BenchmarkId::new("all-rules", dataset.name()), |b| {

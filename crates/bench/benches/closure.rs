@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rulebases_bench::{Scale, StandIn};
-use rulebases_dataset::{Itemset, MiningContext, MinSupport};
+use rulebases_dataset::{Itemset, MinSupport, MiningContext};
 use rulebases_lattice::IcebergLattice;
 use rulebases_mining::{Close, ClosedMiner};
 use std::hint::black_box;
@@ -20,7 +20,7 @@ fn bench_closure(c: &mut Criterion) {
         let ctx = MiningContext::new(dataset.generate(Scale::Test));
 
         // The closure primitive on a frequent single item.
-        let supports = ctx.vertical().item_supports();
+        let supports = ctx.engine().item_supports();
         let top_item = supports
             .iter()
             .enumerate()
@@ -33,16 +33,22 @@ fn bench_closure(c: &mut Criterion) {
         });
 
         // Hasse construction, both algorithms.
-        let fc = Close::default().mine_closed(&ctx, MinSupport::Fraction(dataset.default_minsup()));
+        let fc = Close.mine_closed(&ctx, MinSupport::Fraction(dataset.default_minsup()));
         group.bench_function(
-            BenchmarkId::new("hasse-pairs", format!("{}|FC|={}", dataset.name(), fc.len())),
+            BenchmarkId::new(
+                "hasse-pairs",
+                format!("{}|FC|={}", dataset.name(), fc.len()),
+            ),
             |b| b.iter(|| black_box(IcebergLattice::from_closed(&fc))),
         );
         // The closure-based variant is orders slower on the sparse sets
         // (it pays |FC|·|I| closures) — bench only the dense ones.
         if dataset.is_dense() {
             group.bench_function(
-                BenchmarkId::new("hasse-closure", format!("{}|FC|={}", dataset.name(), fc.len())),
+                BenchmarkId::new(
+                    "hasse-closure",
+                    format!("{}|FC|={}", dataset.name(), fc.len()),
+                ),
                 |b| b.iter(|| black_box(IcebergLattice::from_context(&fc, &ctx))),
             );
         }

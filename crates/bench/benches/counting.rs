@@ -1,21 +1,25 @@
-//! E8 ablation as a Criterion benchmark: support-counting strategies
-//! (subset hashing vs hash tree vs vertical bitsets) on sparse and dense
-//! level-2 candidate sets.
+//! E8 ablation as a Criterion benchmark: support counting across the
+//! transaction-driven strategies (subset hashing, hash tree) and the
+//! three `SupportEngine` vertical backends (dense bitsets, tid-lists,
+//! diffsets) on sparse and dense level-2 candidate sets.
+//!
+//! The backend comparison is a one-line swap: every engine row calls the
+//! same batch `count_candidates` API with a different [`EngineKind`].
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rulebases_bench::{Scale, StandIn};
-use rulebases_dataset::{Itemset, MiningContext, MinSupport};
+use rulebases_dataset::{EngineKind, Itemset, MinSupport, MiningContext};
 use rulebases_mining::candidates::join_and_prune;
 use rulebases_mining::counting::{count_candidates, CountingStrategy};
-use rulebases_mining::TidListDb;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Builds the level-2 candidate set of a dataset at its default minsup.
 fn level2_candidates(ctx: &MiningContext, minsup: f64) -> Vec<Itemset> {
     let min_count = MinSupport::Fraction(minsup).to_count(ctx.n_objects());
     let frequent_singles: Vec<Itemset> = ctx
-        .vertical()
+        .engine()
         .item_supports()
         .iter()
         .enumerate()
@@ -33,38 +37,33 @@ fn bench_counting(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
 
     for dataset in [StandIn::T10I4, StandIn::Mushrooms] {
-        let ctx = MiningContext::new(dataset.generate(Scale::Test));
+        let db = Arc::new(dataset.generate(Scale::Test));
+        let ctx = MiningContext::with_engine_arc(Arc::clone(&db), EngineKind::Auto);
         let candidates = level2_candidates(&ctx, dataset.default_minsup());
         if candidates.is_empty() {
             continue;
         }
+        // Transaction-driven strategies.
         for (label, strategy) in [
             ("subset-hash", CountingStrategy::SubsetHash),
             ("hash-tree", CountingStrategy::HashTree),
-            ("vertical", CountingStrategy::Vertical),
         ] {
             group.bench_function(
                 BenchmarkId::new(label, format!("{}x{}", dataset.name(), candidates.len())),
-                |b| {
-                    b.iter(|| {
-                        black_box(count_candidates(&ctx, &candidates, 2, strategy))
-                    })
-                },
+                |b| b.iter(|| black_box(count_candidates(&ctx, &candidates, 2, strategy))),
             );
         }
-        // Sparse tid-lists: the paper-era vertical representation.
-        let tids = TidListDb::from_horizontal(ctx.horizontal());
-        group.bench_function(
-            BenchmarkId::new("tid-lists", format!("{}x{}", dataset.name(), candidates.len())),
-            |b| {
-                b.iter(|| {
-                    candidates
-                        .iter()
-                        .map(|c| black_box(tids.support(c)))
-                        .sum::<u64>()
-                })
-            },
-        );
+        // Vertical backends: the same batch API, one EngineKind per row.
+        for kind in EngineKind::BACKENDS {
+            let engine = kind.build(&db);
+            group.bench_function(
+                BenchmarkId::new(
+                    kind.name(),
+                    format!("{}x{}", dataset.name(), candidates.len()),
+                ),
+                |b| b.iter(|| black_box(engine.count_candidates(&candidates))),
+            );
+        }
     }
     group.finish();
 }

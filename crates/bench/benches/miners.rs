@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rulebases_bench::{Scale, StandIn};
-use rulebases_dataset::{MiningContext, MinSupport};
+use rulebases_dataset::{MinSupport, MiningContext};
 use rulebases_mining::{AClose, Apriori, Charm, Close, ClosedMiner, FrequentMiner};
 use std::hint::black_box;
 use std::time::Duration;
@@ -23,13 +23,13 @@ fn bench_miners(c: &mut Criterion) {
             b.iter(|| black_box(Apriori::new().mine_frequent(&ctx, minsup)))
         });
         group.bench_function(BenchmarkId::new("close", dataset.name()), |b| {
-            b.iter(|| black_box(Close::default().mine_closed(&ctx, minsup)))
+            b.iter(|| black_box(Close.mine_closed(&ctx, minsup)))
         });
         group.bench_function(BenchmarkId::new("a-close", dataset.name()), |b| {
-            b.iter(|| black_box(AClose::default().mine_closed(&ctx, minsup)))
+            b.iter(|| black_box(AClose.mine_closed(&ctx, minsup)))
         });
         group.bench_function(BenchmarkId::new("charm", dataset.name()), |b| {
-            b.iter(|| black_box(Charm::default().mine_closed(&ctx, minsup)))
+            b.iter(|| black_box(Charm.mine_closed(&ctx, minsup)))
         });
     }
     group.finish();

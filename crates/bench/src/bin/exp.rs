@@ -105,7 +105,7 @@ fn main() -> ExitCode {
     }
     if run_all || which == "verify" {
         banner("structural verification");
-        match tables::verify_shapes(if run_all { scale } else { scale }) {
+        match tables::verify_shapes(scale) {
             Ok(()) => println!("all shape invariants hold"),
             Err(e) => {
                 eprintln!("FAILED: {e}");

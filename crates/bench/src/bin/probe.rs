@@ -8,17 +8,14 @@
 //! ```
 
 use rulebases_bench::{Scale, StandIn};
-use rulebases_dataset::{MiningContext, MinSupport};
+use rulebases_dataset::{MinSupport, MiningContext};
 use rulebases_mining::{Apriori, Close, ClosedMiner};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(String::as_str).unwrap_or("MUSHROOMS");
-    let minsup: f64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.5);
+    let minsup: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
     let scale = args
         .get(2)
         .and_then(|s| Scale::parse(s))
@@ -40,7 +37,7 @@ fn main() {
     let ctx = MiningContext::new(db);
 
     let start = Instant::now();
-    let fc = Close::default().mine_closed(&ctx, MinSupport::Fraction(minsup));
+    let fc = Close.mine_closed(&ctx, MinSupport::Fraction(minsup));
     println!(
         "|FC| = {} ({} passes, {:.1} ms)",
         fc.len(),

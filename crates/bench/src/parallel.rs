@@ -1,5 +1,5 @@
 //! Tiny scoped-thread fan-out used to run independent experiment cells in
-//! parallel (crossbeam scoped threads; results come back in input order).
+//! parallel (std scoped threads; results come back in input order).
 
 /// Maps `f` over `items` with one scoped thread per item.
 ///
@@ -13,17 +13,16 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .into_iter()
-            .map(|item| scope.spawn(|_| f(item)))
+            .map(|item| scope.spawn(|| f(item)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("experiment cell panicked"))
             .collect()
     })
-    .expect("crossbeam scope failed")
 }
 
 #[cfg(test)]

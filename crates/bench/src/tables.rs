@@ -5,7 +5,7 @@ use crate::datasets::{Scale, StandIn};
 use crate::parallel::parallel_map;
 use crate::timing::{fmt_ms, median_duration};
 use rulebases::{count_all_rules, count_exact_rules, LuxenburgerBasis, MinedBases, RuleMiner};
-use rulebases_dataset::{DatasetStats, MiningContext, MinSupport};
+use rulebases_dataset::{DatasetStats, MinSupport, MiningContext};
 use rulebases_lattice::IcebergLattice;
 use rulebases_mining::{AClose, Apriori, Charm, Close, ClosedMiner, FpGrowth, FrequentMiner};
 use std::fmt;
@@ -91,7 +91,7 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
     parallel_map(cells, |(d, minsup)| {
         let ctx = MiningContext::new(d.generate(scale));
         let frequent = Apriori::new().mine(&ctx, MinSupport::Fraction(minsup));
-        let closed = Close::default().mine_closed(&ctx, MinSupport::Fraction(minsup));
+        let closed = Close.mine_closed(&ctx, MinSupport::Fraction(minsup));
         Table2Row {
             dataset: d.name(),
             minsup,
@@ -292,13 +292,13 @@ pub fn fig1(scale: Scale) -> Vec<Fig1Row> {
                     std::hint::black_box(FpGrowth::new().mine_frequent(&ctx, threshold));
                 }),
                 close: median_duration(runs, || {
-                    std::hint::black_box(Close::default().mine_closed(&ctx, threshold));
+                    std::hint::black_box(Close.mine_closed(&ctx, threshold));
                 }),
                 aclose: median_duration(runs, || {
-                    std::hint::black_box(AClose::default().mine_closed(&ctx, threshold));
+                    std::hint::black_box(AClose.mine_closed(&ctx, threshold));
                 }),
                 charm: median_duration(runs, || {
-                    std::hint::black_box(Charm::default().mine_closed(&ctx, threshold));
+                    std::hint::black_box(Charm.mine_closed(&ctx, threshold));
                 }),
             });
         }
@@ -404,10 +404,9 @@ pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
     for d in StandIn::ALL {
         let ctx = MiningContext::new(d.generate(scale));
         let threshold = MinSupport::Fraction(d.default_minsup());
-        let fc = Close::default().mine_closed(&ctx, threshold);
+        let fc = Close.mine_closed(&ctx, threshold);
         let (lattice, by_pairs) = crate::timing::time_once(|| IcebergLattice::from_closed(&fc));
-        let (_, by_closure) =
-            crate::timing::time_once(|| IcebergLattice::from_context(&fc, &ctx));
+        let (_, by_closure) = crate::timing::time_once(|| IcebergLattice::from_context(&fc, &ctx));
         rows.push(Fig3Row {
             dataset: d.name(),
             n_closed: lattice.n_nodes(),

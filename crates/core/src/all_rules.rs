@@ -74,7 +74,7 @@ pub fn count_all_rules(frequent: &FrequentItemsets, min_confidence: f64) -> usiz
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rulebases_dataset::{paper_example, Itemset, MiningContext, MinSupport};
+    use rulebases_dataset::{paper_example, Itemset, MinSupport, MiningContext};
     use rulebases_mining::Apriori;
 
     fn frequent() -> FrequentItemsets {
@@ -118,8 +118,9 @@ mod tests {
         // B → E is one of them.
         assert!(rules.contains(&Rule::new(set(&[2]), set(&[5]), 4, 4)));
         // C → A (conf 3/4) is not.
-        assert!(!rules.iter().any(|r| r.antecedent == set(&[3])
-            && r.consequent == set(&[1])));
+        assert!(!rules
+            .iter()
+            .any(|r| r.antecedent == set(&[3]) && r.consequent == set(&[1])));
     }
 
     #[test]

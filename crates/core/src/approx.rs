@@ -48,11 +48,7 @@ impl LuxenburgerBasis {
     /// at an empty lattice bottom) are skipped unless
     /// `include_empty_antecedent` — they are "frequency statements"
     /// `∅ → C`, not association rules in the usual sense.
-    pub fn full(
-        fc: &ClosedItemsets,
-        min_confidence: f64,
-        include_empty_antecedent: bool,
-    ) -> Self {
+    pub fn full(fc: &ClosedItemsets, min_confidence: f64, include_empty_antecedent: bool) -> Self {
         assert!((0.0..=1.0).contains(&min_confidence));
         let sets: Vec<(&Itemset, u64)> = fc.iter().collect();
         let mut rules = Vec::new();
@@ -70,12 +66,7 @@ impl LuxenburgerBasis {
                 if (*s2 as f64) < min_confidence * *s1 as f64 {
                     continue;
                 }
-                rules.push(Rule::new(
-                    (*c1).clone(),
-                    c2.difference(c1),
-                    *s2,
-                    *s1,
-                ));
+                rules.push(Rule::new((*c1).clone(), c2.difference(c1), *s2, *s1));
             }
         }
         rules.sort();
@@ -138,14 +129,19 @@ impl LuxenburgerBasis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rulebases_dataset::{paper_example, MiningContext, MinSupport};
+    use rulebases_dataset::{paper_example, MinSupport, MiningContext};
     use rulebases_mining::brute::{brute_closed, brute_frequent};
 
     fn set(ids: &[u32]) -> Itemset {
         Itemset::from_ids(ids.iter().copied())
     }
 
-    fn setup() -> (MiningContext, FrequentItemsets, ClosedItemsets, IcebergLattice) {
+    fn setup() -> (
+        MiningContext,
+        FrequentItemsets,
+        ClosedItemsets,
+        IcebergLattice,
+    ) {
         let ctx = MiningContext::new(paper_example());
         let f = brute_frequent(&ctx, MinSupport::Count(2));
         let fc = brute_closed(&ctx, MinSupport::Count(2));

@@ -202,7 +202,7 @@ mod tests {
     use super::*;
     use crate::approx::all_approximate_rules;
     use crate::exact::all_exact_rules;
-    use rulebases_dataset::{paper_example, MiningContext, MinSupport};
+    use rulebases_dataset::{paper_example, MinSupport, MiningContext};
     use rulebases_lattice::IcebergLattice;
     use rulebases_mining::brute::{brute_closed, brute_frequent};
 
@@ -268,10 +268,7 @@ mod tests {
         let engine = ApproxDerivation::new(&fx.lux, &fx.dg);
         // B → E is exact: not derivable as an approximate rule.
         assert!(engine.derive(&set(&[2]), &set(&[5])).is_none());
-        assert_eq!(
-            engine.derive_confidence(&set(&[2]), &set(&[5])),
-            Some(1.0)
-        );
+        assert_eq!(engine.derive_confidence(&set(&[2]), &set(&[5])), Some(1.0));
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl DuquenneGuiguesBasis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rulebases_dataset::{paper_example, MiningContext, MinSupport};
+    use rulebases_dataset::{paper_example, MinSupport, MiningContext};
     use rulebases_mining::brute::{brute_closed, brute_frequent};
 
     fn set(ids: &[u32]) -> Itemset {
@@ -247,11 +247,7 @@ mod tests {
         let (_, f, fc) = setup(1);
         let dg = DuquenneGuiguesBasis::build(&f, &fc, 6);
         let all = count_exact_rules(&f, &fc);
-        assert!(
-            (dg.len() as u64) < all,
-            "basis {} !< all {all}",
-            dg.len()
-        );
+        assert!((dg.len() as u64) < all, "basis {} !< all {all}", dg.len());
     }
 
     #[test]

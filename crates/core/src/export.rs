@@ -63,7 +63,11 @@ fn side(set: &Itemset, dict: Option<&ItemDictionary>) -> String {
     match dict {
         Some(d) => set
             .iter()
-            .map(|i| d.label(i).map(str::to_owned).unwrap_or_else(|| i.to_string()))
+            .map(|i| {
+                d.label(i)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| i.to_string())
+            })
             .collect::<Vec<_>>()
             .join("|"),
         None => set
@@ -81,18 +85,8 @@ mod tests {
 
     fn rules() -> Vec<Rule> {
         vec![
-            Rule::new(
-                Itemset::from_ids([2]),
-                Itemset::from_ids([5]),
-                4,
-                4,
-            ),
-            Rule::new(
-                Itemset::from_ids([3]),
-                Itemset::from_ids([1]),
-                3,
-                4,
-            ),
+            Rule::new(Itemset::from_ids([2]), Itemset::from_ids([5]), 4, 4),
+            Rule::new(Itemset::from_ids([3]), Itemset::from_ids([1]), 3, 4),
         ]
     }
 

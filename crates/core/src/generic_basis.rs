@@ -114,7 +114,7 @@ pub fn informative_basis_reduced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rulebases_dataset::{paper_example, Itemset, MiningContext, MinSupport};
+    use rulebases_dataset::{paper_example, Itemset, MinSupport, MiningContext};
     use rulebases_mining::brute::brute_closed;
     use rulebases_mining::mine_generators;
 

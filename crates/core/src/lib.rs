@@ -78,6 +78,6 @@ pub use report::BasisReport;
 pub use rule::Rule;
 
 // Re-export the substrate crates and the most common types.
-pub use rulebases_dataset::{self as dataset, MiningContext, MinSupport, TransactionDb};
+pub use rulebases_dataset::{self as dataset, MinSupport, MiningContext, TransactionDb};
 pub use rulebases_lattice::{self as lattice, IcebergLattice};
 pub use rulebases_mining::{self as mining, ClosedAlgorithm};

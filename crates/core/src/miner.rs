@@ -12,7 +12,7 @@ use crate::derive::{derive_approximate_rules, derive_exact_rules, ApproxDerivati
 use crate::exact::{all_exact_rules, count_exact_rules, DuquenneGuiguesBasis};
 use crate::report::BasisReport;
 use crate::rule::Rule;
-use rulebases_dataset::{MiningContext, MinSupport, Support, TransactionDb};
+use rulebases_dataset::{MinSupport, MiningContext, Support, TransactionDb};
 use rulebases_lattice::IcebergLattice;
 use rulebases_mining::{Apriori, ClosedAlgorithm, ClosedItemsets, FrequentItemsets};
 
@@ -75,11 +75,8 @@ impl RuleMiner {
         // ablation): closure-based covers pay |FC|·|I| closure scans.
         let lattice = IcebergLattice::from_closed(&closed);
         let dg = DuquenneGuiguesBasis::build(&frequent, &closed, ctx.n_items());
-        let lux_full = LuxenburgerBasis::full(
-            &closed,
-            self.min_confidence,
-            self.include_empty_antecedent,
-        );
+        let lux_full =
+            LuxenburgerBasis::full(&closed, self.min_confidence, self.include_empty_antecedent);
         let lux_reduced = LuxenburgerBasis::reduced(
             &lattice,
             self.min_confidence,
@@ -173,10 +170,7 @@ impl MinedBases {
     /// Number of closed sets excluding an empty bottom (the `|FC|` the
     /// paper tables report).
     pub fn n_closed_nonempty(&self) -> usize {
-        self.closed
-            .iter()
-            .filter(|(s, _)| !s.is_empty())
-            .count()
+        self.closed.iter().filter(|(s, _)| !s.is_empty()).count()
     }
 
     /// Builds the experiment-table row for this run.

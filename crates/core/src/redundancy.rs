@@ -33,9 +33,7 @@ pub fn covers(stronger: &Rule, weaker: &Rule) -> bool {
     stronger.support == weaker.support
         && stronger.antecedent_support == weaker.antecedent_support
         && stronger.antecedent.is_subset_of(&weaker.antecedent)
-        && weaker
-            .full_itemset()
-            .is_subset_of(&stronger.full_itemset())
+        && weaker.full_itemset().is_subset_of(&stronger.full_itemset())
 }
 
 /// A redundancy finding: rule at `redundant` is covered by rule at
@@ -52,10 +50,7 @@ pub struct Redundancy {
 pub fn find_redundant(rules: &[Rule]) -> Vec<Redundancy> {
     let mut findings = Vec::new();
     for (i, weaker) in rules.iter().enumerate() {
-        if let Some(j) = rules
-            .iter()
-            .position(|stronger| covers(stronger, weaker))
-        {
+        if let Some(j) = rules.iter().position(|stronger| covers(stronger, weaker)) {
             // Tie-break identical-information pairs (mutual coverage) by
             // keeping the earlier rule: only report i if its witness is
             // not itself covered by i with a smaller index.
@@ -132,10 +127,10 @@ mod tests {
     #[test]
     fn minimal_cover_prunes_and_is_stable() {
         let rules = vec![
-            rule(&[1], &[2, 3], 2, 2),  // covers the next two
+            rule(&[1], &[2, 3], 2, 2), // covers the next two
             rule(&[1, 2], &[3], 2, 2),
             rule(&[1, 3], &[2], 2, 2),
-            rule(&[5], &[6], 4, 5),     // unrelated, kept
+            rule(&[5], &[6], 4, 5), // unrelated, kept
         ];
         let cover = minimal_cover(&rules);
         assert_eq!(cover, vec![rules[0].clone(), rules[3].clone()]);
@@ -152,9 +147,9 @@ mod tests {
         assert_eq!(a, b);
         let cover = minimal_cover(&[a.clone(), b]);
         assert_eq!(cover.len(), 2); // equal rules do not cover each other
-        // Distinct-but-mutually-covering pairs cannot exist with the
-        // subset conditions (antecedents would have to be equal and spans
-        // equal ⇒ same rule), so nothing else to prune.
+                                    // Distinct-but-mutually-covering pairs cannot exist with the
+                                    // subset conditions (antecedents would have to be equal and spans
+                                    // equal ⇒ same rule), so nothing else to prune.
         let _ = cover;
     }
 
@@ -185,10 +180,7 @@ mod tests {
 
     #[test]
     fn findings_reference_valid_witnesses() {
-        let rules = vec![
-            rule(&[1], &[2, 3], 2, 2),
-            rule(&[1, 2], &[3], 2, 2),
-        ];
+        let rules = vec![rule(&[1], &[2, 3], 2, 2), rule(&[1, 2], &[3], 2, 2)];
         let findings = find_redundant(&rules);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].redundant, 1);

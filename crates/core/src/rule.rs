@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn ordering_is_deterministic() {
-        let mut rules = vec![
+        let mut rules = [
             Rule::new(set(&[2]), set(&[5]), 4, 4),
             Rule::new(set(&[1]), set(&[3]), 3, 3),
             Rule::new(set(&[5]), set(&[2]), 4, 4),

@@ -165,7 +165,10 @@ impl BitSet {
     /// Subset test (`⊆`).
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         assert_eq!(self.nbits, other.nbits, "capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over set bit indices in increasing order.

@@ -11,17 +11,25 @@
 //!   maps an itemset to the maximal itemset with the same extent — "the
 //!   intersection of the objects containing `I`".
 //!
-//! [`MiningContext`] keeps both the horizontal and the vertical
-//! representation: extents come from bitset intersections, intents from
-//! merge-intersecting the transactions of an extent.
+//! [`MiningContext`] pairs the horizontal store with a pluggable
+//! [`SupportEngine`] (dense bitsets, tid-lists, or diffsets — see
+//! [`crate::engine`]) wrapped in a memoizing closure cache: every
+//! support/extent/closure query in the workspace flows through that one
+//! engine, so the representation is swappable per workload and repeated
+//! closures are answered from the cache.
 
 use crate::bitset::BitSet;
+use crate::engine::{CacheStats, CachedEngine, EngineKind, SupportEngine};
 use crate::itemset::Itemset;
 use crate::support::{MinSupport, Support};
 use crate::transaction::TransactionDb;
-use crate::vertical::VerticalDb;
+use std::sync::Arc;
 
-/// A data-mining context combining horizontal and vertical views.
+/// A data-mining context: the horizontal view plus a pluggable
+/// support/closure engine.
+///
+/// Cloning is cheap (both views are shared behind `Arc`s); clones share
+/// the closure cache.
 ///
 /// # Examples
 ///
@@ -40,19 +48,42 @@ use crate::vertical::VerticalDb;
 /// assert_eq!(ctx.closure(&Itemset::from_ids([2])), Itemset::from_ids([2, 5]));
 /// assert!(ctx.is_closed(&Itemset::from_ids([2, 5])));
 /// ```
+///
+/// Picking a specific backend (the default is density-driven
+/// [`EngineKind::Auto`]):
+///
+/// ```
+/// use rulebases_dataset::{paper_example, EngineKind, MiningContext, Itemset};
+///
+/// let ctx = MiningContext::with_engine(paper_example(), EngineKind::TidList);
+/// assert_eq!(ctx.engine_name(), "tid-list");
+/// assert_eq!(ctx.support(&Itemset::from_ids([2, 5])), 4);
+/// ```
 #[derive(Clone, Debug)]
 pub struct MiningContext {
-    horizontal: TransactionDb,
-    vertical: VerticalDb,
+    horizontal: Arc<TransactionDb>,
+    engine: Arc<CachedEngine>,
 }
 
 impl MiningContext {
-    /// Builds a context from a horizontal database (transposing it once).
+    /// Builds a context with the density-selected default engine.
     pub fn new(db: TransactionDb) -> Self {
-        let vertical = VerticalDb::from_horizontal(&db);
+        Self::with_engine(db, EngineKind::Auto)
+    }
+
+    /// Builds a context with an explicit [`SupportEngine`] backend.
+    pub fn with_engine(db: TransactionDb, kind: EngineKind) -> Self {
+        Self::with_engine_arc(Arc::new(db), kind)
+    }
+
+    /// Builds a context over an already-shared database without cloning
+    /// it (the context stores the `Arc` directly), with an explicit
+    /// backend.
+    pub fn with_engine_arc(db: Arc<TransactionDb>, kind: EngineKind) -> Self {
+        let engine = kind.build_cached(&db);
         MiningContext {
             horizontal: db,
-            vertical,
+            engine,
         }
     }
 
@@ -62,16 +93,26 @@ impl MiningContext {
         &self.horizontal
     }
 
-    /// The vertical view.
+    /// The support/closure engine (cached; shared by clones).
     #[inline]
-    pub fn vertical(&self) -> &VerticalDb {
-        &self.vertical
+    pub fn engine(&self) -> &dyn SupportEngine {
+        self.engine.as_ref()
+    }
+
+    /// The active backend's name (`"dense"`, `"tid-list"`, `"diffset"`).
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Closure-cache counters (hits, misses, evictions).
+    pub fn closure_cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
     }
 
     /// Number of objects `|O|`.
     #[inline]
     pub fn n_objects(&self) -> usize {
-        self.vertical.n_objects()
+        self.horizontal.n_transactions()
     }
 
     /// Size of the item universe `|I|`.
@@ -82,7 +123,7 @@ impl MiningContext {
 
     /// `g(itemset)`: the extent.
     pub fn extent(&self, itemset: &Itemset) -> BitSet {
-        self.vertical.extent(itemset)
+        self.engine.tidset_of(itemset)
     }
 
     /// `f(objects)`: the intent — items common to every object in the set.
@@ -91,29 +132,19 @@ impl MiningContext {
     /// intersection over nothing), matching the Galois-connection
     /// convention.
     pub fn intent(&self, objects: &BitSet) -> Itemset {
-        let mut ones = objects.iter();
-        let Some(first) = ones.next() else {
-            return Itemset::universe(self.n_items());
-        };
-        let mut intent = Itemset::from_sorted(self.horizontal.transaction(first).to_vec());
-        for t in ones {
-            if intent.is_empty() {
-                break;
-            }
-            intent.intersect_with(self.horizontal.transaction(t));
-        }
-        intent
+        self.engine.closure_of_tidset(objects)
     }
 
-    /// The Galois closure `h(itemset) = f(g(itemset))`.
+    /// The Galois closure `h(itemset) = f(g(itemset))`, answered from the
+    /// closure cache when the itemset was closed before.
     pub fn closure(&self, itemset: &Itemset) -> Itemset {
-        self.intent(&self.extent(itemset))
+        self.engine.closure(itemset)
     }
 
     /// Closure of an itemset whose extent is already known (saves the
     /// extent recomputation in levelwise miners).
     pub fn closure_of_extent(&self, extent: &BitSet) -> Itemset {
-        self.intent(extent)
+        self.engine.closure_of_tidset(extent)
     }
 
     /// Whether `h(itemset) = itemset`.
@@ -122,9 +153,9 @@ impl MiningContext {
         self.closure(itemset).len() == itemset.len()
     }
 
-    /// Absolute support (via the vertical view).
+    /// Absolute support (via the engine).
     pub fn support(&self, itemset: &Itemset) -> Support {
-        self.vertical.support(itemset)
+        self.engine.support(itemset)
     }
 
     /// Relative support in `[0, 1]`.
@@ -189,10 +220,7 @@ mod tests {
         assert_eq!(c.closure(&Itemset::empty()), Itemset::empty());
 
         // With a column full of 9s, the empty set closes to {9}.
-        let c2 = MiningContext::new(TransactionDb::from_rows(vec![
-            vec![1, 9],
-            vec![2, 9],
-        ]));
+        let c2 = MiningContext::new(TransactionDb::from_rows(vec![vec![1, 9], vec![2, 9]]));
         assert_eq!(c2.closure(&Itemset::empty()), set(&[9]));
     }
 
@@ -238,7 +266,11 @@ mod tests {
             (vec![2], false),
             (vec![2, 3], false),
         ] {
-            assert_eq!(c.is_closed(&Itemset::from_ids(ids.clone())), closed, "{ids:?}");
+            assert_eq!(
+                c.is_closed(&Itemset::from_ids(ids.clone())),
+                closed,
+                "{ids:?}"
+            );
         }
     }
 
@@ -267,5 +299,41 @@ mod tests {
         let gy = c.extent(&set(&[2, 3]));
         assert!(gy.is_subset_of(&gx));
         let _ = Item(0); // silence unused import in some cfg combinations
+    }
+
+    #[test]
+    fn every_backend_yields_the_same_context_semantics() {
+        let probes = [set(&[1]), set(&[2, 3]), set(&[1, 4, 5]), Itemset::empty()];
+        let reference = ctx();
+        for kind in EngineKind::BACKENDS {
+            let c = MiningContext::with_engine(
+                TransactionDb::from_rows(vec![
+                    vec![1, 3, 4],
+                    vec![2, 3, 5],
+                    vec![1, 2, 3, 5],
+                    vec![2, 5],
+                    vec![1, 2, 3, 5],
+                ]),
+                kind,
+            );
+            assert_eq!(c.engine_name(), kind.name());
+            for probe in &probes {
+                assert_eq!(c.support(probe), reference.support(probe), "{kind}");
+                assert_eq!(c.closure(probe), reference.closure(probe), "{kind}");
+                assert_eq!(c.extent(probe), reference.extent(probe), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_the_closure_cache() {
+        let c = ctx();
+        let clone = c.clone();
+        let probe = set(&[2]);
+        let _ = c.closure(&probe);
+        let _ = clone.closure(&probe);
+        let stats = c.closure_cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
     }
 }

@@ -1,0 +1,254 @@
+//! The memoizing closure cache.
+
+use super::SupportEngine;
+use crate::bitset::BitSet;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::support::Support;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many distinct closures the cache holds before it is wiped and
+/// refilled (a simple epoch policy — closure working sets are bursty, so
+/// LRU bookkeeping would cost more than it saves).
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Closure-cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Closure queries answered from the cache.
+    pub hits: u64,
+    /// Closure queries that had to compute.
+    pub misses: u64,
+    /// Times the cache hit capacity and was wiped.
+    pub evictions: u64,
+}
+
+/// Wraps any [`SupportEngine`] with a memoizing closure cache keyed by
+/// itemset hash (with full-equality verification on collision).
+///
+/// NextClosure and the pseudo-closed (stem-base) construction probe
+/// `close(A ∪ {i})` for many `(A, i)` pairs while walking the lectic
+/// order, and distinct steps re-derive identical candidate sets; the
+/// levelwise miners re-close generators shared across runs at different
+/// thresholds. Memoizing turns every repeat into a hash lookup. Support
+/// and tidset queries pass through uncached — they are cheaper than the
+/// closures and far less repetitive.
+///
+/// The cache is internally synchronized (`Mutex` around the map, atomic
+/// counters), so a context can be shared across threads.
+#[derive(Debug)]
+pub struct CachedEngine {
+    inner: Arc<dyn SupportEngine>,
+    closures: Mutex<HashMap<Itemset, (Itemset, Support)>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CachedEngine {
+    /// Wraps `inner` with the default cache capacity.
+    pub fn new(inner: Arc<dyn SupportEngine>) -> Self {
+        Self::with_capacity(inner, DEFAULT_CAPACITY)
+    }
+
+    /// Wraps `inner`, wiping the cache whenever it exceeds `capacity`
+    /// entries.
+    pub fn with_capacity(inner: Arc<dyn SupportEngine>, capacity: usize) -> Self {
+        CachedEngine {
+            inner,
+            closures: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn SupportEngine {
+        &*self.inner
+    }
+
+    /// Drops every cached closure (counters survive).
+    pub fn clear_cache(&self) {
+        self.closures
+            .lock()
+            .expect("closure cache poisoned")
+            .clear();
+    }
+
+    fn cached_closure(&self, itemset: &Itemset) -> (Itemset, Support) {
+        {
+            let cache = self.closures.lock().expect("closure cache poisoned");
+            if let Some(found) = cache.get(itemset) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return found.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = self.inner.closure_and_support(itemset);
+        let mut cache = self.closures.lock().expect("closure cache poisoned");
+        if cache.len() >= self.capacity {
+            cache.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        cache.insert(itemset.clone(), computed.clone());
+        computed
+    }
+}
+
+impl SupportEngine for CachedEngine {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn n_objects(&self) -> usize {
+        self.inner.n_objects()
+    }
+
+    fn n_items(&self) -> usize {
+        self.inner.n_items()
+    }
+
+    fn cover(&self, item: Item) -> BitSet {
+        self.inner.cover(item)
+    }
+
+    fn tidset_of(&self, itemset: &Itemset) -> BitSet {
+        self.inner.tidset_of(itemset)
+    }
+
+    fn extend_tidset(&self, tidset: &BitSet, item: Item) -> BitSet {
+        self.inner.extend_tidset(tidset, item)
+    }
+
+    fn support(&self, itemset: &Itemset) -> Support {
+        self.inner.support(itemset)
+    }
+
+    fn item_supports(&self) -> Vec<Support> {
+        self.inner.item_supports()
+    }
+
+    fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
+        self.inner.closure_of_tidset(tidset)
+    }
+
+    fn closure(&self, itemset: &Itemset) -> Itemset {
+        self.cached_closure(itemset).0
+    }
+
+    fn closure_and_support(&self, itemset: &Itemset) -> (Itemset, Support) {
+        self.cached_closure(itemset)
+    }
+
+    fn count_candidates(&self, candidates: &[Itemset]) -> Vec<Support> {
+        self.inner.count_candidates(candidates)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::EngineKind;
+    use super::*;
+    use crate::paper_example;
+    use crate::transaction::TransactionDb;
+
+    fn cached() -> CachedEngine {
+        let db = Arc::new(paper_example());
+        CachedEngine::new(EngineKind::Dense.build(&db))
+    }
+
+    #[test]
+    fn repeated_closures_hit() {
+        let engine = cached();
+        let probe = Itemset::from_ids([2]);
+        let first = engine.closure(&probe);
+        let second = engine.closure(&probe);
+        assert_eq!(first, second);
+        assert_eq!(first, Itemset::from_ids([2, 5]));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn closure_and_support_share_the_cache() {
+        let engine = cached();
+        let probe = Itemset::from_ids([2, 3]);
+        let (closure, support) = engine.closure_and_support(&probe);
+        assert_eq!(closure, Itemset::from_ids([2, 3, 5]));
+        assert_eq!(support, 3);
+        let _ = engine.closure(&probe);
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_overflow_wipes_and_counts() {
+        let db = Arc::new(paper_example());
+        let engine = CachedEngine::with_capacity(EngineKind::Dense.build(&db), 2);
+        for ids in [vec![1u32], vec![2], vec![3], vec![5]] {
+            let _ = engine.closure(&Itemset::from_ids(ids));
+        }
+        let stats = engine.cache_stats();
+        assert!(stats.evictions >= 1, "{stats:?}");
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn clear_cache_resets_entries_not_counters() {
+        let engine = cached();
+        let probe = Itemset::from_ids([1]);
+        let _ = engine.closure(&probe);
+        engine.clear_cache();
+        let _ = engine.closure(&probe);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn passthrough_queries_stay_uncached() {
+        let engine = cached();
+        let probe = Itemset::from_ids([2, 5]);
+        assert_eq!(engine.support(&probe), 4);
+        assert_eq!(engine.tidset_of(&probe).count(), 4);
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn works_over_every_backend() {
+        let db = Arc::new(paper_example());
+        for kind in EngineKind::BACKENDS {
+            let engine = CachedEngine::new(kind.build(&db));
+            assert_eq!(
+                engine.closure(&Itemset::from_ids([2])),
+                Itemset::from_ids([2, 5]),
+                "{}",
+                engine.name()
+            );
+            let _ = engine.closure(&Itemset::from_ids([2]));
+            assert_eq!(engine.cache_stats().hits, 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn empty_context_closure_is_cached_too() {
+        let db = Arc::new(TransactionDb::from_rows(vec![]));
+        let engine = CachedEngine::new(EngineKind::Dense.build(&db));
+        assert_eq!(engine.closure(&Itemset::empty()), Itemset::empty());
+        assert_eq!(engine.closure(&Itemset::empty()), Itemset::empty());
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! The dense bitset backend.
+
+use super::{intent_of, SupportEngine};
+use crate::bitset::BitSet;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::support::Support;
+use crate::transaction::TransactionDb;
+use crate::vertical::VerticalDb;
+use std::sync::Arc;
+
+/// Dense [`BitSet`] covers (today's [`VerticalDb`]) behind the
+/// [`SupportEngine`] interface.
+///
+/// Support counting is word-wise `AND` + popcount; closure goes through
+/// merge-intersection of the extent's transactions. The robust default
+/// for everything that is not extremely sparse or near-saturated.
+#[derive(Clone, Debug)]
+pub struct DenseEngine {
+    vertical: VerticalDb,
+    horizontal: Arc<TransactionDb>,
+}
+
+impl DenseEngine {
+    /// Transposes a horizontal database into bitset covers.
+    pub fn from_horizontal(db: &Arc<TransactionDb>) -> Self {
+        DenseEngine {
+            vertical: VerticalDb::from_horizontal(db),
+            horizontal: Arc::clone(db),
+        }
+    }
+
+    /// The underlying vertical store.
+    pub fn vertical(&self) -> &VerticalDb {
+        &self.vertical
+    }
+}
+
+impl SupportEngine for DenseEngine {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn n_objects(&self) -> usize {
+        self.vertical.n_objects()
+    }
+
+    fn n_items(&self) -> usize {
+        self.vertical.n_items()
+    }
+
+    fn cover(&self, item: Item) -> BitSet {
+        if item.index() >= self.vertical.n_items() {
+            return BitSet::new(self.n_objects());
+        }
+        self.vertical.cover(item).clone()
+    }
+
+    fn tidset_of(&self, itemset: &Itemset) -> BitSet {
+        self.vertical.extent(itemset)
+    }
+
+    fn extend_tidset(&self, tidset: &BitSet, item: Item) -> BitSet {
+        if item.index() >= self.vertical.n_items() {
+            return BitSet::new(self.n_objects());
+        }
+        self.vertical.extend_extent(tidset, item)
+    }
+
+    fn support(&self, itemset: &Itemset) -> Support {
+        self.vertical.support(itemset)
+    }
+
+    fn item_supports(&self) -> Vec<Support> {
+        self.vertical.item_supports()
+    }
+
+    fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
+        intent_of(&self.horizontal, tidset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn matches_raw_vertical_db() {
+        let db = Arc::new(paper_example());
+        let engine = DenseEngine::from_horizontal(&db);
+        let raw = VerticalDb::from_horizontal(&db);
+        let probe = Itemset::from_ids([2, 3, 5]);
+        assert_eq!(engine.support(&probe), raw.support(&probe));
+        assert_eq!(engine.tidset_of(&probe), raw.extent(&probe));
+        assert_eq!(engine.cover(Item::new(2)), raw.cover(Item::new(2)).clone());
+        assert!(engine.cover(Item::new(99)).is_empty());
+    }
+
+    #[test]
+    fn closure_uses_transaction_intent() {
+        let db = Arc::new(paper_example());
+        let engine = DenseEngine::from_horizontal(&db);
+        assert_eq!(
+            engine.closure(&Itemset::from_ids([2])),
+            Itemset::from_ids([2, 5])
+        );
+        // Unsupported itemsets close to the universe.
+        assert_eq!(
+            engine.closure(&Itemset::from_ids([1, 4, 5])),
+            Itemset::universe(6)
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! The diffset backend (dEclat-style complements).
+
+use super::{intent_of, SupportEngine};
+use crate::bitset::BitSet;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::support::Support;
+use crate::transaction::TransactionDb;
+use std::sync::Arc;
+
+/// Per-item *diffsets*: for every item, the sorted list of transactions
+/// that do **not** contain it (Zaki & Hsiao's dEclat representation),
+/// behind the [`SupportEngine`] interface.
+///
+/// The extent of an itemset is the complement of the union of its items'
+/// diffsets: `g(X) = O ∖ ⋃_{i∈X} d(i)`, so
+/// `supp(X) = |O| − |⋃ d(i)|`. On near-saturated relations covers are
+/// almost all of `O` and complements are tiny, so the union touches far
+/// fewer entries than any cover intersection would.
+#[derive(Clone, Debug)]
+pub struct DiffsetEngine {
+    /// `diffs[i]` = sorted tids missing item `i`.
+    diffs: Vec<Vec<u32>>,
+    n_objects: usize,
+    horizontal: Arc<TransactionDb>,
+}
+
+impl DiffsetEngine {
+    /// Builds per-item diffsets from a horizontal database.
+    pub fn from_horizontal(db: &Arc<TransactionDb>) -> Self {
+        let n_objects = db.n_transactions();
+        let mut present = vec![false; db.n_items()];
+        let mut diffs: Vec<Vec<u32>> = vec![Vec::new(); db.n_items()];
+        for (t, row) in db.iter().enumerate() {
+            for &item in row {
+                present[item.index()] = true;
+            }
+            for (i, flag) in present.iter_mut().enumerate() {
+                if !*flag {
+                    diffs[i].push(t as u32);
+                }
+                *flag = false;
+            }
+        }
+        DiffsetEngine {
+            diffs,
+            n_objects,
+            horizontal: Arc::clone(db),
+        }
+    }
+
+    /// The diffset of one item, or `None` for out-of-universe items
+    /// (which are related to no object, i.e. their conceptual diffset is
+    /// all of `O`).
+    pub fn diffset(&self, item: Item) -> Option<&[u32]> {
+        self.diffs.get(item.index()).map(Vec::as_slice)
+    }
+}
+
+impl SupportEngine for DiffsetEngine {
+    fn name(&self) -> &'static str {
+        "diffset"
+    }
+
+    fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    fn n_items(&self) -> usize {
+        self.diffs.len()
+    }
+
+    fn cover(&self, item: Item) -> BitSet {
+        match self.diffset(item) {
+            None => BitSet::new(self.n_objects),
+            Some(diff) => {
+                let mut cover = BitSet::full(self.n_objects);
+                for &t in diff {
+                    cover.remove(t as usize);
+                }
+                cover
+            }
+        }
+    }
+
+    fn tidset_of(&self, itemset: &Itemset) -> BitSet {
+        if itemset.iter().any(|i| i.index() >= self.diffs.len()) {
+            return BitSet::new(self.n_objects);
+        }
+        let mut tidset = BitSet::full(self.n_objects);
+        for item in itemset.iter() {
+            for &t in self.diffs[item.index()].iter() {
+                tidset.remove(t as usize);
+            }
+            if tidset.is_empty() {
+                break;
+            }
+        }
+        tidset
+    }
+
+    fn support(&self, itemset: &Itemset) -> Support {
+        if itemset.iter().any(|i| i.index() >= self.diffs.len()) {
+            return 0;
+        }
+        // |O| − |⋃ d(i)| via a k-way merge counting distinct tids. The
+        // lists are sorted, so a rolling minimum enumerates the union.
+        let lists: Vec<&[u32]> = itemset
+            .iter()
+            .map(|i| self.diffs[i.index()].as_slice())
+            .collect();
+        match lists.len() {
+            0 => self.n_objects as Support,
+            1 => (self.n_objects - lists[0].len()) as Support,
+            _ => {
+                let mut cursors = vec![0usize; lists.len()];
+                let mut union_size = 0usize;
+                loop {
+                    let mut current: Option<u32> = None;
+                    for (list, &cursor) in lists.iter().zip(&cursors) {
+                        if cursor < list.len() {
+                            let head = list[cursor];
+                            current = Some(current.map_or(head, |m| m.min(head)));
+                        }
+                    }
+                    let Some(tid) = current else { break };
+                    union_size += 1;
+                    for (list, cursor) in lists.iter().zip(cursors.iter_mut()) {
+                        if *cursor < list.len() && list[*cursor] == tid {
+                            *cursor += 1;
+                        }
+                    }
+                }
+                (self.n_objects - union_size) as Support
+            }
+        }
+    }
+
+    fn item_supports(&self) -> Vec<Support> {
+        self.diffs
+            .iter()
+            .map(|d| (self.n_objects - d.len()) as Support)
+            .collect()
+    }
+
+    fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
+        intent_of(&self.horizontal, tidset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::vertical::VerticalDb;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn diffsets_complement_covers() {
+        let db = Arc::new(paper_example());
+        let engine = DiffsetEngine::from_horizontal(&db);
+        let vertical = VerticalDb::from_horizontal(&db);
+        for i in 0..engine.n_items() as u32 {
+            let item = Item::new(i);
+            assert_eq!(engine.cover(item), vertical.cover(item).clone(), "item {i}");
+            let diff_len = engine.diffset(item).unwrap().len();
+            assert_eq!(diff_len, 5 - vertical.cover(item).count(), "item {i}");
+        }
+    }
+
+    #[test]
+    fn supports_match_dense_counting() {
+        let db = Arc::new(paper_example());
+        let engine = DiffsetEngine::from_horizontal(&db);
+        for probe in [
+            Itemset::empty(),
+            set(&[2]),
+            set(&[2, 5]),
+            set(&[1, 2, 3, 5]),
+            set(&[1, 4, 5]),
+            set(&[0]),
+            set(&[42]),
+        ] {
+            assert_eq!(engine.support(&probe), db.support(&probe), "{probe:?}");
+            assert_eq!(
+                engine.tidset_of(&probe).count() as Support,
+                engine.support(&probe),
+                "{probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn closures_match_context_semantics() {
+        let db = Arc::new(paper_example());
+        let engine = DiffsetEngine::from_horizontal(&db);
+        assert_eq!(engine.closure(&set(&[2])), set(&[2, 5]));
+        assert_eq!(engine.closure(&set(&[4])), set(&[1, 3, 4]));
+        assert_eq!(engine.closure(&set(&[1, 4, 5])), Itemset::universe(6));
+    }
+}

@@ -1,0 +1,374 @@
+//! Pluggable support-counting and closure engines.
+//!
+//! Every construction in this workspace — the Close/A-Close/CHARM miners,
+//! NextClosure, the pseudo-closed (stem-base) computation, the rule-base
+//! derivations — reduces to one hot primitive: given an itemset, find its
+//! *extent* (tidset), its *support*, and its Galois *closure*. The seed
+//! implemented that primitive independently in five places with no shared
+//! caching and no way to pick a representation per workload;
+//! [`SupportEngine`] is the single interface they all go through now.
+//!
+//! # Backends
+//!
+//! Three interchangeable representations of the per-item covers, one per
+//! density regime:
+//!
+//! * [`DenseEngine`] — one dense [`BitSet`] per item (the transposed
+//!   relation). Intersections are word-wise `AND` + popcount: unbeatable
+//!   when covers occupy a sizable fraction of `|O|` (MUSHROOMS, census
+//!   extracts) and perfectly fine in the mid range, which is why it is
+//!   the default.
+//! * [`TidListEngine`] — one sorted `Vec<u32>` of transaction ids per
+//!   item (the paper-era vertical format of Eclat/CHARM). Intersection
+//!   cost scales with the cover *sizes* rather than with `|O|/64` words,
+//!   so tid-lists win when covers are tiny relative to `|O|`: very sparse
+//!   baskets (T10I4-style) over large object counts.
+//! * [`DiffsetEngine`] — one sorted list of *missing* transaction ids per
+//!   item (Zaki & Hsiao's dEclat representation). The complement of a
+//!   near-full cover is tiny, so diffsets shine on extremely dense data
+//!   where even bitsets waste work scanning runs of ones.
+//!
+//! All three agree bit-for-bit on every query (cross-backend equivalence
+//! is property-tested in `tests/proptests.rs` and `tests/equivalence.rs`);
+//! they differ only in time/space trade-offs, which makes the
+//! representation an ablatable axis — the `counting` bench swaps backends
+//! with one [`EngineKind`] value.
+//!
+//! # Selection and caching
+//!
+//! [`EngineKind::Auto`] picks a backend from [`DatasetStats`]-style
+//! density measurements (see [`EngineKind::select`]). [`CachedEngine`]
+//! wraps any backend with a memoizing closure cache keyed by itemset
+//! hash: NextClosure and the stem-base construction re-close the same
+//! candidate sets many times while walking the lectic order, and the
+//! cache turns those repeats into lookups. [`MiningContext`] always
+//! installs the cache, so every consumer rides it transparently.
+//!
+//! [`MiningContext`]: crate::MiningContext
+//! [`DatasetStats`]: crate::DatasetStats
+
+mod cache;
+mod dense;
+mod diffset;
+mod tidlist;
+
+pub use cache::{CacheStats, CachedEngine};
+pub use dense::DenseEngine;
+pub use diffset::DiffsetEngine;
+pub use tidlist::{intersect, intersect_count, TidList, TidListEngine};
+
+use crate::bitset::BitSet;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::support::Support;
+use crate::transaction::TransactionDb;
+use std::fmt;
+use std::sync::Arc;
+
+/// The unified support-counting and closure interface.
+///
+/// An engine represents one data-mining context `D = (O, I, R)` in some
+/// vertical format and answers the Galois-connection queries every miner
+/// and basis construction needs. Tidsets cross the trait boundary as
+/// [`BitSet`]s (the canonical dense form) regardless of the backend's
+/// internal representation.
+///
+/// Implementations must be consistent: for every itemset `X`,
+/// `support(X) == tidset_of(X).count()` and
+/// `closure(X) == closure_of_tidset(&tidset_of(X))`.
+pub trait SupportEngine: fmt::Debug + Send + Sync {
+    /// Stable backend identifier for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Number of objects `|O|`.
+    fn n_objects(&self) -> usize;
+
+    /// Size of the item universe `|I|`.
+    fn n_items(&self) -> usize;
+
+    /// The cover (tidset) of a single item, materialized as a bitset.
+    /// Items outside the universe have an empty cover.
+    fn cover(&self, item: Item) -> BitSet;
+
+    /// The extent `g(X)`: objects containing every item of `X`. The
+    /// extent of `∅` is all of `O`; items outside the universe empty it.
+    fn tidset_of(&self, itemset: &Itemset) -> BitSet;
+
+    /// Refines a known extent by one item: `g(X ∪ {i}) = g(X) ∩ g({i})`.
+    fn extend_tidset(&self, tidset: &BitSet, item: Item) -> BitSet {
+        tidset.intersection(&self.cover(item))
+    }
+
+    /// Absolute support `|g(X)|`. Backends override this with paths that
+    /// avoid materializing the tidset where possible.
+    fn support(&self, itemset: &Itemset) -> Support {
+        self.tidset_of(itemset).count() as Support
+    }
+
+    /// Per-item supports (level 1 of every levelwise miner).
+    fn item_supports(&self) -> Vec<Support>;
+
+    /// The intent `f(T)` of an object set: items common to every object
+    /// of `T`. The intent of the empty tidset is the full universe.
+    fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset;
+
+    /// The Galois closure `h(X) = f(g(X))`.
+    fn closure(&self, itemset: &Itemset) -> Itemset {
+        self.closure_of_tidset(&self.tidset_of(itemset))
+    }
+
+    /// Closure and support in one pass over the extent.
+    fn closure_and_support(&self, itemset: &Itemset) -> (Itemset, Support) {
+        let tidset = self.tidset_of(itemset);
+        let support = tidset.count() as Support;
+        (self.closure_of_tidset(&tidset), support)
+    }
+
+    /// Batch support counting for a candidate level. The default maps
+    /// [`SupportEngine::support`]; backends may reuse partial
+    /// intersections across candidates.
+    fn count_candidates(&self, candidates: &[Itemset]) -> Vec<Support> {
+        candidates.iter().map(|c| self.support(c)).collect()
+    }
+
+    /// Closure-cache statistics, when the engine carries a cache (see
+    /// [`CachedEngine`]). Plain backends report zeros.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+/// Computes the intent of `tidset` by merge-intersecting horizontal
+/// transactions — the closure path shared by every backend.
+///
+/// Cost is `O(|T| · avg|t|)`, which beats per-item cover subset tests
+/// whenever extents are small (the common case once mining is below the
+/// first levels).
+pub(crate) fn intent_of(db: &TransactionDb, tidset: &BitSet) -> Itemset {
+    let mut ones = tidset.iter();
+    let Some(first) = ones.next() else {
+        return Itemset::universe(db.n_items());
+    };
+    let mut intent = Itemset::from_sorted(db.transaction(first).to_vec());
+    for t in ones {
+        if intent.is_empty() {
+            break;
+        }
+        intent.intersect_with(db.transaction(t));
+    }
+    intent
+}
+
+/// Which [`SupportEngine`] backend to build for a context.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Pick a backend from the dataset's density (see
+    /// [`EngineKind::select`]).
+    #[default]
+    Auto,
+    /// Dense bitset covers ([`DenseEngine`]).
+    Dense,
+    /// Sorted tid-lists ([`TidListEngine`]).
+    TidList,
+    /// Sorted complement lists ([`DiffsetEngine`]).
+    Diffset,
+}
+
+impl EngineKind {
+    /// The three concrete backends (`Auto` resolves to one of these) —
+    /// the ablation axis for benchmarks and equivalence tests.
+    pub const BACKENDS: [EngineKind; 3] =
+        [EngineKind::Dense, EngineKind::TidList, EngineKind::Diffset];
+
+    /// Stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Auto => "auto",
+            EngineKind::Dense => "dense",
+            EngineKind::TidList => "tid-list",
+            EngineKind::Diffset => "diffset",
+        }
+    }
+
+    /// Resolves `Auto` against a concrete database: tid-lists for very
+    /// sparse relations over large object counts (intersections touch
+    /// only the occupied entries), diffsets for near-saturated relations
+    /// (complements are tiny), dense bitsets — the robust middle — for
+    /// everything else.
+    pub fn select(self, db: &TransactionDb) -> EngineKind {
+        if self != EngineKind::Auto {
+            return self;
+        }
+        let density = db.density();
+        if density < 0.02 && db.n_transactions() >= 1024 {
+            EngineKind::TidList
+        } else if density > 0.60 {
+            EngineKind::Diffset
+        } else {
+            EngineKind::Dense
+        }
+    }
+
+    /// Builds the backend for a database (resolving `Auto` first).
+    pub fn build(self, db: &Arc<TransactionDb>) -> Arc<dyn SupportEngine> {
+        match self.select(db) {
+            EngineKind::Auto => unreachable!("select() returns a concrete kind"),
+            EngineKind::Dense => Arc::new(DenseEngine::from_horizontal(db)),
+            EngineKind::TidList => Arc::new(TidListEngine::from_horizontal(db)),
+            EngineKind::Diffset => Arc::new(DiffsetEngine::from_horizontal(db)),
+        }
+    }
+
+    /// Builds the backend and wraps it in a memoizing [`CachedEngine`].
+    pub fn build_cached(self, db: &Arc<TransactionDb>) -> Arc<CachedEngine> {
+        Arc::new(CachedEngine::new(self.build(db)))
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    fn engines() -> Vec<Arc<dyn SupportEngine>> {
+        let db = Arc::new(paper_example());
+        EngineKind::BACKENDS.iter().map(|k| k.build(&db)).collect()
+    }
+
+    #[test]
+    fn backends_agree_on_paper_example() {
+        let probes = [
+            Itemset::empty(),
+            set(&[1]),
+            set(&[2, 5]),
+            set(&[2, 3, 5]),
+            set(&[1, 2, 3, 5]),
+            set(&[1, 4, 5]),
+            set(&[0]),
+            set(&[99]),
+        ];
+        let engines = engines();
+        let reference = &engines[0];
+        for engine in &engines[1..] {
+            assert_eq!(engine.n_objects(), reference.n_objects());
+            assert_eq!(engine.n_items(), reference.n_items());
+            assert_eq!(engine.item_supports(), reference.item_supports());
+            for probe in &probes {
+                assert_eq!(
+                    engine.support(probe),
+                    reference.support(probe),
+                    "{}: support of {probe:?}",
+                    engine.name()
+                );
+                assert_eq!(
+                    engine.tidset_of(probe),
+                    reference.tidset_of(probe),
+                    "{}: tidset of {probe:?}",
+                    engine.name()
+                );
+                assert_eq!(
+                    engine.closure(probe),
+                    reference.closure(probe),
+                    "{}: closure of {probe:?}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_closures_via_every_backend() {
+        for engine in engines() {
+            assert_eq!(
+                engine.closure(&set(&[2])),
+                set(&[2, 5]),
+                "{}",
+                engine.name()
+            );
+            assert_eq!(
+                engine.closure(&set(&[4])),
+                set(&[1, 3, 4]),
+                "{}",
+                engine.name()
+            );
+            assert_eq!(
+                engine.closure(&set(&[1, 2])),
+                set(&[1, 2, 3, 5]),
+                "{}",
+                engine.name()
+            );
+            let (closure, support) = engine.closure_and_support(&set(&[2, 3]));
+            assert_eq!(closure, set(&[2, 3, 5]));
+            assert_eq!(support, 3);
+        }
+    }
+
+    #[test]
+    fn batch_counting_matches_pointwise() {
+        let candidates = vec![set(&[1, 3]), set(&[2, 5]), set(&[4, 5]), set(&[3])];
+        for engine in engines() {
+            let batch = engine.count_candidates(&candidates);
+            let pointwise: Vec<Support> = candidates.iter().map(|c| engine.support(c)).collect();
+            assert_eq!(batch, pointwise, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn extend_tidset_refines_by_one_item() {
+        for engine in engines() {
+            let base = engine.tidset_of(&set(&[2]));
+            let refined = engine.extend_tidset(&base, Item::new(5));
+            assert_eq!(
+                refined,
+                engine.tidset_of(&set(&[2, 5])),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_selection_follows_density() {
+        // Paper example: 16/30 density, tiny — dense bitsets.
+        let db = paper_example();
+        assert_eq!(EngineKind::Auto.select(&db), EngineKind::Dense);
+        // Explicit kinds resolve to themselves.
+        assert_eq!(EngineKind::Diffset.select(&db), EngineKind::Diffset);
+
+        // A large sparse relation selects tid-lists.
+        let sparse =
+            TransactionDb::from_rows((0..2000).map(|t| vec![t % 97, 97 + t % 101]).collect());
+        assert!(sparse.density() < 0.02);
+        assert_eq!(EngineKind::Auto.select(&sparse), EngineKind::TidList);
+
+        // A near-saturated relation selects diffsets.
+        let dense = TransactionDb::from_rows(
+            (0..100u32)
+                .map(|t| (0..8).filter(|i| *i != t % 8).collect())
+                .collect(),
+        );
+        assert!(dense.density() > 0.60);
+        assert_eq!(EngineKind::Auto.select(&dense), EngineKind::Diffset);
+    }
+
+    #[test]
+    fn empty_database_on_every_backend() {
+        let db = Arc::new(TransactionDb::from_rows(vec![]));
+        for kind in EngineKind::BACKENDS {
+            let engine = kind.build(&db);
+            assert_eq!(engine.n_objects(), 0);
+            assert_eq!(engine.support(&Itemset::empty()), 0);
+            assert!(engine.item_supports().is_empty());
+        }
+    }
+}

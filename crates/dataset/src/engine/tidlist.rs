@@ -1,0 +1,201 @@
+//! The sparse tid-list backend (absorbs the former
+//! `rulebases_mining::tidlist::TidListDb`).
+
+use super::{intent_of, SupportEngine};
+use crate::bitset::BitSet;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::support::Support;
+use crate::transaction::TransactionDb;
+use std::sync::Arc;
+
+/// A sorted list of transaction ids.
+pub type TidList = Vec<u32>;
+
+/// Intersects two sorted tid-lists.
+pub fn intersect(a: &[u32], b: &[u32]) -> TidList {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Size of the intersection of two sorted tid-lists, without
+/// materializing it.
+pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Sorted per-item tid-lists (the paper-era vertical representation of
+/// Eclat/CHARM) behind the [`SupportEngine`] interface.
+///
+/// Intersection cost scales with the cover sizes rather than with
+/// `|O|/64` words, so this backend wins when covers are tiny relative to
+/// the object count — very sparse basket data over many transactions.
+#[derive(Clone, Debug)]
+pub struct TidListEngine {
+    covers: Vec<TidList>,
+    n_objects: usize,
+    horizontal: Arc<TransactionDb>,
+}
+
+impl TidListEngine {
+    /// Transposes a horizontal database into sorted tid-lists.
+    pub fn from_horizontal(db: &Arc<TransactionDb>) -> Self {
+        let mut covers = vec![Vec::new(); db.n_items()];
+        for (t, row) in db.iter().enumerate() {
+            for &item in row {
+                covers[item.index()].push(t as u32);
+            }
+        }
+        // Rows are visited in ascending tid order, so lists are sorted.
+        TidListEngine {
+            covers,
+            n_objects: db.n_transactions(),
+            horizontal: Arc::clone(db),
+        }
+    }
+
+    /// The tid-list of one item (empty for out-of-universe items).
+    pub fn tid_cover(&self, item: Item) -> &[u32] {
+        self.covers
+            .get(item.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The extent of an itemset as a tid-list (all tids for `∅`).
+    pub fn extent_tids(&self, itemset: &Itemset) -> TidList {
+        let mut items = itemset.iter();
+        let Some(first) = items.next() else {
+            return (0..self.n_objects as u32).collect();
+        };
+        let mut acc = self.tid_cover(first).to_vec();
+        for item in items {
+            if acc.is_empty() {
+                break;
+            }
+            acc = intersect(&acc, self.tid_cover(item));
+        }
+        acc
+    }
+
+    fn tids_to_bitset(&self, tids: &[u32]) -> BitSet {
+        BitSet::from_indices(self.n_objects, tids.iter().map(|&t| t as usize))
+    }
+}
+
+impl SupportEngine for TidListEngine {
+    fn name(&self) -> &'static str {
+        "tid-list"
+    }
+
+    fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    fn n_items(&self) -> usize {
+        self.covers.len()
+    }
+
+    fn cover(&self, item: Item) -> BitSet {
+        self.tids_to_bitset(self.tid_cover(item))
+    }
+
+    fn tidset_of(&self, itemset: &Itemset) -> BitSet {
+        self.tids_to_bitset(&self.extent_tids(itemset))
+    }
+
+    fn support(&self, itemset: &Itemset) -> Support {
+        let mut items = itemset.iter();
+        let Some(first) = items.next() else {
+            return self.n_objects as Support;
+        };
+        let Some(second) = items.next() else {
+            return self.tid_cover(first).len() as Support;
+        };
+        let mut acc = intersect(self.tid_cover(first), self.tid_cover(second));
+        for item in items {
+            if acc.is_empty() {
+                return 0;
+            }
+            acc = intersect(&acc, self.tid_cover(item));
+        }
+        acc.len() as Support
+    }
+
+    fn item_supports(&self) -> Vec<Support> {
+        self.covers.iter().map(|c| c.len() as Support).collect()
+    }
+
+    fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
+        intent_of(&self.horizontal, tidset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn intersection_basics() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 9]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_count(&[1, 3, 5], &[2, 3, 5, 9]), 2);
+        assert_eq!(intersect_count(&[1, 2], &[3, 4]), 0);
+    }
+
+    #[test]
+    fn lists_are_sorted_and_match_columns() {
+        let db = Arc::new(paper_example());
+        let engine = TidListEngine::from_horizontal(&db);
+        for i in 0..engine.n_items() as u32 {
+            let cover = engine.tid_cover(Item::new(i));
+            assert!(cover.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(engine.tid_cover(Item::new(1)), &[0, 2, 4]);
+        assert_eq!(engine.tid_cover(Item::new(4)), &[0]);
+        assert!(engine.tid_cover(Item::new(99)).is_empty());
+    }
+
+    #[test]
+    fn out_of_universe_items_are_unsupported() {
+        let db = Arc::new(paper_example());
+        let engine = TidListEngine::from_horizontal(&db);
+        assert_eq!(engine.support(&Itemset::from_ids([99])), 0);
+        assert_eq!(engine.support(&Itemset::from_ids([1, 99])), 0);
+    }
+
+    #[test]
+    fn empty_extent_closes_to_universe() {
+        let db = Arc::new(paper_example());
+        let engine = TidListEngine::from_horizontal(&db);
+        assert_eq!(
+            engine.closure(&Itemset::from_ids([1, 4, 5])),
+            Itemset::universe(6)
+        );
+    }
+}

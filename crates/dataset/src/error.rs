@@ -54,14 +54,14 @@ mod tests {
         };
         assert_eq!(parse.to_string(), "parse error at line 3: bad token");
 
-        let io: DatasetError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let io: DatasetError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
     }
 
     #[test]
     fn source_chains_io() {
         use std::error::Error;
-        let io: DatasetError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let io: DatasetError = std::io::Error::other("x").into();
         assert!(io.source().is_some());
         let parse = DatasetError::Parse {
             line: 1,

@@ -79,8 +79,8 @@ impl DenseConfig {
 
         // Choose dependent attributes: attribute a (> 0) mirrors a function
         // of attribute a-1's value.
-        let n_dependent = ((n_attrs.saturating_sub(1)) as f64 * self.dependency_fraction)
-            .round() as usize;
+        let n_dependent =
+            ((n_attrs.saturating_sub(1)) as f64 * self.dependency_fraction).round() as usize;
         let mut dependent = vec![false; n_attrs];
         {
             // Spread dependent attributes evenly over the tail attributes.
@@ -177,9 +177,9 @@ pub fn census_like(n_objects: usize, n_attrs: usize, seed: u64) -> TransactionDb
     DenseConfig {
         n_objects,
         attr_cardinalities: (0..n_attrs).map(|a| cards[a % cards.len()]).collect(),
-        n_classes: 6,
-        class_fidelity: 0.80,
-        dependency_fraction: 0.25,
+        n_classes: 4,
+        class_fidelity: 0.88,
+        dependency_fraction: 0.45,
         seed,
     }
     .generate()
@@ -233,7 +233,7 @@ mod tests {
         let db = census_like(10, 3, 1);
         let dict = db.dictionary().unwrap();
         assert_eq!(dict.label(crate::item::Item(0)), Some("attr0=0"));
-        assert_eq!(dict.lookup("attr1=0").is_some(), true);
+        assert!(dict.lookup("attr1=0").is_some());
     }
 
     #[test]

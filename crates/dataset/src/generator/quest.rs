@@ -111,8 +111,7 @@ impl QuestGenerator {
         let mut corruption: Vec<f64> = Vec::with_capacity(config.n_patterns);
 
         for p in 0..config.n_patterns {
-            let size = (poisson(&mut rng, config.avg_pattern_len - 1.0) + 1)
-                .min(config.n_items);
+            let size = (poisson(&mut rng, config.avg_pattern_len - 1.0) + 1).min(config.n_items);
             let mut items: Vec<u32> = Vec::with_capacity(size);
             if p > 0 && config.correlation > 0.0 {
                 // Fraction of items carried over from the previous pattern;
@@ -177,8 +176,10 @@ impl QuestGenerator {
     /// Generates the transaction database.
     pub fn generate(mut self) -> TransactionDb {
         let cfg = self.config.clone();
-        let mut builder =
-            TransactionDbBuilder::with_capacity(cfg.n_transactions, cfg.avg_transaction_len as usize);
+        let mut builder = TransactionDbBuilder::with_capacity(
+            cfg.n_transactions,
+            cfg.avg_transaction_len as usize,
+        );
         let mut row: Vec<u32> = Vec::with_capacity(cfg.avg_transaction_len as usize * 2);
 
         for _ in 0..cfg.n_transactions {

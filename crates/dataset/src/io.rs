@@ -108,7 +108,11 @@ pub fn read_categorical_csv<R: Read>(reader: R) -> Result<TransactionDb, Dataset
     let mut reader = BufReader::new(reader);
     let mut header = String::new();
     reader.read_line(&mut header)?;
-    let attrs: Vec<String> = header.trim().split(',').map(|s| s.trim().to_owned()).collect();
+    let attrs: Vec<String> = header
+        .trim()
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .collect();
     if attrs.is_empty() || attrs.iter().all(String::is_empty) {
         return Err(DatasetError::Parse {
             line: 1,
@@ -129,11 +133,7 @@ pub fn read_categorical_csv<R: Read>(reader: R) -> Result<TransactionDb, Dataset
         if cells.len() != attrs.len() {
             return Err(DatasetError::Parse {
                 line: lineno + 2,
-                message: format!(
-                    "expected {} cells, found {}",
-                    attrs.len(),
-                    cells.len()
-                ),
+                message: format!("expected {} cells, found {}", attrs.len(), cells.len()),
             });
         }
         ids.clear();

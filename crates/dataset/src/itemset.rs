@@ -313,7 +313,10 @@ impl Itemset {
     /// order, not lectic order.
     pub fn proper_subsets(&self) -> impl Iterator<Item = Itemset> + '_ {
         let n = self.len();
-        assert!(n < 64, "proper_subsets only supports itemsets with < 64 items");
+        assert!(
+            n < 64,
+            "proper_subsets only supports itemsets with < 64 items"
+        );
         let max: u64 = 1u64 << n;
         (1..max.saturating_sub(1)).map(move |mask| {
             let items = self
@@ -560,10 +563,7 @@ mod tests {
         assert_eq!(set(&[1]).lectic_cmp(&set(&[1])), Ordering::Equal);
         // {1} < {1,2}: prefixes equal, {1,2} has extra item.
         assert_eq!(set(&[1]).lectic_cmp(&set(&[1, 2])), Ordering::Less);
-        assert_eq!(
-            Itemset::empty().lectic_cmp(&set(&[3])),
-            Ordering::Less
-        );
+        assert_eq!(Itemset::empty().lectic_cmp(&set(&[3])), Ordering::Less);
     }
 
     #[test]

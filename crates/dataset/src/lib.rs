@@ -9,11 +9,13 @@
 //!
 //! * the value types: [`Item`], [`Itemset`] (sorted set algebra), and
 //!   [`BitSet`] (dense object sets);
-//! * the stores: [`TransactionDb`] (horizontal, CSR) and [`VerticalDb`]
-//!   (per-item covers);
+//! * the stores: [`TransactionDb`] (horizontal, CSR) and the pluggable
+//!   vertical [`engine`] backends (dense bitsets, tid-lists, diffsets)
+//!   behind the [`SupportEngine`] trait, wrapped in a memoizing closure
+//!   cache;
 //! * the **Galois connection** of the paper's Section 2 via
 //!   [`MiningContext`]: extents (`g`), intents (`f`), and the closure
-//!   operator `h = f ∘ g`;
+//!   operator `h = f ∘ g` — all delegated to the engine;
 //! * seeded synthetic [`generator`]s standing in for the paper's evaluation
 //!   datasets (IBM Quest sparse baskets, MUSHROOMS / census-like dense
 //!   tables);
@@ -43,6 +45,7 @@
 
 pub mod bitset;
 pub mod context;
+pub mod engine;
 pub mod error;
 pub mod generator;
 pub mod io;
@@ -56,6 +59,7 @@ pub mod vertical;
 
 pub use bitset::BitSet;
 pub use context::MiningContext;
+pub use engine::{CacheStats, CachedEngine, EngineKind, SupportEngine};
 pub use error::DatasetError;
 pub use item::{Item, ItemDictionary};
 pub use itemset::Itemset;

@@ -50,11 +50,7 @@ pub fn sample(db: &TransactionDb, n: usize, seed: u64) -> TransactionDb {
 pub fn project(db: &TransactionDb, items: &Itemset) -> TransactionDb {
     let mut builder = TransactionDbBuilder::with_capacity(db.n_transactions(), items.len());
     for t in db.iter() {
-        builder.push_ids(
-            t.iter()
-                .filter(|i| items.contains(**i))
-                .map(|i| i.id()),
-        );
+        builder.push_ids(t.iter().filter(|i| items.contains(**i)).map(|i| i.id()));
     }
     builder.build().with_universe(db.n_items())
 }
@@ -106,7 +102,9 @@ mod tests {
         let s = sample(&db(), 4, 3);
         let original: Vec<Vec<_>> = db().iter().map(|t| t.to_vec()).collect();
         for t in 0..s.n_transactions() {
-            assert!(original.iter().any(|row| row.as_slice() == s.transaction(t)));
+            assert!(original
+                .iter()
+                .any(|row| row.as_slice() == s.transaction(t)));
         }
     }
 
@@ -116,7 +114,7 @@ mod tests {
         assert_eq!(p.n_transactions(), 5);
         assert_eq!(p.transaction(0).len(), 1); // {3}
         assert_eq!(p.transaction(3).len(), 1); // {2}
-        // Supports of the kept items are unchanged.
+                                               // Supports of the kept items are unchanged.
         assert_eq!(
             p.support(&Itemset::from_ids([2])),
             db().support(&Itemset::from_ids([2]))

@@ -299,11 +299,11 @@ mod tests {
     /// five objects over items {A=1, B=2, C=3, D=4, E=5}.
     pub(crate) fn paper_db() -> TransactionDb {
         TransactionDb::from_rows(vec![
-            vec![1, 3, 4],       // o1: A C D
-            vec![2, 3, 5],       // o2: B C E
-            vec![1, 2, 3, 5],    // o3: A B C E
-            vec![2, 5],          // o4: B E
-            vec![1, 2, 3, 5],    // o5: A B C E
+            vec![1, 3, 4],    // o1: A C D
+            vec![2, 3, 5],    // o2: B C E
+            vec![1, 2, 3, 5], // o3: A B C E
+            vec![2, 5],       // o4: B E
+            vec![1, 2, 3, 5], // o5: A B C E
         ])
     }
 
@@ -313,10 +313,7 @@ mod tests {
         assert_eq!(db.n_transactions(), 5);
         assert_eq!(db.n_items(), 6); // ids 0..=5, id 0 unused
         assert_eq!(db.n_entries(), 3 + 3 + 4 + 2 + 4);
-        assert_eq!(
-            db.transaction(2),
-            &[Item(1), Item(2), Item(3), Item(5)]
-        );
+        assert_eq!(db.transaction(2), &[Item(1), Item(2), Item(3), Item(5)]);
     }
 
     #[test]

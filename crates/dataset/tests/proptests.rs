@@ -1,11 +1,15 @@
 //! Property-based tests for the dataset substrate: set-algebra laws,
-//! model-based bitset checks, database invariants, and I/O round-trips.
+//! model-based bitset checks, database invariants, I/O round-trips, and
+//! cross-backend `SupportEngine` equivalence.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rulebases_dataset::io::{read_dat, write_dat};
-use rulebases_dataset::{BitSet, Itemset, MiningContext, TransactionDb};
+use rulebases_dataset::{
+    BitSet, CachedEngine, EngineKind, Itemset, MiningContext, SupportEngine, TransactionDb,
+};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 fn itemsets() -> impl Strategy<Value = Itemset> {
     vec(0u32..40, 0..12).prop_map(Itemset::from_ids)
@@ -104,7 +108,7 @@ proptest! {
     fn proper_subsets_count(ids in vec(0u32..20, 0..7)) {
         let s = Itemset::from_ids(ids);
         let expected = (1usize << s.len()).saturating_sub(2);
-        prop_assert_eq!(s.proper_subsets().count(), expected.max(0));
+        prop_assert_eq!(s.proper_subsets().count(), expected);
     }
 
     // ---- BitSet vs BTreeSet model ---------------------------------------
@@ -170,6 +174,87 @@ proptest! {
         prop_assert_eq!(back.n_transactions(), db.n_transactions());
         for t in 0..db.n_transactions() {
             prop_assert_eq!(back.transaction(t), db.transaction(t));
+        }
+    }
+
+    // ---- Cross-backend engine equivalence -------------------------------
+
+    #[test]
+    fn engines_agree_on_random_contexts(
+        rows in vec(vec(0u32..14, 0..8), 0..14),
+        probes in vec(vec(0u32..16, 0..5), 1..8),
+    ) {
+        // Dense bitsets, tid-lists, and diffsets are three encodings of
+        // one relation: every query must agree bit-for-bit. Probes range
+        // past the universe (ids up to 15 on a ≤14-item universe) to pin
+        // the out-of-universe convention too.
+        let db = Arc::new(TransactionDb::from_rows(rows));
+        let engines: Vec<_> = EngineKind::BACKENDS
+            .iter()
+            .map(|kind| kind.build(&db))
+            .collect();
+        let reference = &engines[0];
+        for engine in &engines[1..] {
+            prop_assert_eq!(engine.n_objects(), reference.n_objects());
+            prop_assert_eq!(engine.n_items(), reference.n_items());
+            prop_assert_eq!(
+                engine.item_supports(),
+                reference.item_supports(),
+                "{} item supports", engine.name()
+            );
+        }
+        for ids in &probes {
+            let probe = Itemset::from_ids(ids.iter().copied());
+            let expected_support = reference.support(&probe);
+            let expected_tidset = reference.tidset_of(&probe);
+            let expected_closure = reference.closure(&probe);
+            prop_assert_eq!(expected_support, db.support(&probe), "dense vs scan");
+            for engine in &engines[1..] {
+                prop_assert_eq!(
+                    engine.support(&probe), expected_support,
+                    "{} support of {:?}", engine.name(), probe
+                );
+                prop_assert_eq!(
+                    engine.tidset_of(&probe), expected_tidset.clone(),
+                    "{} tidset of {:?}", engine.name(), probe
+                );
+                prop_assert_eq!(
+                    engine.closure(&probe), expected_closure.clone(),
+                    "{} closure of {:?}", engine.name(), probe
+                );
+            }
+        }
+        // Batch counting matches pointwise counting on every backend.
+        let candidates: Vec<Itemset> = probes
+            .iter()
+            .map(|ids| Itemset::from_ids(ids.iter().copied()))
+            .collect();
+        for engine in &engines {
+            let batch = engine.count_candidates(&candidates);
+            let pointwise: Vec<u64> =
+                candidates.iter().map(|c| engine.support(c)).collect();
+            prop_assert_eq!(batch, pointwise, "{} batch", engine.name());
+        }
+    }
+
+    #[test]
+    fn cached_engine_is_transparent(
+        rows in vec(vec(0u32..10, 0..6), 1..10),
+        probe_ids in vec(0u32..10, 0..5),
+    ) {
+        // Wrapping any backend in the closure cache never changes an
+        // answer, and re-asking is a hit.
+        let db = Arc::new(TransactionDb::from_rows(rows));
+        let probe = Itemset::from_ids(probe_ids);
+        for kind in EngineKind::BACKENDS {
+            let plain = kind.build(&db);
+            let cached = CachedEngine::new(kind.build(&db));
+            prop_assert_eq!(cached.closure(&probe), plain.closure(&probe));
+            prop_assert_eq!(cached.support(&probe), plain.support(&probe));
+            let before = cached.cache_stats();
+            prop_assert_eq!(before.hits, 0);
+            let _ = cached.closure(&probe);
+            prop_assert_eq!(cached.cache_stats().hits, 1);
         }
     }
 

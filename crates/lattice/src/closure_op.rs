@@ -52,11 +52,56 @@ mod tests {
         let ctx = MiningContext::new(paper_example());
         let op: &dyn ClosureOperator = &ctx;
         assert_eq!(op.n_items(), 6);
-        assert_eq!(
-            op.close(&Itemset::from_ids([2])),
-            Itemset::from_ids([2, 5])
-        );
+        assert_eq!(op.close(&Itemset::from_ids([2])), Itemset::from_ids([2, 5]));
         assert!(op.is_closed(&Itemset::from_ids([2, 5])));
         assert!(!op.is_closed(&Itemset::from_ids([2])));
+    }
+
+    #[test]
+    fn closure_operator_rides_the_context_cache() {
+        // The trait's `close` goes through MiningContext::closure, which
+        // memoizes: a repeated query is a cache hit, not a recomputation.
+        let ctx = MiningContext::new(paper_example());
+        let op: &dyn ClosureOperator = &ctx;
+        let probe = Itemset::from_ids([2]);
+        let first = op.close(&probe);
+        let second = op.close(&probe);
+        assert_eq!(first, second);
+        let stats = ctx.closure_cache_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn next_closure_walk_reuses_cached_closures() {
+        // NextClosure probes close(A ∪ {i}) for many (A, i) pairs while
+        // walking the lectic order. Within one context those probes are
+        // memoized, so re-walking the lattice — which the stem-base and
+        // pseudo-closed constructions do on top of the enumeration —
+        // answers from the cache instead of recomputing intents.
+        let ctx = MiningContext::new(paper_example());
+        let first: Vec<Itemset> = crate::next_closure::AllClosed::new(&ctx).collect();
+        assert_eq!(first.len(), 8);
+        let after_first = ctx.closure_cache_stats();
+
+        let second: Vec<Itemset> = crate::next_closure::AllClosed::new(&ctx).collect();
+        assert_eq!(second, first);
+        let after_second = ctx.closure_cache_stats();
+        assert!(
+            after_second.hits > after_first.hits,
+            "re-enumeration did not hit the closure cache: {after_second:?}"
+        );
+        // The second walk asks exactly the queries the first one filled
+        // in: no new misses.
+        assert_eq!(after_second.misses, after_first.misses);
+
+        // The stem-base construction on the same context starts from
+        // close(∅) — already cached by the enumerations above.
+        let hits_before_stem = after_second.hits;
+        let stem = crate::next_closure::stem_base(&ctx);
+        assert_eq!(stem.closed.len(), 8);
+        assert!(
+            ctx.closure_cache_stats().hits > hits_before_stem,
+            "stem-base construction did not reuse cached closures"
+        );
     }
 }

@@ -38,14 +38,14 @@ pub fn to_dot(lattice: &IcebergLattice, dict: Option<&ItemDictionary>) -> String
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rulebases_dataset::{paper_example, MiningContext, MinSupport};
+    use rulebases_dataset::{paper_example, MinSupport, MiningContext};
     use rulebases_mining::{Close, ClosedMiner};
 
     fn lattice() -> (IcebergLattice, ItemDictionary) {
         let db = paper_example();
         let dict = db.dictionary().unwrap().clone();
         let ctx = MiningContext::new(db);
-        let fc = Close::default().mine_closed(&ctx, MinSupport::Count(2));
+        let fc = Close.mine_closed(&ctx, MinSupport::Count(2));
         (IcebergLattice::from_closed(&fc), dict)
     }
 

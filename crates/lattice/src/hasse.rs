@@ -140,7 +140,7 @@ mod tests {
 
     fn paper_fc() -> (MiningContext, ClosedItemsets) {
         let ctx = MiningContext::new(paper_example());
-        let fc = Close::default().mine_closed(&ctx, MinSupport::Count(2));
+        let fc = Close.mine_closed(&ctx, MinSupport::Count(2));
         (ctx, fc)
     }
 
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn closure_algorithm_at_minsup_one() {
         let ctx = MiningContext::new(paper_example());
-        let fc = Close::default().mine_closed(&ctx, MinSupport::Count(1));
+        let fc = Close.mine_closed(&ctx, MinSupport::Count(1));
         let sets: Vec<_> = fc.iter().map(|(s, sup)| (s.clone(), sup)).collect();
         let by_pairs = upper_covers_by_pairs(&sets);
         let by_closure = upper_covers_by_closure(&fc, &ctx);
@@ -189,11 +189,7 @@ mod tests {
 
     #[test]
     fn verify_rejects_transitive_edge() {
-        let sets = vec![
-            (Itemset::empty(), 3),
-            (set(&[1]), 2),
-            (set(&[1, 2]), 1),
-        ];
+        let sets = vec![(Itemset::empty(), 3), (set(&[1]), 2), (set(&[1, 2]), 1)];
         // ∅→{1,2} skips {1}.
         let bad = vec![vec![1, 2], vec![2], vec![]];
         assert!(verify_covers(&sets, &bad).is_err());
@@ -201,11 +197,7 @@ mod tests {
 
     #[test]
     fn verify_rejects_missing_edge() {
-        let sets = vec![
-            (Itemset::empty(), 3),
-            (set(&[1]), 2),
-            (set(&[1, 2]), 1),
-        ];
+        let sets = vec![(Itemset::empty(), 3), (set(&[1]), 2), (set(&[1, 2]), 1)];
         let missing = vec![vec![1], vec![], vec![]];
         assert!(verify_covers(&sets, &missing).is_err());
     }

@@ -239,9 +239,7 @@ mod tests {
             assert_eq!(l.close(&cx), cx, "idempotent");
         }
         // Monotone spot-check.
-        assert!(l
-            .close(&set(&[0]))
-            .is_subset_of(&l.close(&set(&[0, 2]))));
+        assert!(l.close(&set(&[0])).is_subset_of(&l.close(&set(&[0, 2]))));
     }
 
     #[test]

@@ -251,9 +251,6 @@ mod tests {
         let stem = stem_base(&ctx);
         // One implication: ∅ → {0,1}.
         assert_eq!(stem.implications.len(), 1);
-        assert_eq!(
-            stem.implications.as_slice()[0].premise,
-            Itemset::empty()
-        );
+        assert_eq!(stem.implications.as_slice()[0].premise, Itemset::empty());
     }
 }

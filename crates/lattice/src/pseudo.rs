@@ -11,8 +11,8 @@
 //! base of [`crate::next_closure`] provides an independent second
 //! algorithm; the two are cross-checked in the integration tests.
 
-use rulebases_mining::{ClosedItemsets, FrequentItemsets};
 use rulebases_dataset::{Itemset, Support};
+use rulebases_mining::{ClosedItemsets, FrequentItemsets};
 
 /// A frequent pseudo-closed itemset with its closure and support.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,10 +52,7 @@ pub fn frequent_pseudo_closed(
     }
 
     // Candidates in size order: ∅ first, then every frequent itemset.
-    let mut candidates: Vec<(Itemset, Support)> = vec![(
-        Itemset::empty(),
-        fc.n_objects as Support,
-    )];
+    let mut candidates: Vec<(Itemset, Support)> = vec![(Itemset::empty(), fc.n_objects as Support)];
     candidates.extend(
         frequent
             .iter_sorted()
@@ -92,7 +89,7 @@ pub fn frequent_pseudo_closed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rulebases_dataset::{paper_example, MiningContext, MinSupport, TransactionDb};
+    use rulebases_dataset::{paper_example, MinSupport, MiningContext, TransactionDb};
     use rulebases_mining::brute::{brute_closed, brute_frequent};
 
     fn set(ids: &[u32]) -> Itemset {

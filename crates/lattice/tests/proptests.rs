@@ -4,7 +4,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rulebases_dataset::{Itemset, MiningContext, MinSupport, TransactionDb};
+use rulebases_dataset::{Itemset, MinSupport, MiningContext, TransactionDb};
 use rulebases_lattice::hasse::verify_covers;
 use rulebases_lattice::{
     frequent_pseudo_closed, next_closed, stem_base, AllClosed, ClosureOperator, IcebergLattice,
@@ -19,11 +19,7 @@ fn contexts() -> impl Strategy<Value = TransactionDb> {
 }
 
 fn implication_sets() -> impl Strategy<Value = ImplicationSet> {
-    vec(
-        (vec(0u32..8, 0..3), vec(0u32..8, 1..3)),
-        0..6,
-    )
-    .prop_map(|pairs| {
+    vec((vec(0u32..8, 0..3), vec(0u32..8, 1..3)), 0..6).prop_map(|pairs| {
         let implications = pairs
             .into_iter()
             .map(|(p, c)| {

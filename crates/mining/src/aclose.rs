@@ -8,10 +8,10 @@
 //! Compared to Close it defers the (expensive) closures to the end, at the
 //! price of counting a few more candidates.
 
-use crate::generators::mine_generators;
+use crate::generators::mine_generators_engine;
 use crate::itemsets::ClosedItemsets;
 use crate::traits::ClosedMiner;
-use rulebases_dataset::{Itemset, MiningContext, MinSupport, Support};
+use rulebases_dataset::{Itemset, MinSupport, MiningContext, Support, SupportEngine};
 
 /// The A-Close frequent-closed-itemset miner.
 #[derive(Clone, Copy, Debug, Default)]
@@ -23,26 +23,33 @@ impl AClose {
         AClose
     }
 
-    /// Mines the frequent closed itemsets of `ctx` at `minsup`.
+    /// Mines the frequent closed itemsets of `ctx` at `minsup`, through
+    /// the context's (cached) engine.
+    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
+        self.mine_engine(ctx.engine(), minsup)
+    }
+
+    /// Mines the frequent closed itemsets of any [`SupportEngine`] at
+    /// `minsup`.
     ///
     /// Like [`crate::close::Close`], the result contains the lattice
     /// bottom `h(∅)`.
-    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
-        let n = ctx.n_objects();
+    pub fn mine_engine(&self, engine: &dyn SupportEngine, minsup: MinSupport) -> ClosedItemsets {
+        let n = engine.n_objects();
         if n == 0 {
             return ClosedItemsets::from_pairs(Vec::new(), 1, 0);
         }
-        let min_count = ctx.min_support_count(minsup);
+        let min_count = minsup.to_count(n);
 
         // Phase 1: frequent minimal generators (includes ∅ for the bottom).
-        let generators = mine_generators(ctx, min_count);
+        let generators = mine_generators_engine(engine, min_count);
         let mut stats = generators.stats;
 
         // Phase 2: close every generator. One extra conceptual pass.
         stats.db_passes += 1;
         let pairs: Vec<(Itemset, Support)> = generators
             .iter()
-            .map(|(g, support)| (ctx.closure(g), support))
+            .map(|(g, support)| (engine.closure(g), support))
             .collect();
 
         let mut result = ClosedItemsets::from_pairs(pairs, min_count, n);

@@ -8,7 +8,7 @@ use crate::candidates::join_and_prune;
 use crate::counting::{count_candidates, CountingStrategy};
 use crate::itemsets::{FrequentItemsets, MiningStats};
 use crate::traits::FrequentMiner;
-use rulebases_dataset::{Itemset, MiningContext, MinSupport};
+use rulebases_dataset::{Itemset, MinSupport, MiningContext};
 
 /// Apriori frequent-itemset miner.
 #[derive(Clone, Copy, Debug, Default)]
@@ -40,7 +40,7 @@ impl Apriori {
 
         // Level 1: one pass counting single items.
         stats.db_passes += 1;
-        let item_supports = ctx.vertical().item_supports();
+        let item_supports = ctx.engine().item_supports();
         stats.candidates_counted += item_supports.len();
         let mut level: Vec<Itemset> = Vec::new();
         for (i, &support) in item_supports.iter().enumerate() {
@@ -131,8 +131,8 @@ mod tests {
     #[test]
     fn all_counting_strategies_agree() {
         let ctx = MiningContext::new(paper_example());
-        let baseline = Apriori::with_counting(CountingStrategy::Vertical)
-            .mine(&ctx, MinSupport::Count(2));
+        let baseline =
+            Apriori::with_counting(CountingStrategy::Vertical).mine(&ctx, MinSupport::Count(2));
         for strategy in [
             CountingStrategy::Auto,
             CountingStrategy::SubsetHash,

@@ -6,7 +6,7 @@
 //! extent refinement — simple enough to be obviously correct.
 
 use crate::itemsets::{ClosedItemsets, FrequentItemsets};
-use rulebases_dataset::{BitSet, Itemset, MiningContext, MinSupport, Support};
+use rulebases_dataset::{BitSet, Itemset, MinSupport, MiningContext, Support};
 
 /// Enumerates **all** frequent itemsets by DFS over the item order,
 /// pruning on extent size.
@@ -33,8 +33,8 @@ fn dfs(
 ) {
     for i in next_item..ctx.n_items() {
         let refined = ctx
-            .vertical()
-            .extend_extent(extent, rulebases_dataset::Item::new(i as u32));
+            .engine()
+            .extend_tidset(extent, rulebases_dataset::Item::new(i as u32));
         let support = refined.count() as Support;
         if support < min_count {
             continue;

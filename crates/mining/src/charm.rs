@@ -9,7 +9,7 @@
 
 use crate::itemsets::{ClosedItemsets, MiningStats};
 use crate::traits::ClosedMiner;
-use rulebases_dataset::{BitSet, Item, Itemset, MiningContext, MinSupport, Support};
+use rulebases_dataset::{BitSet, Item, Itemset, MinSupport, MiningContext, Support, SupportEngine};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -60,32 +60,41 @@ impl Charm {
         Charm
     }
 
-    /// Mines the frequent closed itemsets of `ctx` at `minsup`.
+    /// Mines the frequent closed itemsets of `ctx` at `minsup`, through
+    /// the context's (cached) engine.
+    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
+        self.mine_engine(ctx.engine(), minsup)
+    }
+
+    /// Mines the frequent closed itemsets of any [`SupportEngine`] at
+    /// `minsup`.
     ///
     /// Like the other closed miners, the result includes the lattice
     /// bottom `h(∅)`.
-    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
-        let n = ctx.n_objects();
+    pub fn mine_engine(&self, engine: &dyn SupportEngine, minsup: MinSupport) -> ClosedItemsets {
+        let n = engine.n_objects();
         if n == 0 {
             return ClosedItemsets::from_pairs(Vec::new(), 1, 0);
         }
-        let min_count = ctx.min_support_count(minsup);
-        let mut stats = MiningStats::default();
-        stats.db_passes = 1; // vertical covers are materialized once
+        let min_count = minsup.to_count(n);
+        let mut stats = MiningStats {
+            db_passes: 1, // vertical covers are materialized once
+            ..MiningStats::default()
+        };
 
         // Root class: frequent items, sorted by increasing support (the
         // order CHARM relies on to find closures early), ties by id.
-        let mut root: Vec<Node> = (0..ctx.n_items())
+        let mut root: Vec<Node> = (0..engine.n_items())
             .filter_map(|i| {
-                let cover = ctx.vertical().cover(Item::new(i as u32));
+                let cover = engine.cover(Item::new(i as u32));
                 let support = cover.count() as Support;
                 (support >= min_count).then(|| Node {
                     set: Itemset::from_ids([i as u32]),
-                    tidset: cover.clone(),
+                    tidset: cover,
                 })
             })
             .collect();
-        stats.candidates_counted += ctx.n_items();
+        stats.candidates_counted += engine.n_items();
         root.sort_by(|a, b| {
             a.tidset
                 .count()
@@ -99,7 +108,7 @@ impl Charm {
         let mut pairs = collector.sets;
         // Lattice bottom — frequent unless the threshold exceeds |O|.
         if n as Support >= min_count {
-            pairs.push((ctx.closure(&Itemset::empty()), n as Support));
+            pairs.push((engine.closure(&Itemset::empty()), n as Support));
         }
 
         let mut result = ClosedItemsets::from_pairs(pairs, min_count, n);

@@ -13,7 +13,7 @@
 use crate::candidates::join_and_prune;
 use crate::itemsets::{ClosedItemsets, MiningStats};
 use crate::traits::ClosedMiner;
-use rulebases_dataset::{Itemset, MiningContext, MinSupport, Support};
+use rulebases_dataset::{Item, Itemset, MinSupport, MiningContext, Support, SupportEngine};
 use std::collections::HashMap;
 
 /// The Close frequent-closed-itemset miner.
@@ -26,24 +26,31 @@ impl Close {
         Close
     }
 
-    /// Mines the frequent closed itemsets of `ctx` at `minsup`.
+    /// Mines the frequent closed itemsets of `ctx` at `minsup`, through
+    /// the context's (cached) engine.
+    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
+        self.mine_engine(ctx.engine(), minsup)
+    }
+
+    /// Mines the frequent closed itemsets of any [`SupportEngine`] at
+    /// `minsup`.
     ///
     /// The result always contains the lattice bottom `h(∅)` (the items
     /// common to all objects — possibly the empty itemset), which the
     /// rule-base constructions need.
-    pub fn mine(&self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
-        let n = ctx.n_objects();
+    pub fn mine_engine(&self, engine: &dyn SupportEngine, minsup: MinSupport) -> ClosedItemsets {
+        let n = engine.n_objects();
         if n == 0 {
             return ClosedItemsets::from_pairs(Vec::new(), 1, 0);
         }
-        let min_count = ctx.min_support_count(minsup);
+        let min_count = minsup.to_count(n);
         let mut stats = MiningStats::default();
         let mut closed: Vec<(Itemset, Support)> = Vec::new();
 
         // Lattice bottom: closure of the empty set, supported by every
         // object — frequent unless the threshold exceeds |O|.
         if n as Support >= min_count {
-            closed.push((ctx.closure(&Itemset::empty()), n as Support));
+            closed.push((engine.closure(&Itemset::empty()), n as Support));
         }
 
         // Level 1: singleton generators. One pass computes extents,
@@ -51,15 +58,15 @@ impl Close {
         stats.db_passes += 1;
         let mut generators: Vec<Itemset> = Vec::new();
         let mut closures: HashMap<Itemset, Itemset> = HashMap::new();
-        for i in 0..ctx.n_items() {
+        for i in 0..engine.n_items() {
             stats.candidates_counted += 1;
-            let cover = ctx.vertical().cover(rulebases_dataset::Item::new(i as u32));
+            let cover = engine.cover(Item::new(i as u32));
             let support = cover.count() as Support;
             if support < min_count {
                 continue;
             }
             let generator = Itemset::from_ids([i as u32]);
-            let closure = ctx.closure_of_extent(cover);
+            let closure = engine.closure_of_tidset(&cover);
             closed.push((closure.clone(), support));
             closures.insert(generator.clone(), closure);
             generators.push(generator);
@@ -72,11 +79,8 @@ impl Close {
             // closure of one of its facets, it has that facet's closure —
             // already recorded.
             candidates.retain(|c| {
-                !c.facets().any(|facet| {
-                    closures
-                        .get(&facet)
-                        .is_some_and(|cl| c.is_subset_of(cl))
-                })
+                !c.facets()
+                    .any(|facet| closures.get(&facet).is_some_and(|cl| c.is_subset_of(cl)))
             });
             if candidates.is_empty() {
                 break;
@@ -86,12 +90,12 @@ impl Close {
             let mut next_closures = HashMap::with_capacity(candidates.len());
             for candidate in candidates {
                 stats.candidates_counted += 1;
-                let extent = ctx.extent(&candidate);
+                let extent = engine.tidset_of(&candidate);
                 let support = extent.count() as Support;
                 if support < min_count {
                     continue;
                 }
-                let closure = ctx.closure_of_extent(&extent);
+                let closure = engine.closure_of_tidset(&extent);
                 closed.push((closure.clone(), support));
                 next_closures.insert(candidate.clone(), closure);
                 next_generators.push(candidate);

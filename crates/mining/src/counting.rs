@@ -1,4 +1,4 @@
-//! Support-counting engines for levelwise candidate sets.
+//! Support-counting strategies for levelwise candidate sets.
 //!
 //! Three interchangeable strategies (benchmarked against each other in the
 //! E8 ablation):
@@ -8,10 +8,16 @@
 //!   Great for short transactions, catastrophic for long dense rows.
 //! * [`CountingStrategy::HashTree`] — transaction-driven with the classic
 //!   Apriori hash tree pruning the candidates each transaction visits.
-//! * [`CountingStrategy::Vertical`] — candidate-driven: intersect per-item
-//!   bitset covers. Wins on dense data and large `k`.
+//! * [`CountingStrategy::Vertical`] — candidate-driven through the
+//!   context's [`SupportEngine`] batch API
+//!   ([`SupportEngine::count_candidates`]): which vertical representation
+//!   does the work (dense bitsets, tid-lists, diffsets) is the engine's
+//!   choice, making the backend an independent ablation axis.
 //! * [`CountingStrategy::Auto`] picks per level based on transaction
 //!   length and `k`.
+//!
+//! [`SupportEngine`]: rulebases_dataset::SupportEngine
+//! [`SupportEngine::count_candidates`]: rulebases_dataset::SupportEngine::count_candidates
 
 use crate::hash_tree::HashTree;
 use rulebases_dataset::{Item, Itemset, MiningContext, Support};
@@ -27,7 +33,7 @@ pub enum CountingStrategy {
     SubsetHash,
     /// Classic hash-tree counting.
     HashTree,
-    /// Per-candidate bitset-cover intersections.
+    /// Candidate-driven counting via the context's vertical engine.
     Vertical,
 }
 
@@ -63,10 +69,7 @@ pub fn count_candidates(
 }
 
 fn count_vertical(ctx: &MiningContext, candidates: &[Itemset]) -> Vec<Support> {
-    candidates
-        .iter()
-        .map(|c| ctx.vertical().support(c))
-        .collect()
+    ctx.engine().count_candidates(candidates)
 }
 
 fn count_hash_tree(ctx: &MiningContext, candidates: &[Itemset], k: usize) -> Vec<Support> {

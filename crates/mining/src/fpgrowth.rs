@@ -10,7 +10,7 @@
 
 use crate::itemsets::{FrequentItemsets, MiningStats};
 use crate::traits::FrequentMiner;
-use rulebases_dataset::{Item, Itemset, MiningContext, MinSupport, Support};
+use rulebases_dataset::{Item, Itemset, MinSupport, MiningContext, Support};
 use std::collections::HashMap;
 
 /// The FP-growth frequent-itemset miner.
@@ -134,7 +134,7 @@ impl FpGrowth {
 
         // Pass 1: item frequencies; global descending-frequency order.
         stats.db_passes += 1;
-        let supports = ctx.vertical().item_supports();
+        let supports = ctx.engine().item_supports();
         stats.candidates_counted += supports.len();
         let mut rank: HashMap<Item, usize> = HashMap::new();
         {
@@ -259,10 +259,7 @@ mod tests {
     #[test]
     fn single_path_tree() {
         // All transactions identical: the FP-tree is one path.
-        assert_matches_brute(
-            TransactionDb::from_rows(vec![vec![1, 2, 3]; 4]),
-            2,
-        );
+        assert_matches_brute(TransactionDb::from_rows(vec![vec![1, 2, 3]; 4]), 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::candidates::join_and_prune;
 use crate::itemsets::{ClosedItemsets, MiningStats};
-use rulebases_dataset::{Itemset, MiningContext, Support};
+use rulebases_dataset::{Itemset, MiningContext, Support, SupportEngine};
 use std::collections::HashMap;
 
 /// The frequent minimal generators of a context at a threshold.
@@ -43,9 +43,7 @@ impl GeneratorSet {
 
     /// Whether `itemset` is a minimal generator.
     pub fn contains(&self, itemset: &Itemset) -> bool {
-        self.pairs
-            .binary_search_by(|(g, _)| g.cmp(itemset))
-            .is_ok()
+        self.pairs.binary_search_by(|(g, _)| g.cmp(itemset)).is_ok()
     }
 
     /// Groups generators by their closure, using `fc` for closure lookup.
@@ -66,11 +64,19 @@ impl GeneratorSet {
 }
 
 /// Mines all frequent minimal generators levelwise (the first phase of
-/// A-Close).
+/// A-Close), through the context's (cached) engine.
 ///
 /// The empty itemset is included as the generator of the lattice bottom.
 pub fn mine_generators(ctx: &MiningContext, min_count: Support) -> GeneratorSet {
-    let n = ctx.n_objects();
+    mine_generators_engine(ctx.engine(), min_count)
+}
+
+/// Mines all frequent minimal generators from any [`SupportEngine`].
+///
+/// Candidate levels are counted through the engine's batch
+/// [`SupportEngine::count_candidates`] API.
+pub fn mine_generators_engine(engine: &dyn SupportEngine, min_count: Support) -> GeneratorSet {
+    let n = engine.n_objects();
     let mut stats = MiningStats::default();
     if n == 0 {
         return GeneratorSet::default();
@@ -87,7 +93,7 @@ pub fn mine_generators(ctx: &MiningContext, min_count: Support) -> GeneratorSet 
     // equals |O| (then it belongs to the bottom's closure class, generated
     // by ∅).
     stats.db_passes += 1;
-    let item_supports = ctx.vertical().item_supports();
+    let item_supports = engine.item_supports();
     stats.candidates_counted += item_supports.len();
     let mut level: Vec<(Itemset, Support)> = Vec::new();
     for (i, &support) in item_supports.iter().enumerate() {
@@ -99,27 +105,24 @@ pub fn mine_generators(ctx: &MiningContext, min_count: Support) -> GeneratorSet 
 
     // Levels k >= 2.
     while level.len() >= 2 {
-        let supports: HashMap<&Itemset, Support> =
-            level.iter().map(|(g, s)| (g, *s)).collect();
+        let supports: HashMap<&Itemset, Support> = level.iter().map(|(g, s)| (g, *s)).collect();
         let sets: Vec<Itemset> = level.iter().map(|(g, _)| g.clone()).collect();
         let candidates = join_and_prune(&sets);
         if candidates.is_empty() {
             break;
         }
         stats.db_passes += 1;
+        stats.candidates_counted += candidates.len();
+        let counts = engine.count_candidates(&candidates);
         let mut next: Vec<(Itemset, Support)> = Vec::new();
-        for candidate in candidates {
-            stats.candidates_counted += 1;
-            let support = ctx.vertical().support(&candidate);
+        for (candidate, support) in candidates.into_iter().zip(counts) {
             if support < min_count {
                 continue;
             }
             // Generator test: support strictly below every facet's.
-            let is_generator = candidate.facets().all(|facet| {
-                supports
-                    .get(&facet)
-                    .map_or(false, |&fs| fs != support)
-            });
+            let is_generator = candidate
+                .facets()
+                .all(|facet| supports.get(&facet).is_some_and(|&fs| fs != support));
             if is_generator {
                 next.push((candidate, support));
             }

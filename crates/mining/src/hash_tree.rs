@@ -115,12 +115,7 @@ impl HashTree {
         Self::visit(&self.root, transaction, transaction, counts);
     }
 
-    fn visit(
-        node: &Node,
-        transaction: &[Item],
-        remaining: &[Item],
-        counts: &mut [Support],
-    ) {
+    fn visit(node: &Node, transaction: &[Item], remaining: &[Item], counts: &mut [Support]) {
         match node {
             Node::Leaf(entries) => {
                 for (idx, candidate) in entries {

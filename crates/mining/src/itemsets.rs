@@ -105,11 +105,7 @@ impl FrequentItemsets {
         let sets: Vec<&Itemset> = self.map.keys().collect();
         sets.iter()
             .copied()
-            .filter(|s| {
-                !sets
-                    .iter()
-                    .any(|other| s.is_proper_subset_of(other))
-            })
+            .filter(|s| !sets.iter().any(|other| s.is_proper_subset_of(other)))
             .collect()
     }
 
@@ -353,7 +349,11 @@ mod tests {
         f.insert(set(&[2, 3]), 1);
         f.insert(set(&[9]), 2);
         f.insert(set(&[1, 5]), 1);
-        let order: Vec<_> = f.iter_sorted().into_iter().map(|(s, _)| s.clone()).collect();
+        let order: Vec<_> = f
+            .iter_sorted()
+            .into_iter()
+            .map(|(s, _)| s.clone())
+            .collect();
         assert_eq!(order, vec![set(&[9]), set(&[1, 5]), set(&[2, 3])]);
     }
 
@@ -397,11 +397,8 @@ mod tests {
 
     #[test]
     fn from_pairs_dedups_consistently() {
-        let fc = ClosedItemsets::from_pairs(
-            vec![(set(&[1]), 3), (set(&[1]), 3), (set(&[2]), 2)],
-            2,
-            5,
-        );
+        let fc =
+            ClosedItemsets::from_pairs(vec![(set(&[1]), 3), (set(&[1]), 3), (set(&[2]), 2)], 2, 5);
         assert_eq!(fc.len(), 2);
     }
 

@@ -43,7 +43,6 @@ pub mod fpgrowth;
 pub mod generators;
 pub mod hash_tree;
 pub mod itemsets;
-pub mod tidlist;
 pub mod traits;
 
 pub use aclose::AClose;
@@ -52,7 +51,6 @@ pub use charm::Charm;
 pub use close::Close;
 pub use counting::CountingStrategy;
 pub use fpgrowth::FpGrowth;
-pub use generators::{mine_generators, GeneratorSet};
+pub use generators::{mine_generators, mine_generators_engine, GeneratorSet};
 pub use itemsets::{ClosedItemsets, FrequentItemsets, MiningStats};
-pub use tidlist::TidListDb;
 pub use traits::{ClosedAlgorithm, ClosedMiner, FrequentMiner};

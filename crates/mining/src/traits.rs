@@ -4,7 +4,7 @@ use crate::aclose::AClose;
 use crate::charm::Charm;
 use crate::close::Close;
 use crate::itemsets::{ClosedItemsets, FrequentItemsets};
-use rulebases_dataset::{MiningContext, MinSupport};
+use rulebases_dataset::{MinSupport, MiningContext, SupportEngine};
 use std::fmt;
 
 /// A miner producing all frequent itemsets.
@@ -44,12 +44,18 @@ impl ClosedAlgorithm {
         ClosedAlgorithm::Charm,
     ];
 
-    /// Runs the selected algorithm.
+    /// Runs the selected algorithm through the context's (cached) engine.
     pub fn mine(self, ctx: &MiningContext, minsup: MinSupport) -> ClosedItemsets {
+        self.mine_engine(ctx.engine(), minsup)
+    }
+
+    /// Runs the selected algorithm against any [`SupportEngine`] backend —
+    /// the (algorithm × representation) ablation entry point.
+    pub fn mine_engine(self, engine: &dyn SupportEngine, minsup: MinSupport) -> ClosedItemsets {
         match self {
-            ClosedAlgorithm::Close => Close::new().mine_closed(ctx, minsup),
-            ClosedAlgorithm::AClose => AClose::new().mine_closed(ctx, minsup),
-            ClosedAlgorithm::Charm => Charm::new().mine_closed(ctx, minsup),
+            ClosedAlgorithm::Close => Close::new().mine_engine(engine, minsup),
+            ClosedAlgorithm::AClose => AClose::new().mine_engine(engine, minsup),
+            ClosedAlgorithm::Charm => Charm::new().mine_engine(engine, minsup),
         }
     }
 

@@ -3,7 +3,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rulebases_dataset::{Itemset, MiningContext, MinSupport, TransactionDb};
+use rulebases_dataset::{Itemset, MinSupport, MiningContext, TransactionDb};
 use rulebases_mining::brute::{brute_closed, brute_frequent};
 use rulebases_mining::counting::{count_candidates, CountingStrategy};
 use rulebases_mining::hash_tree::HashTree;
@@ -139,7 +139,7 @@ proptest! {
         let ctx = MiningContext::new(db);
         let threshold = MinSupport::Count(min_count);
         let apriori = Apriori::new().mine_frequent(&ctx, threshold);
-        let close = Close::default().mine_closed(&ctx, threshold);
+        let close = Close.mine_closed(&ctx, threshold);
         prop_assert!(close.stats.db_passes <= apriori.stats.db_passes.max(1));
     }
 

@@ -1,0 +1,455 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled token-tree parsing (no `syn`/`quote`, which are not
+//! available offline). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged);
+//! * `#[serde(transparent)]` on single-field structs;
+//! * `#[serde(skip)]` on named fields (omitted on serialize, filled with
+//!   `Default::default()` on deserialize).
+//!
+//! Generic types are intentionally unsupported — the workspace's
+//! serializable types are all concrete.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Data {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    data: Data,
+}
+
+/// Whether an attribute token group (the `[...]` contents) is a `serde`
+/// attribute containing `word` as a token.
+fn serde_attr_contains(group: &proc_macro::Group, word: &str) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == word)),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `tokens[*i..]`, reporting whether any
+/// was `#[serde(skip)]` / `#[serde(transparent)]`.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut transparent) = (false, false);
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                skip |= serde_attr_contains(g, "skip");
+                transparent |= serde_attr_contains(g, "transparent");
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (skip, transparent)
+}
+
+/// Skips a `pub` / `pub(crate)` visibility marker.
+fn eat_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses `{ field: Type, ... }` contents into named fields. Commas inside
+/// generic arguments are skipped by tracking `<`/`>` depth (tuples and
+/// arrays are token groups, so their commas are invisible here).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, _) = eat_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        eat_vis(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde shim derive: expected ':' after field {name}"
+        );
+        i += 1;
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body `(A, B, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Trailing comma produces an empty last segment.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = eat_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    i += 1;
+                    Shape::Tuple(n)
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    i += 1;
+                    Shape::Named(fields)
+                }
+                _ => Shape::Unit,
+            }
+        } else {
+            Shape::Unit
+        };
+        // Skip until the separating comma (covers `= discriminant`).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+    loop {
+        let before = i;
+        let (_, t) = eat_attrs(&tokens, &mut i);
+        transparent |= t;
+        eat_vis(&tokens, &mut i);
+        if i == before {
+            break;
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type {name})");
+    }
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Shape::Unit),
+            other => panic!("serde shim derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found {other}"),
+    };
+    Input {
+        name,
+        transparent,
+        data,
+    }
+}
+
+/// Derives the shim's `serde::Serialize` for a concrete struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.data {
+        Data::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Data::Struct(Shape::Named(fields)) => {
+            if parsed.transparent {
+                let inner: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                assert!(
+                    inner.len() == 1,
+                    "serde shim derive: transparent needs exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", inner[0].name)
+            } else {
+                let pushes: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "(String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(vec![{}])", pushes.join(", "))
+            }
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(String::from(\"{v}\")),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Value::Object(vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n    {body}\n  }}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+fn named_struct_from_value(name: &str, fields: &[Field], transparent: bool) -> String {
+    if transparent {
+        let inner: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+        assert!(
+            inner.len() == 1,
+            "serde shim derive: transparent needs exactly one field"
+        );
+        let f = &inner[0].name;
+        let others: Vec<String> = fields
+            .iter()
+            .filter(|x| x.skip)
+            .map(|x| format!("{}: ::std::default::Default::default(),", x.name))
+            .collect();
+        return format!(
+            "Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)?, {} }})",
+            others.join(" ")
+        );
+    }
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default(),", f.name)
+            } else {
+                format!(
+                    "{0}: match ::serde::get_field(obj, \"{0}\") {{\n  Some(x) => ::serde::Deserialize::from_value(x)?,\n  None => return Err(::serde::Error::custom(\"missing field {0}\")),\n}},",
+                    f.name
+                )
+            }
+        })
+        .collect();
+    format!(
+        "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\nOk({name} {{ {} }})",
+        inits.join("\n")
+    )
+}
+
+/// Derives the shim's `serde::Deserialize` for a concrete struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.data {
+        Data::Struct(Shape::Unit) => format!("Ok({name})"),
+        Data::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Data::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\nif arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\nOk({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Data::Struct(Shape::Named(fields)) => {
+            named_struct_from_value(name, fields, parsed.transparent)
+        }
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n  let arr = payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?;\n  if arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}::{v}\")); }}\n  Ok({name}::{v}({}))\n}},",
+                            elems.join(", ")
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default(),", f.name)
+                                } else {
+                                    format!(
+                                        "{0}: match ::serde::get_field(obj, \"{0}\") {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => return Err(::serde::Error::custom(\"missing field {0}\")) }},",
+                                        f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n  let obj = payload.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload\"))?;\n  Ok({name}::{v} {{ {} }})\n}},",
+                            inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n  ::serde::Value::String(s) => match s.as_str() {{\n    {}\n    other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n  }},\n  ::serde::Value::Object(fields) if fields.len() == 1 => {{\n    let (tag, payload) = &fields[0];\n    match tag.as_str() {{\n      {}\n      other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n    }}\n  }},\n  _ => Err(::serde::Error::custom(\"expected enum representation for {name}\")),\n}}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n  fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n    {body}\n  }}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl failed to parse")
+}

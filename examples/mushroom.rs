@@ -48,7 +48,10 @@ fn main() {
     }
 
     let maximal = lattice.maximal();
-    println!("\n{} maximal frequent closed itemsets; largest:", maximal.len());
+    println!(
+        "\n{} maximal frequent closed itemsets; largest:",
+        maximal.len()
+    );
     let mut by_size: Vec<usize> = maximal;
     by_size.sort_by_key(|&i| std::cmp::Reverse(lattice.node(i).0.len()));
     for &idx in by_size.iter().take(3) {

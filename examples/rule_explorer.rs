@@ -34,11 +34,7 @@ fn main() {
     for (ant, cons) in candidates {
         let x = Itemset::from_ids(ant.iter().copied());
         let z = Itemset::from_ids(cons.iter().copied());
-        print!(
-            "{} → {} : ",
-            x.display(&dict),
-            z.display(&dict)
-        );
+        print!("{} → {} : ", x.display(&dict), z.display(&dict));
 
         // 1. Exact? (Theorem 1: Armstrong derivation from the DG basis.)
         if bases.dg.derives(&x, &z) {

@@ -16,8 +16,8 @@ use rulebases::{
     all_approximate_rules, all_exact_rules, derive_approximate_rules, derive_exact_rules,
     generic_basis, ApproxDerivation, DuquenneGuiguesBasis, LuxenburgerBasis,
 };
-use rulebases_dataset::{MiningContext, MinSupport, TransactionDb};
-use rulebases_lattice::{ImplicationSet, IcebergLattice};
+use rulebases_dataset::{MinSupport, MiningContext, TransactionDb};
+use rulebases_lattice::{IcebergLattice, ImplicationSet};
 use rulebases_mining::brute::{brute_closed, brute_frequent};
 use rulebases_mining::mine_generators;
 

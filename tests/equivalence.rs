@@ -7,11 +7,12 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rulebases_dataset::{Itemset, MiningContext, MinSupport, TransactionDb};
+use rulebases_dataset::{EngineKind, Itemset, MinSupport, MiningContext, TransactionDb};
 use rulebases_mining::brute::{brute_closed, brute_frequent};
 use rulebases_mining::{
     mine_generators, Apriori, ClosedAlgorithm, CountingStrategy, FpGrowth, FrequentMiner,
 };
+use std::sync::Arc;
 
 /// A random context: up to 12 objects over up to 9 items (ids can exceed
 /// the bucket fanout of the hash tree via the stride).
@@ -68,6 +69,29 @@ proptest! {
     }
 
     #[test]
+    fn closed_miners_agree_under_every_backend(db in contexts(), min_count in 1u64..4) {
+        // The full (algorithm × representation) grid returns one answer:
+        // every closed miner over every SupportEngine backend matches the
+        // brute-force oracle.
+        let threshold = MinSupport::Count(min_count);
+        let reference = {
+            let ctx = MiningContext::new(db.clone());
+            brute_closed(&ctx, threshold).into_sorted_vec()
+        };
+        let shared = Arc::new(db);
+        for kind in EngineKind::BACKENDS {
+            let engine = kind.build(&shared);
+            for algo in ClosedAlgorithm::ALL {
+                let mined = algo.mine_engine(engine.as_ref(), threshold).into_sorted_vec();
+                prop_assert_eq!(
+                    &mined, &reference,
+                    "{} over {} disagrees with brute force", algo, kind
+                );
+            }
+        }
+    }
+
+    #[test]
     fn closure_axioms_hold(db in contexts(), ids in vec(0u32..9, 0..5)) {
         let ctx = MiningContext::new(db);
         // The closure operator is only defined on subsets of the universe.
@@ -112,12 +136,15 @@ proptest! {
     }
 
     #[test]
-    fn vertical_and_horizontal_supports_agree(db in contexts(), ids in vec(0u32..9, 0..4)) {
-        let ctx = MiningContext::new(db);
+    fn engine_and_horizontal_supports_agree(db in contexts(), ids in vec(0u32..9, 0..4)) {
         let x = Itemset::from_ids(ids);
-        prop_assert_eq!(
-            ctx.vertical().support(&x),
-            ctx.horizontal().support(&x)
-        );
+        for kind in EngineKind::BACKENDS {
+            let ctx = MiningContext::with_engine(db.clone(), kind);
+            prop_assert_eq!(
+                ctx.engine().support(&x),
+                ctx.horizontal().support(&x),
+                "{} backend", kind
+            );
+        }
     }
 }

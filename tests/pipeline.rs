@@ -89,8 +89,7 @@ fn lattice_is_a_valid_hasse_diagram() {
         let upper: Vec<Vec<usize>> = (0..bases.lattice.n_nodes())
             .map(|i| bases.lattice.upper_covers(i).to_vec())
             .collect();
-        verify_covers(&nodes, &upper)
-            .unwrap_or_else(|e| panic!("{}: {e}", dataset.name()));
+        verify_covers(&nodes, &upper).unwrap_or_else(|e| panic!("{}: {e}", dataset.name()));
     }
 }
 
@@ -112,8 +111,8 @@ fn closed_supports_match_context_on_every_dataset() {
     for dataset in StandIn::ALL {
         let db = dataset.generate(Scale::Test);
         let ctx = MiningContext::new(db);
-        let bases = RuleMiner::new(MinSupport::Fraction(dataset.default_minsup()))
-            .mine_context(&ctx);
+        let bases =
+            RuleMiner::new(MinSupport::Fraction(dataset.default_minsup())).mine_context(&ctx);
         for (set, support) in bases.closed.iter() {
             assert_eq!(
                 ctx.support(set),
@@ -137,9 +136,6 @@ fn io_round_trip_preserves_mining_results() {
 
     let a = RuleMiner::new(MinSupport::Fraction(0.6)).mine(db);
     let b = RuleMiner::new(MinSupport::Fraction(0.6)).mine(back);
-    assert_eq!(
-        a.closed.into_sorted_vec(),
-        b.closed.into_sorted_vec()
-    );
+    assert_eq!(a.closed.into_sorted_vec(), b.closed.into_sorted_vec());
     assert_eq!(a.dg.rules(), b.dg.rules());
 }
