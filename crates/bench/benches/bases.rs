@@ -21,7 +21,7 @@ fn bench_bases(c: &mut Criterion) {
         let ctx = MiningContext::new(dataset.generate(Scale::Test));
         let minsup = MinSupport::Fraction(dataset.default_minsup());
         let frequent = Apriori::new().mine_frequent(&ctx, minsup);
-        let fc = Close.mine_closed(&ctx, minsup);
+        let fc = Close::new().mine_closed(&ctx, minsup);
         let lattice = IcebergLattice::from_closed(&fc);
 
         group.bench_function(BenchmarkId::new("all-rules", dataset.name()), |b| {

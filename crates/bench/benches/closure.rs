@@ -33,7 +33,7 @@ fn bench_closure(c: &mut Criterion) {
         });
 
         // Hasse construction, both algorithms.
-        let fc = Close.mine_closed(&ctx, MinSupport::Fraction(dataset.default_minsup()));
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Fraction(dataset.default_minsup()));
         group.bench_function(
             BenchmarkId::new(
                 "hasse-pairs",

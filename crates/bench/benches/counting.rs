@@ -1,19 +1,38 @@
 //! E8 ablation as a Criterion benchmark: support counting across the
 //! transaction-driven strategies (subset hashing, hash tree) and the
 //! three `SupportEngine` vertical backends (dense bitsets, tid-lists,
-//! diffsets) on sparse and dense level-2 candidate sets.
+//! diffsets) on sparse and dense level-2 candidate sets — plus the
+//! shard-count ablation of the parallel `ShardedEngine`.
 //!
 //! The backend comparison is a one-line swap: every engine row calls the
 //! same batch `count_candidates` API with a different [`EngineKind`].
+//! The sharding ablation (`sharded-1/2/4/8` vs `dense-serial`) runs on a
+//! census-like stand-in large enough that per-thread work dominates
+//! thread start-up; each `sharded-k` row pins `k` worker threads, so the
+//! speedup over the serial dense row is measured, not asserted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rulebases_bench::{Scale, StandIn};
-use rulebases_dataset::{EngineKind, Itemset, MinSupport, MiningContext};
+use rulebases_dataset::generator::census_like;
+use rulebases_dataset::{
+    EngineKind, Itemset, MinSupport, MiningContext, Parallelism, ShardedEngine, SupportEngine,
+    TransactionDb,
+};
 use rulebases_mining::candidates::join_and_prune;
 use rulebases_mining::counting::{count_candidates, CountingStrategy};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Rows in the census-like shard-ablation stand-in: big enough (128k)
+/// that a level-2 batch count is millisecond-scale serial work, so
+/// per-thread work dominates the ~10–20 µs thread start-up of a fan-out.
+const SHARD_ABLATION_ROWS: usize = 1 << 17;
+
+/// Support threshold for the ablation's candidate level — lower than the
+/// C20D10K table sweep so the level is wide (hundreds of candidates) and
+/// each shard chunk carries real work.
+const SHARD_ABLATION_MINSUP: f64 = 0.30;
 
 /// Builds the level-2 candidate set of a dataset at its default minsup.
 fn level2_candidates(ctx: &MiningContext, minsup: f64) -> Vec<Itemset> {
@@ -68,5 +87,35 @@ fn bench_counting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_counting);
+/// Shard-count ablation: the same census-like level-2 candidate batch
+/// counted by the serial dense backend and by `ShardedEngine` with
+/// `k ∈ {1, 2, 4, 8}` dense shards and `k` pinned worker threads.
+fn bench_shard_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting-sharded");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    let db: Arc<TransactionDb> = Arc::new(census_like(SHARD_ABLATION_ROWS, 20, 0xC20));
+    let ctx = MiningContext::with_engine_arc(Arc::clone(&db), EngineKind::Dense);
+    let candidates = level2_candidates(&ctx, SHARD_ABLATION_MINSUP);
+    let id =
+        |label: &str| BenchmarkId::new(label.to_owned(), format!("census x{}", candidates.len()));
+
+    let dense = EngineKind::Dense.build(&db);
+    group.bench_function(id("dense-serial"), |b| {
+        b.iter(|| black_box(dense.count_candidates(&candidates)))
+    });
+    for k in [1usize, 2, 4, 8] {
+        let sharded = ShardedEngine::from_horizontal(&db, k, &EngineKind::Dense)
+            .parallelism(Parallelism::Fixed(k));
+        group.bench_function(id(&format!("sharded-{k}")), |b| {
+            b.iter(|| black_box(sharded.count_candidates(&candidates)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting, bench_shard_ablation);
 criterion_main!(benches);

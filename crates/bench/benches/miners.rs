@@ -23,10 +23,10 @@ fn bench_miners(c: &mut Criterion) {
             b.iter(|| black_box(Apriori::new().mine_frequent(&ctx, minsup)))
         });
         group.bench_function(BenchmarkId::new("close", dataset.name()), |b| {
-            b.iter(|| black_box(Close.mine_closed(&ctx, minsup)))
+            b.iter(|| black_box(Close::new().mine_closed(&ctx, minsup)))
         });
         group.bench_function(BenchmarkId::new("a-close", dataset.name()), |b| {
-            b.iter(|| black_box(AClose.mine_closed(&ctx, minsup)))
+            b.iter(|| black_box(AClose::new().mine_closed(&ctx, minsup)))
         });
         group.bench_function(BenchmarkId::new("charm", dataset.name()), |b| {
             b.iter(|| black_box(Charm.mine_closed(&ctx, minsup)))

@@ -3,14 +3,19 @@
 //! ```bash
 //! exp all                 # every table and figure at the default scale
 //! exp table2 --scale full # one experiment at paper-scale object counts
+//! exp table2 --engine sharded:4:dense   # pick the SupportEngine backend
 //! exp verify              # structural sanity checks across the suite
 //! ```
 
+use rulebases_bench::datasets::ENGINE_ENV;
 use rulebases_bench::tables;
 use rulebases_bench::Scale;
+use rulebases_dataset::EngineKind;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: exp <table1|table2|table3|table4|fig1|fig2|fig3|verify|all> [--scale test|default|full]";
+const USAGE: &str = "usage: exp <table1|table2|table3|table4|fig1|fig2|fig3|verify|all> \
+[--scale test|default|full] \
+[--engine auto|dense|tid-list|diffset|sharded:<k>:<inner>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +35,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 scale = parsed;
+                i += 2;
+            }
+            "--engine" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--engine needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                let kind: EngineKind = match value.parse() {
+                    Ok(kind) => kind,
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                // The tables read the backend from the environment, so
+                // the flag and `RULEBASES_ENGINE=...` are equivalent.
+                std::env::set_var(ENGINE_ENV, kind.to_string());
                 i += 2;
             }
             other if which.is_none() => {

@@ -4,23 +4,51 @@
 //! where Apriori would explode).
 //!
 //! ```bash
-//! probe MUSHROOMS 0.5 [test|default|full] [--frequent]
+//! probe MUSHROOMS 0.5 [test|default|full] [--frequent] \
+//!     [--engine auto|dense|tid-list|diffset|sharded:<k>:<inner>]
 //! ```
+//!
+//! Without `--engine`, the backend comes from the `RULEBASES_ENGINE`
+//! environment variable (default `auto`).
 
-use rulebases_bench::{Scale, StandIn};
-use rulebases_dataset::{MinSupport, MiningContext};
+use rulebases_bench::{engine_from_env, Scale, StandIn};
+use rulebases_dataset::{EngineKind, MinSupport, MiningContext};
 use rulebases_mining::{Apriori, Close, ClosedMiner};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(String::as_str).unwrap_or("MUSHROOMS");
-    let minsup: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
-    let scale = args
+    let mut engine: Option<EngineKind> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut with_frequent = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--frequent" => {
+                with_frequent = true;
+                i += 1;
+            }
+            "--engine" => {
+                let value = args.get(i + 1).expect("--engine needs a value");
+                engine = Some(value.parse().unwrap_or_else(|e| panic!("--engine: {e}")));
+                i += 2;
+            }
+            other => {
+                positional.push(other);
+                i += 1;
+            }
+        }
+    }
+    let name = positional.first().copied().unwrap_or("MUSHROOMS");
+    let minsup: f64 = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let scale = positional
         .get(2)
         .and_then(|s| Scale::parse(s))
         .unwrap_or(Scale::Test);
-    let with_frequent = args.iter().any(|a| a == "--frequent");
+    let engine = engine.unwrap_or_else(engine_from_env);
 
     let dataset = StandIn::ALL
         .into_iter()
@@ -29,15 +57,16 @@ fn main() {
 
     let db = dataset.generate(scale);
     println!(
-        "{} |O|={} |I|={} minsup={minsup}",
+        "{} |O|={} |I|={} minsup={minsup} engine={engine}",
         dataset.name(),
         db.n_transactions(),
         db.n_items()
     );
-    let ctx = MiningContext::new(db);
+    let ctx = MiningContext::with_engine(db, engine);
+    println!("resolved backend: {}", ctx.engine_name());
 
     let start = Instant::now();
-    let fc = Close.mine_closed(&ctx, MinSupport::Fraction(minsup));
+    let fc = Close::new().mine_closed(&ctx, MinSupport::Fraction(minsup));
     println!(
         "|FC| = {} ({} passes, {:.1} ms)",
         fc.len(),

@@ -6,7 +6,28 @@
 //! original object counts.
 
 use rulebases_dataset::generator::{census_like, mushroom_like_scaled, QuestConfig};
-use rulebases_dataset::TransactionDb;
+use rulebases_dataset::{EngineKind, TransactionDb};
+
+/// Environment variable naming the [`EngineKind`] the experiment
+/// runners mine through (`auto`, `dense`, `tid-list`, `diffset`,
+/// `sharded:<k>:<inner>`). The `exp` binary's `--engine` flag sets it.
+pub const ENGINE_ENV: &str = "RULEBASES_ENGINE";
+
+/// The engine backend selected by [`ENGINE_ENV`], defaulting to
+/// [`EngineKind::Auto`] when unset or empty.
+///
+/// # Panics
+///
+/// Panics on an unparseable value, so a CLI typo fails loudly instead of
+/// silently benchmarking the wrong backend.
+pub fn engine_from_env() -> EngineKind {
+    match std::env::var(ENGINE_ENV) {
+        Ok(value) if !value.trim().is_empty() => value
+            .parse()
+            .unwrap_or_else(|e| panic!("{ENGINE_ENV}: {e}")),
+        _ => EngineKind::Auto,
+    }
+}
 
 /// Generation scale: object counts for CI, for the default harness, and
 /// for the paper-faithful full runs.

@@ -13,8 +13,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod datasets;
-pub mod parallel;
 pub mod tables;
 pub mod timing;
 
-pub use datasets::{Scale, StandIn};
+/// The shared fan-out primitives (one implementation for experiment
+/// cells, sharded engines, and levelwise miners alike), re-exported from
+/// `rulebases_dataset::pool` under this crate's historical module name.
+pub use rulebases_dataset::pool as parallel;
+
+pub use datasets::{engine_from_env, Scale, StandIn};
+pub use parallel::{parallel_map, Parallelism};

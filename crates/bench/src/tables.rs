@@ -89,9 +89,9 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
         .flat_map(|&d| d.minsup_sweep().iter().map(move |&s| (d, s)))
         .collect();
     parallel_map(cells, |(d, minsup)| {
-        let ctx = MiningContext::new(d.generate(scale));
+        let ctx = MiningContext::with_engine(d.generate(scale), crate::datasets::engine_from_env());
         let frequent = Apriori::new().mine(&ctx, MinSupport::Fraction(minsup));
-        let closed = Close.mine_closed(&ctx, MinSupport::Fraction(minsup));
+        let closed = Close::new().mine_closed(&ctx, MinSupport::Fraction(minsup));
         Table2Row {
             dataset: d.name(),
             minsup,
@@ -279,7 +279,7 @@ pub fn fig1(scale: Scale) -> Vec<Fig1Row> {
     let runs = if scale == Scale::Test { 3 } else { 1 };
     let mut rows = Vec::new();
     for d in StandIn::ALL {
-        let ctx = MiningContext::new(d.generate(scale));
+        let ctx = MiningContext::with_engine(d.generate(scale), crate::datasets::engine_from_env());
         for &minsup in d.minsup_sweep() {
             let threshold = MinSupport::Fraction(minsup);
             rows.push(Fig1Row {
@@ -292,10 +292,10 @@ pub fn fig1(scale: Scale) -> Vec<Fig1Row> {
                     std::hint::black_box(FpGrowth::new().mine_frequent(&ctx, threshold));
                 }),
                 close: median_duration(runs, || {
-                    std::hint::black_box(Close.mine_closed(&ctx, threshold));
+                    std::hint::black_box(Close::new().mine_closed(&ctx, threshold));
                 }),
                 aclose: median_duration(runs, || {
-                    std::hint::black_box(AClose.mine_closed(&ctx, threshold));
+                    std::hint::black_box(AClose::new().mine_closed(&ctx, threshold));
                 }),
                 charm: median_duration(runs, || {
                     std::hint::black_box(Charm.mine_closed(&ctx, threshold));
@@ -402,9 +402,9 @@ impl fmt::Display for Fig3Row {
 pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
     let mut rows = Vec::new();
     for d in StandIn::ALL {
-        let ctx = MiningContext::new(d.generate(scale));
+        let ctx = MiningContext::with_engine(d.generate(scale), crate::datasets::engine_from_env());
         let threshold = MinSupport::Fraction(d.default_minsup());
-        let fc = Close.mine_closed(&ctx, threshold);
+        let fc = Close::new().mine_closed(&ctx, threshold);
         let (lattice, by_pairs) = crate::timing::time_once(|| IcebergLattice::from_closed(&fc));
         let (_, by_closure) = crate::timing::time_once(|| IcebergLattice::from_context(&fc, &ctx));
         rows.push(Fig3Row {
@@ -427,10 +427,12 @@ pub fn fig3_header() -> String {
     )
 }
 
-/// Shared pipeline cell: mine one `(dataset, scale, minsup, minconf)`.
+/// Shared pipeline cell: mine one `(dataset, scale, minsup, minconf)`
+/// through the env-selected engine backend.
 fn mine(d: StandIn, scale: Scale, minsup: f64, minconf: f64) -> MinedBases {
     RuleMiner::new(MinSupport::Fraction(minsup))
         .min_confidence(minconf)
+        .engine(crate::datasets::engine_from_env())
         .mine(d.generate(scale))
 }
 

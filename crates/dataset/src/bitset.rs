@@ -171,6 +171,68 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// Copies the bit range `start..start + len` into a new bitset
+    /// re-based at zero.
+    ///
+    /// `start` must be a multiple of 64 so the copy is whole words — this
+    /// is the shard-slicing primitive of the sharded engine, whose shard
+    /// boundaries are word-aligned by construction (see
+    /// [`TransactionDb::partition`]).
+    ///
+    /// [`TransactionDb::partition`]: crate::TransactionDb::partition
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not word-aligned or `start + len` exceeds the
+    /// capacity.
+    pub fn extract_block(&self, start: usize, len: usize) -> BitSet {
+        assert_eq!(start % WORD_BITS, 0, "block start {start} not 64-aligned");
+        assert!(
+            start + len <= self.nbits,
+            "block {start}..{} beyond capacity {}",
+            start + len,
+            self.nbits
+        );
+        let first = start / WORD_BITS;
+        let mut out = BitSet {
+            words: self.words[first..first + len.div_ceil(WORD_BITS)].to_vec(),
+            nbits: len,
+        };
+        out.trim_tail();
+        out
+    }
+
+    /// Overwrites the bit range `start..start + block.capacity()` with
+    /// `block` (a bitset re-based at zero) — the inverse of
+    /// [`BitSet::extract_block`]. Bits outside the range are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a multiple of 64 or the block does not
+    /// fit within the capacity.
+    pub fn splice_block(&mut self, start: usize, block: &BitSet) {
+        assert_eq!(start % WORD_BITS, 0, "block start {start} not 64-aligned");
+        assert!(
+            start + block.nbits <= self.nbits,
+            "block {start}..{} beyond capacity {}",
+            start + block.nbits,
+            self.nbits
+        );
+        if block.nbits == 0 {
+            return;
+        }
+        let first = start / WORD_BITS;
+        let full_words = block.nbits / WORD_BITS;
+        self.words[first..first + full_words].copy_from_slice(&block.words[..full_words]);
+        let rem = block.nbits % WORD_BITS;
+        if rem != 0 {
+            // Merge the trailing partial word so neighbouring bits survive.
+            let mask = (1u64 << rem) - 1;
+            let target = &mut self.words[first + full_words];
+            *target = (*target & !mask) | (block.words[full_words] & mask);
+        }
+    }
+
     /// Iterates over set bit indices in increasing order.
     pub fn iter(&self) -> Ones<'_> {
         Ones {
@@ -294,6 +356,55 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.capacity(), 20);
+    }
+
+    #[test]
+    fn extract_and_splice_blocks_round_trip() {
+        let s = BitSet::from_indices(300, [0, 5, 63, 64, 127, 128, 250, 299]);
+        // Word-aligned cuts at 0, 64, 128, 300 reassemble exactly.
+        let cuts = [0usize, 64, 128, 300];
+        let mut rebuilt = BitSet::new(300);
+        for w in cuts.windows(2) {
+            let block = s.extract_block(w[0], w[1] - w[0]);
+            assert_eq!(
+                block.iter().collect::<Vec<_>>(),
+                s.iter()
+                    .filter(|&i| i >= w[0] && i < w[1])
+                    .map(|i| i - w[0])
+                    .collect::<Vec<_>>()
+            );
+            rebuilt.splice_block(w[0], &block);
+        }
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn splice_partial_word_preserves_neighbours() {
+        // A 10-bit block written at 64 must not clobber bits 74..128.
+        let mut s = BitSet::from_indices(128, [64, 70, 100]);
+        let block = BitSet::from_indices(10, [1, 3]);
+        s.splice_block(64, &block);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![65, 67, 100]);
+    }
+
+    #[test]
+    fn extract_empty_block() {
+        let s = BitSet::from_indices(100, [1, 99]);
+        let block = s.extract_block(64, 0);
+        assert_eq!(block.capacity(), 0);
+        assert!(block.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not 64-aligned")]
+    fn extract_unaligned_panics() {
+        let _ = BitSet::new(100).extract_block(10, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn splice_overflow_panics() {
+        BitSet::new(100).splice_block(64, &BitSet::new(64));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::bitset::BitSet;
 use crate::engine::{CacheStats, CachedEngine, EngineKind, SupportEngine};
 use crate::itemset::Itemset;
+use crate::pool::Parallelism;
 use crate::support::{MinSupport, Support};
 use crate::transaction::TransactionDb;
 use std::sync::Arc;
@@ -76,11 +77,29 @@ impl MiningContext {
         Self::with_engine_arc(Arc::new(db), kind)
     }
 
+    /// Builds a context with an explicit backend *and* thread policy:
+    /// the policy steers the `Auto` sharding promotion and is installed
+    /// on a sharded engine, so `Parallelism::Off` yields a genuinely
+    /// sequential context (see [`EngineKind::build_par`]).
+    pub fn with_engine_par(db: TransactionDb, kind: EngineKind, parallelism: Parallelism) -> Self {
+        Self::with_engine_arc_par(Arc::new(db), kind, parallelism)
+    }
+
     /// Builds a context over an already-shared database without cloning
     /// it (the context stores the `Arc` directly), with an explicit
     /// backend.
     pub fn with_engine_arc(db: Arc<TransactionDb>, kind: EngineKind) -> Self {
-        let engine = kind.build_cached(&db);
+        Self::with_engine_arc_par(db, kind, Parallelism::Auto)
+    }
+
+    /// [`MiningContext::with_engine_arc`] with an explicit thread policy
+    /// (see [`MiningContext::with_engine_par`]).
+    pub fn with_engine_arc_par(
+        db: Arc<TransactionDb>,
+        kind: EngineKind,
+        parallelism: Parallelism,
+    ) -> Self {
+        let engine = kind.build_cached_par(&db, parallelism);
         MiningContext {
             horizontal: db,
             engine,
@@ -104,9 +123,18 @@ impl MiningContext {
         self.engine.name()
     }
 
-    /// Closure-cache counters (hits, misses, evictions).
+    /// Closure-cache counters (hits, misses, evictions) of the context's
+    /// own cache layer.
     pub fn closure_cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// Cache counters of the backend beneath the context's closure cache
+    /// — nonzero when the backend is a sharded engine with per-shard
+    /// caches (reported distinctly so the two layers never double-count
+    /// one query; see [`CachedEngine::backend_stats`]).
+    pub fn backend_cache_stats(&self) -> CacheStats {
+        self.engine.backend_stats()
     }
 
     /// Number of objects `|O|`.
@@ -314,7 +342,7 @@ mod tests {
                     vec![2, 5],
                     vec![1, 2, 3, 5],
                 ]),
-                kind,
+                kind.clone(),
             );
             assert_eq!(c.engine_name(), kind.name());
             for probe in &probes {

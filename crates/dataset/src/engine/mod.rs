@@ -28,11 +28,24 @@
 //!   near-full cover is tiny, so diffsets shine on extremely dense data
 //!   where even bitsets waste work scanning runs of ones.
 //!
-//! All three agree bit-for-bit on every query (cross-backend equivalence
-//! is property-tested in `tests/proptests.rs` and `tests/equivalence.rs`);
-//! they differ only in time/space trade-offs, which makes the
-//! representation an ablatable axis — the `counting` bench swaps backends
-//! with one [`EngineKind`] value.
+//! All backends agree bit-for-bit on every query (cross-backend
+//! equivalence is property-tested in `tests/proptests.rs` and
+//! `tests/equivalence.rs`); they differ only in time/space trade-offs,
+//! which makes the representation an ablatable axis — the `counting`
+//! bench swaps backends with one [`EngineKind`] value.
+//!
+//! # Sharding
+//!
+//! On top of the serial backends, [`ShardedEngine`] partitions the
+//! object set row-wise into `K` shards, holds one inner backend per shard
+//! (any of the three, resolved per shard by that shard's density), and
+//! answers every query by fanning the shards across scoped threads:
+//! supports add, extents stitch at 64-aligned shard offsets, intents
+//! intersect. [`EngineKind::Sharded`] names such a configuration
+//! (spelled `sharded:<k>:<inner>` in CLI/env contexts — [`EngineKind`]
+//! implements [`FromStr`](std::str::FromStr)), and [`EngineKind::Auto`]
+//! promotes itself to a sharded engine above a row-count threshold when
+//! more than one thread is available.
 //!
 //! # Selection and caching
 //!
@@ -50,19 +63,23 @@
 mod cache;
 mod dense;
 mod diffset;
+mod sharded;
 mod tidlist;
 
 pub use cache::{CacheStats, CachedEngine};
 pub use dense::DenseEngine;
 pub use diffset::DiffsetEngine;
+pub use sharded::ShardedEngine;
 pub use tidlist::{intersect, intersect_count, TidList, TidListEngine};
 
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
+use crate::pool::Parallelism;
 use crate::support::Support;
 use crate::transaction::TransactionDb;
 use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 
 /// The unified support-counting and closure interface.
@@ -79,6 +96,14 @@ use std::sync::Arc;
 pub trait SupportEngine: fmt::Debug + Send + Sync {
     /// Stable backend identifier for reports and benchmarks.
     fn name(&self) -> &'static str;
+
+    /// Whether the engine already parallelizes internally (the sharded
+    /// backend). Callers that would otherwise fan candidate chunks over
+    /// threads use this to avoid nesting thread pools. Wrappers must
+    /// delegate.
+    fn is_sharded(&self) -> bool {
+        false
+    }
 
     /// Number of objects `|O|`.
     fn n_objects(&self) -> usize;
@@ -160,9 +185,14 @@ pub(crate) fn intent_of(db: &TransactionDb, tidset: &BitSet) -> Itemset {
 }
 
 /// Which [`SupportEngine`] backend to build for a context.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Spelled `auto` / `dense` / `tid-list` / `diffset` /
+/// `sharded:<k>:<inner>` in CLI and environment contexts (see the
+/// [`FromStr`] and [`fmt::Display`] implementations; the two
+/// round-trip).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum EngineKind {
-    /// Pick a backend from the dataset's density (see
+    /// Pick a backend from the dataset's density and size (see
     /// [`EngineKind::select`]).
     #[default]
     Auto,
@@ -172,62 +202,201 @@ pub enum EngineKind {
     TidList,
     /// Sorted complement lists ([`DiffsetEngine`]).
     Diffset,
+    /// Row-sharded parallel engine ([`ShardedEngine`]): `shards` shards,
+    /// each served by an `inner` backend resolved against that shard's
+    /// own density.
+    Sharded {
+        /// Number of row shards (clamped to at least 1 when built).
+        shards: usize,
+        /// Backend built per shard; `Auto` resolves per shard by density
+        /// (never to nested sharding), an explicit `Sharded` nests.
+        inner: Box<EngineKind>,
+    },
 }
 
+/// `Auto` promotes itself to a sharded engine at or above this row count
+/// (when more than one thread is available): below it, fan-out overhead
+/// eats the parallel win. [`ShardedEngine`] uses the same floor to
+/// decide whether an `Auto`-policy engine actually spawns threads, so a
+/// relation big enough to auto-shard is always big enough to fan.
+pub const AUTO_SHARD_MIN_ROWS: usize = 1 << 14;
+
+/// `Auto` caps its shard count here — past one socket's worth of cores,
+/// support counting is memory-bandwidth-bound and extra shards only add
+/// stitching work.
+const AUTO_SHARD_MAX: usize = 8;
+
 impl EngineKind {
-    /// The three concrete backends (`Auto` resolves to one of these) —
-    /// the ablation axis for benchmarks and equivalence tests.
+    /// The three concrete serial backends — the ablation axis for
+    /// benchmarks and equivalence tests (sharded configurations are
+    /// parameterized and enumerated by the tests that need them).
     pub const BACKENDS: [EngineKind; 3] =
         [EngineKind::Dense, EngineKind::TidList, EngineKind::Diffset];
 
-    /// Stable identifier.
-    pub fn name(self) -> &'static str {
+    /// Stable identifier (shard count and inner kind are carried by the
+    /// [`fmt::Display`] form, not the name).
+    pub fn name(&self) -> &'static str {
         match self {
             EngineKind::Auto => "auto",
             EngineKind::Dense => "dense",
             EngineKind::TidList => "tid-list",
             EngineKind::Diffset => "diffset",
+            EngineKind::Sharded { .. } => "sharded",
         }
     }
 
-    /// Resolves `Auto` against a concrete database: tid-lists for very
-    /// sparse relations over large object counts (intersections touch
-    /// only the occupied entries), diffsets for near-saturated relations
-    /// (complements are tiny), dense bitsets — the robust middle — for
-    /// everything else.
-    pub fn select(self, db: &TransactionDb) -> EngineKind {
-        if self != EngineKind::Auto {
-            return self;
-        }
-        let density = db.density();
-        if density < 0.02 && db.n_transactions() >= 1024 {
-            EngineKind::TidList
-        } else if density > 0.60 {
-            EngineKind::Diffset
-        } else {
-            EngineKind::Dense
+    /// Resolves `Auto` against a concrete database, under the default
+    /// ([`Parallelism::Auto`]) thread policy. Large relations
+    /// (≥ [`AUTO_SHARD_MIN_ROWS`] rows) shard across the available
+    /// threads; everything else gets the flat density choice of
+    /// [`EngineKind::select_flat`].
+    pub fn select(&self, db: &TransactionDb) -> EngineKind {
+        self.select_par(db, Parallelism::Auto)
+    }
+
+    /// Resolves `Auto` against a concrete database and an explicit
+    /// thread policy: the promotion to sharding only happens when the
+    /// policy grants more than one thread (so `Off` never shards), and
+    /// the shard count follows the policy's thread count. The inner kind
+    /// stays `Auto` so each shard resolves its own density at build time
+    /// (a dense head and a sparse tail get different representations).
+    pub fn select_par(&self, db: &TransactionDb, parallelism: Parallelism) -> EngineKind {
+        match self {
+            EngineKind::Auto => {
+                let threads = parallelism.threads();
+                if threads > 1 && db.n_transactions() >= AUTO_SHARD_MIN_ROWS {
+                    EngineKind::Sharded {
+                        shards: threads.min(AUTO_SHARD_MAX),
+                        inner: Box::new(EngineKind::Auto),
+                    }
+                } else {
+                    self.select_flat(db)
+                }
+            }
+            other => other.clone(),
         }
     }
 
-    /// Builds the backend for a database (resolving `Auto` first).
-    pub fn build(self, db: &Arc<TransactionDb>) -> Arc<dyn SupportEngine> {
-        match self.select(db) {
-            EngineKind::Auto => unreachable!("select() returns a concrete kind"),
+    /// Resolves `Auto` by density alone, never choosing sharding:
+    /// tid-lists for very sparse relations over large object counts
+    /// (intersections touch only the occupied entries), diffsets for
+    /// near-saturated relations (complements are tiny), dense bitsets —
+    /// the robust middle — for everything else. This is also how a
+    /// [`ShardedEngine`] resolves its inner kind per shard.
+    pub fn select_flat(&self, db: &TransactionDb) -> EngineKind {
+        match self {
+            EngineKind::Auto => {
+                let density = db.density();
+                if density < 0.02 && db.n_transactions() >= 1024 {
+                    EngineKind::TidList
+                } else if density > 0.60 {
+                    EngineKind::Diffset
+                } else {
+                    EngineKind::Dense
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Builds the backend for a database (resolving `Auto` first) under
+    /// the default thread policy.
+    pub fn build(&self, db: &Arc<TransactionDb>) -> Arc<dyn SupportEngine> {
+        self.build_par(db, Parallelism::Auto)
+    }
+
+    /// Builds the backend for a database under an explicit thread
+    /// policy: the policy steers the `Auto` sharding promotion and is
+    /// installed on a sharded engine (so `Off` yields genuinely
+    /// sequential engines and `Fixed(n)` caps the per-query fan-out at
+    /// `n` workers). Flat backends have no threads to configure.
+    pub fn build_par(
+        &self,
+        db: &Arc<TransactionDb>,
+        parallelism: Parallelism,
+    ) -> Arc<dyn SupportEngine> {
+        match self.select_par(db, parallelism) {
+            EngineKind::Auto => unreachable!("select_par() returns a concrete kind"),
             EngineKind::Dense => Arc::new(DenseEngine::from_horizontal(db)),
             EngineKind::TidList => Arc::new(TidListEngine::from_horizontal(db)),
             EngineKind::Diffset => Arc::new(DiffsetEngine::from_horizontal(db)),
+            EngineKind::Sharded { shards, inner } => Arc::new(
+                ShardedEngine::from_horizontal(db, shards, &inner).parallelism(parallelism),
+            ),
         }
     }
 
     /// Builds the backend and wraps it in a memoizing [`CachedEngine`].
-    pub fn build_cached(self, db: &Arc<TransactionDb>) -> Arc<CachedEngine> {
-        Arc::new(CachedEngine::new(self.build(db)))
+    pub fn build_cached(&self, db: &Arc<TransactionDb>) -> Arc<CachedEngine> {
+        self.build_cached_par(db, Parallelism::Auto)
+    }
+
+    /// Builds the backend under an explicit thread policy (see
+    /// [`EngineKind::build_par`]) and wraps it in a memoizing
+    /// [`CachedEngine`].
+    pub fn build_cached_par(
+        &self,
+        db: &Arc<TransactionDb>,
+        parallelism: Parallelism,
+    ) -> Arc<CachedEngine> {
+        Arc::new(CachedEngine::new(self.build_par(db, parallelism)))
     }
 }
 
 impl fmt::Display for EngineKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        match self {
+            EngineKind::Sharded { shards, inner } => write!(f, "sharded:{shards}:{inner}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Error parsing an [`EngineKind`] from its textual form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseEngineKindError(String);
+
+impl fmt::Display for ParseEngineKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected auto, dense, tid-list, diffset, or sharded:<k>:<inner>",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineKindError {}
+
+impl FromStr for EngineKind {
+    type Err = ParseEngineKindError;
+
+    /// Parses `auto` / `dense` / `tid-list` (or `tidlist`) / `diffset` /
+    /// `sharded:<k>:<inner>`, where `<inner>` is itself any parseable
+    /// kind (so `sharded:4:auto` and even nested shardings round-trip).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        match s {
+            "auto" => Ok(EngineKind::Auto),
+            "dense" => Ok(EngineKind::Dense),
+            "tid-list" | "tidlist" => Ok(EngineKind::TidList),
+            "diffset" => Ok(EngineKind::Diffset),
+            _ => {
+                let err = || ParseEngineKindError(format!("unknown engine kind {s:?}"));
+                let rest = s.strip_prefix("sharded:").ok_or_else(err)?;
+                let (count, inner) = rest.split_once(':').ok_or_else(err)?;
+                let shards: usize = count.parse().map_err(|_| err())?;
+                if shards == 0 {
+                    return Err(ParseEngineKindError(format!(
+                        "invalid shard count in {s:?}: must be at least 1"
+                    )));
+                }
+                Ok(EngineKind::Sharded {
+                    shards,
+                    inner: Box::new(inner.parse()?),
+                })
+            }
+        }
     }
 }
 
@@ -359,6 +528,112 @@ mod tests {
         );
         assert!(dense.density() > 0.60);
         assert_eq!(EngineKind::Auto.select(&dense), EngineKind::Diffset);
+    }
+
+    #[test]
+    fn display_and_fromstr_round_trip() {
+        let kinds = [
+            EngineKind::Auto,
+            EngineKind::Dense,
+            EngineKind::TidList,
+            EngineKind::Diffset,
+            EngineKind::Sharded {
+                shards: 4,
+                inner: Box::new(EngineKind::Dense),
+            },
+            EngineKind::Sharded {
+                shards: 2,
+                inner: Box::new(EngineKind::Sharded {
+                    shards: 3,
+                    inner: Box::new(EngineKind::TidList),
+                }),
+            },
+        ];
+        for kind in kinds {
+            let text = kind.to_string();
+            assert_eq!(text.parse::<EngineKind>().unwrap(), kind, "{text}");
+        }
+        assert_eq!(
+            "sharded:4:diffset".parse::<EngineKind>().unwrap(),
+            EngineKind::Sharded {
+                shards: 4,
+                inner: Box::new(EngineKind::Diffset),
+            }
+        );
+        assert_eq!(
+            "tidlist".parse::<EngineKind>().unwrap(),
+            EngineKind::TidList
+        );
+        assert_eq!(" dense ".parse::<EngineKind>().unwrap(), EngineKind::Dense);
+        for bad in [
+            "bogus",
+            "sharded",
+            "sharded:4",
+            "sharded:x:dense",
+            "sharded:0:dense",
+        ] {
+            assert!(bad.parse::<EngineKind>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn sharded_kind_builds_and_agrees() {
+        let db = Arc::new(paper_example());
+        let reference = EngineKind::Dense.build(&db);
+        let kind = EngineKind::Sharded {
+            shards: 3,
+            inner: Box::new(EngineKind::Auto),
+        };
+        assert_eq!(kind.name(), "sharded");
+        let engine = kind.build(&db);
+        assert_eq!(engine.name(), "sharded");
+        for probe in [set(&[1]), set(&[2, 5]), Itemset::empty(), set(&[99])] {
+            assert_eq!(engine.support(&probe), reference.support(&probe));
+            assert_eq!(engine.closure(&probe), reference.closure(&probe));
+            assert_eq!(engine.tidset_of(&probe), reference.tidset_of(&probe));
+        }
+    }
+
+    #[test]
+    fn auto_shards_large_relations_when_threads_allow() {
+        let big = TransactionDb::from_rows(
+            (0..AUTO_SHARD_MIN_ROWS as u32)
+                .map(|t| vec![t % 11, 11 + t % 7])
+                .collect(),
+        );
+        let selected = EngineKind::Auto.select(&big);
+        if Parallelism::Auto.is_parallel() {
+            match selected {
+                EngineKind::Sharded { shards, inner } => {
+                    assert!((2..=8).contains(&shards));
+                    // The inner kind stays Auto so each shard resolves
+                    // its own density at build time.
+                    assert_eq!(*inner, EngineKind::Auto);
+                }
+                other => panic!("expected sharding, got {other}"),
+            }
+        } else {
+            // Single-threaded environments never shard automatically.
+            assert_eq!(selected, EngineKind::Auto.select_flat(&big));
+        }
+        // An explicit policy steers the promotion regardless of the
+        // environment: Off never shards, Fixed(4) always does.
+        assert_eq!(
+            EngineKind::Auto.select_par(&big, Parallelism::Off),
+            EngineKind::Auto.select_flat(&big)
+        );
+        assert_eq!(
+            EngineKind::Auto.select_par(&big, Parallelism::Fixed(4)),
+            EngineKind::Sharded {
+                shards: 4,
+                inner: Box::new(EngineKind::Auto),
+            }
+        );
+        // select_flat never shards, whatever the size.
+        assert!(!matches!(
+            EngineKind::Auto.select_flat(&big),
+            EngineKind::Sharded { .. }
+        ));
     }
 
     #[test]

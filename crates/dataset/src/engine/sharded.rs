@@ -1,0 +1,456 @@
+//! The row-sharded parallel backend.
+//!
+//! [`ShardedEngine`] partitions the object set `O` into `K` contiguous
+//! row shards ([`TransactionDb::partition`]) and holds one inner
+//! [`SupportEngine`] per shard — any backend, resolved per shard by that
+//! shard's own density when the inner kind is `Auto`, so a relation whose
+//! regions differ (a dense head, a sparse tail) gets the right
+//! representation piecewise. Every query of the `SupportEngine` surface
+//! is answered by fanning the shards out over scoped threads
+//! ([`pool::parallel_map`]) and combining the shard answers:
+//!
+//! * **supports add** — `|g(X)| = Σ_s |g_s(X)|`, so [`support`] and the
+//!   batch [`count_candidates`] reduce to per-shard sums and never
+//!   materialize a global tidset;
+//! * **extents concatenate** — shard `s` owns the global transaction ids
+//!   `offsets[s]..offsets[s+1]`, so a global tidset is the shard tidsets
+//!   written back at their shard offsets. Interior offsets are multiples
+//!   of 64 by construction, which makes the stitching whole-word copies:
+//!   [`BitSet::extract_block`] slices a global tidset down to one shard's
+//!   local view (re-based at zero) and [`BitSet::splice_block`] writes a
+//!   local answer back at the shard's offset;
+//! * **intents intersect** — the items common to a global object set are
+//!   the intersection of the items common to each shard's slice of it,
+//!   with an empty slice contributing the full universe (the intersection
+//!   over nothing), so [`closure_of_tidset`] distributes over shards
+//!   exactly.
+//!
+//! Fan-out is governed by a [`Parallelism`] knob: `Auto` (resolved once
+//! at construction) only spawns when the relation is large enough for
+//! per-thread work to dominate thread start-up, while an explicit
+//! `Fixed(n)` always fans with exactly `n` workers — shard indices are
+//! chunked over the worker budget, so eight shards under `Fixed(2)` run
+//! four-and-four on two threads (the equivalence suite uses `Fixed` to
+//! drive the threaded paths on tiny contexts). The
+//! degenerate 1-thread path walks the shards sequentially and is
+//! bit-for-bit equivalent — cross-checked against every serial backend by
+//! the dataset proptests and `tests/equivalence.rs`.
+//!
+//! [`support`]: SupportEngine::support
+//! [`count_candidates`]: SupportEngine::count_candidates
+//! [`closure_of_tidset`]: SupportEngine::closure_of_tidset
+//! [`TransactionDb::partition`]: crate::TransactionDb::partition
+
+use super::{CacheStats, CachedEngine, EngineKind, SupportEngine, AUTO_SHARD_MIN_ROWS};
+use crate::bitset::BitSet;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::pool::{self, Parallelism};
+use crate::support::Support;
+use crate::transaction::TransactionDb;
+use std::sync::Arc;
+
+/// A [`SupportEngine`] over `K` row shards, each served by its own inner
+/// backend, with queries fanned across shards and stitched back together
+/// (see the module docs for the stitching algebra).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Arc<dyn SupportEngine>>,
+    /// `offsets[s]` is the global transaction id of shard `s`'s first
+    /// row; `offsets[s + 1] - offsets[s]` is its row count. Interior
+    /// offsets are multiples of 64 (see `TransactionDb::partition`).
+    offsets: Vec<usize>,
+    n_objects: usize,
+    n_items: usize,
+    parallelism: Parallelism,
+    /// `Parallelism::Auto`'s thread count, resolved once at construction
+    /// (env + machine lookups have no business on the per-query path).
+    auto_threads: usize,
+}
+
+impl ShardedEngine {
+    /// Partitions `db` into `n_shards` row shards (at least 1) and builds
+    /// one inner backend per shard. An `Auto` inner kind is resolved
+    /// against each shard's own density, so mixed-density relations get
+    /// per-shard representations.
+    pub fn from_horizontal(db: &Arc<TransactionDb>, n_shards: usize, inner: &EngineKind) -> Self {
+        Self::build_shards(db, n_shards, inner, false)
+    }
+
+    /// Like [`ShardedEngine::from_horizontal`], but wraps every shard
+    /// backend in its own memoizing [`CachedEngine`]; the per-shard cache
+    /// counters surface, merged, through
+    /// [`SupportEngine::cache_stats`].
+    pub fn with_shard_caches(db: &Arc<TransactionDb>, n_shards: usize, inner: &EngineKind) -> Self {
+        Self::build_shards(db, n_shards, inner, true)
+    }
+
+    fn build_shards(
+        db: &Arc<TransactionDb>,
+        n_shards: usize,
+        inner: &EngineKind,
+        cached: bool,
+    ) -> Self {
+        let n_shards = n_shards.max(1);
+        let mut offsets = Vec::with_capacity(n_shards + 1);
+        offsets.push(0usize);
+        let mut shards: Vec<Arc<dyn SupportEngine>> = Vec::with_capacity(n_shards);
+        for part in db.partition(n_shards) {
+            offsets.push(offsets.last().unwrap() + part.n_transactions());
+            let part = Arc::new(part);
+            let backend = inner.select_flat(&part).build(&part);
+            shards.push(if cached {
+                Arc::new(CachedEngine::new(backend))
+            } else {
+                backend
+            });
+        }
+        ShardedEngine {
+            shards,
+            offsets,
+            n_objects: db.n_transactions(),
+            n_items: db.n_items(),
+            parallelism: Parallelism::default(),
+            auto_threads: Parallelism::Auto.threads(),
+        }
+    }
+
+    /// Sets the fan-out policy (default [`Parallelism::Auto`], whose
+    /// thread count is resolved once at engine construction).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Number of row shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The backend names chosen per shard (the per-shard density
+    /// resolution made at construction).
+    pub fn shard_names(&self) -> Vec<&'static str> {
+        self.shards.iter().map(|s| s.name()).collect()
+    }
+
+    /// How many worker threads a query may use. `Fixed(n)` pins exactly
+    /// `n`; `Auto` uses the construction-time thread count, but only
+    /// when the relation is big enough ([`AUTO_SHARD_MIN_ROWS`]) for
+    /// per-thread work to dominate thread start-up — so an auto-sharded
+    /// engine (which shards at the same floor) always fans.
+    fn fan_threads(&self) -> usize {
+        if self.shards.len() <= 1 {
+            return 1;
+        }
+        match self.parallelism {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => {
+                if self.n_objects >= AUTO_SHARD_MIN_ROWS {
+                    self.auto_threads
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Runs `f` once per shard index — shard indices chunked over at
+    /// most [`ShardedEngine::fan_threads`] scoped threads, or an inline
+    /// walk when the budget is one — returning results in shard order.
+    fn fan<R: Send>(&self, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let threads = self.fan_threads();
+        if threads <= 1 {
+            return (0..self.shards.len()).map(f).collect();
+        }
+        let indices: Vec<usize> = (0..self.shards.len()).collect();
+        pool::parallel_chunks(&indices, threads, |chunk| {
+            chunk.iter().map(|&s| f(s)).collect()
+        })
+    }
+
+    /// Shard `s`'s slice of a global tidset, re-based at zero.
+    fn local(&self, tidset: &BitSet, s: usize) -> BitSet {
+        tidset.extract_block(self.offsets[s], self.offsets[s + 1] - self.offsets[s])
+    }
+
+    /// Writes per-shard local tidsets back at their shard offsets.
+    fn stitch(&self, locals: &[BitSet]) -> BitSet {
+        let mut global = BitSet::new(self.n_objects);
+        for (s, local) in locals.iter().enumerate() {
+            global.splice_block(self.offsets[s], local);
+        }
+        global
+    }
+
+    /// Intersects per-shard intents into the global intent; an empty
+    /// shard list (impossible by construction, but cheap to honour)
+    /// yields the universe, the intent over no objects.
+    fn meet_intents(&self, intents: Vec<Itemset>) -> Itemset {
+        let mut intents = intents.into_iter();
+        let Some(first) = intents.next() else {
+            return Itemset::universe(self.n_items);
+        };
+        intents.fold(first, |acc, intent| {
+            if acc.is_empty() {
+                acc
+            } else {
+                acc.intersection(&intent)
+            }
+        })
+    }
+}
+
+impl SupportEngine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn is_sharded(&self) -> bool {
+        true
+    }
+
+    fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn cover(&self, item: Item) -> BitSet {
+        let locals = self.fan(|s| self.shards[s].cover(item));
+        self.stitch(&locals)
+    }
+
+    fn tidset_of(&self, itemset: &Itemset) -> BitSet {
+        let locals = self.fan(|s| self.shards[s].tidset_of(itemset));
+        self.stitch(&locals)
+    }
+
+    fn extend_tidset(&self, tidset: &BitSet, item: Item) -> BitSet {
+        let locals = self.fan(|s| self.shards[s].extend_tidset(&self.local(tidset, s), item));
+        self.stitch(&locals)
+    }
+
+    fn support(&self, itemset: &Itemset) -> Support {
+        self.fan(|s| self.shards[s].support(itemset)).iter().sum()
+    }
+
+    fn item_supports(&self) -> Vec<Support> {
+        let mut totals = vec![0; self.n_items];
+        for shard_supports in self.fan(|s| self.shards[s].item_supports()) {
+            for (total, support) in totals.iter_mut().zip(shard_supports) {
+                *total += support;
+            }
+        }
+        totals
+    }
+
+    fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
+        let intents = self.fan(|s| self.shards[s].closure_of_tidset(&self.local(tidset, s)));
+        self.meet_intents(intents)
+    }
+
+    fn closure(&self, itemset: &Itemset) -> Itemset {
+        self.closure_and_support(itemset).0
+    }
+
+    fn closure_and_support(&self, itemset: &Itemset) -> (Itemset, Support) {
+        // One fan-out computes intent and support per shard, through the
+        // shard's own closure path (and shard cache, when present).
+        let per_shard = self.fan(|s| self.shards[s].closure_and_support(itemset));
+        let support = per_shard.iter().map(|(_, s)| s).sum();
+        let intents = per_shard.into_iter().map(|(intent, _)| intent).collect();
+        (self.meet_intents(intents), support)
+    }
+
+    fn count_candidates(&self, candidates: &[Itemset]) -> Vec<Support> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        // One fan-out per level: each shard batch-counts every candidate
+        // through its inner backend's own count_candidates, and the
+        // shard partial counts sum columnwise.
+        let mut totals = vec![0; candidates.len()];
+        for shard_counts in self.fan(|s| self.shards[s].count_candidates(candidates)) {
+            for (total, count) in totals.iter_mut().zip(shard_counts) {
+                *total += count;
+            }
+        }
+        totals
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .fold(CacheStats::default(), |acc, shard| {
+                acc.merge(shard.cache_stats())
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::DenseEngine;
+    use super::*;
+    use crate::paper_example;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    /// 200 objects over 12 items with a mixed structure: large enough for
+    /// multi-shard partitions with non-trivial boundaries.
+    fn wide_db() -> Arc<TransactionDb> {
+        Arc::new(TransactionDb::from_rows(
+            (0..200u32)
+                .map(|t| vec![t % 7, 7 + t % 5, (t / 3) % 12])
+                .collect(),
+        ))
+    }
+
+    fn probes() -> Vec<Itemset> {
+        vec![
+            Itemset::empty(),
+            set(&[0]),
+            set(&[3]),
+            set(&[7]),
+            set(&[0, 7]),
+            set(&[2, 9, 11]),
+            set(&[99]),
+        ]
+    }
+
+    #[test]
+    fn agrees_with_dense_on_every_query() {
+        let db = wide_db();
+        let dense = DenseEngine::from_horizontal(&db);
+        for k in [1, 2, 3, 5, 8] {
+            for parallelism in [Parallelism::Off, Parallelism::Fixed(3)] {
+                let sharded = ShardedEngine::from_horizontal(&db, k, &EngineKind::Auto)
+                    .parallelism(parallelism);
+                assert_eq!(sharded.n_shards(), k);
+                assert_eq!(sharded.n_objects(), dense.n_objects());
+                assert_eq!(sharded.n_items(), dense.n_items());
+                assert_eq!(sharded.item_supports(), dense.item_supports());
+                for probe in probes() {
+                    assert_eq!(
+                        sharded.support(&probe),
+                        dense.support(&probe),
+                        "k={k} support {probe:?}"
+                    );
+                    assert_eq!(
+                        sharded.tidset_of(&probe),
+                        dense.tidset_of(&probe),
+                        "k={k} tidset {probe:?}"
+                    );
+                    assert_eq!(
+                        sharded.closure(&probe),
+                        dense.closure(&probe),
+                        "k={k} closure {probe:?}"
+                    );
+                    assert_eq!(
+                        sharded.closure_and_support(&probe),
+                        dense.closure_and_support(&probe),
+                        "k={k} closure+support {probe:?}"
+                    );
+                }
+                let candidates = probes();
+                assert_eq!(
+                    sharded.count_candidates(&candidates),
+                    dense.count_candidates(&candidates),
+                    "k={k} batch"
+                );
+                let item = Item::new(7);
+                assert_eq!(sharded.cover(item), dense.cover(item), "k={k} cover");
+                let base = dense.tidset_of(&set(&[0]));
+                assert_eq!(
+                    sharded.extend_tidset(&base, item),
+                    dense.extend_tidset(&base, item),
+                    "k={k} extend"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_closures_survive_sharding() {
+        let db = Arc::new(paper_example());
+        for k in [1, 2, 4, 8] {
+            let engine = ShardedEngine::from_horizontal(&db, k, &EngineKind::Dense);
+            assert_eq!(engine.closure(&set(&[2])), set(&[2, 5]), "k={k}");
+            assert_eq!(engine.closure(&set(&[4])), set(&[1, 3, 4]), "k={k}");
+            let (closure, support) = engine.closure_and_support(&set(&[2, 3]));
+            assert_eq!(closure, set(&[2, 3, 5]), "k={k}");
+            assert_eq!(support, 3, "k={k}");
+            // Unsupported itemsets close to the universe across shards too.
+            assert_eq!(engine.closure(&set(&[1, 4, 5])), Itemset::universe(6));
+        }
+    }
+
+    #[test]
+    fn per_shard_density_resolution() {
+        // A dense head (density > 0.6 within the first 64 rows) and a
+        // long mid-density tail: Auto picks per shard.
+        let rows: Vec<Vec<u32>> = (0..128u32)
+            .map(|t| {
+                if t < 64 {
+                    (0..6).filter(|i| *i != t % 6).collect()
+                } else {
+                    vec![t % 3, 3 + t % 2]
+                }
+            })
+            .collect();
+        let db = Arc::new(TransactionDb::from_rows(rows));
+        let engine = ShardedEngine::from_horizontal(&db, 2, &EngineKind::Auto);
+        assert_eq!(engine.shard_names(), vec!["diffset", "dense"]);
+        // And the split engine still answers like the dense reference.
+        let dense = DenseEngine::from_horizontal(&db);
+        for probe in probes() {
+            assert_eq!(engine.support(&probe), dense.support(&probe), "{probe:?}");
+            assert_eq!(engine.closure(&probe), dense.closure(&probe), "{probe:?}");
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Arc::new(TransactionDb::from_rows(vec![]));
+        let engine = ShardedEngine::from_horizontal(&db, 4, &EngineKind::Auto);
+        assert_eq!(engine.n_objects(), 0);
+        assert_eq!(engine.support(&Itemset::empty()), 0);
+        assert!(engine.item_supports().is_empty());
+        assert_eq!(engine.closure(&Itemset::empty()), Itemset::empty());
+    }
+
+    #[test]
+    fn shard_caches_aggregate_through_cache_stats() {
+        let db = wide_db();
+        let engine = ShardedEngine::with_shard_caches(&db, 3, &EngineKind::Dense)
+            .parallelism(Parallelism::Off);
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+        let _ = engine.closure(&set(&[0]));
+        let first = engine.cache_stats();
+        assert_eq!(first.misses, 3, "one miss per shard cache");
+        let _ = engine.closure(&set(&[0]));
+        let second = engine.cache_stats();
+        assert_eq!(second.hits, 3, "one hit per shard cache");
+        assert_eq!(second.misses, 3);
+    }
+
+    #[test]
+    fn plain_shards_report_zero_stats() {
+        let db = wide_db();
+        let engine = ShardedEngine::from_horizontal(&db, 2, &EngineKind::Dense);
+        let _ = engine.closure(&set(&[1]));
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let db = Arc::new(paper_example());
+        let engine = ShardedEngine::from_horizontal(&db, 0, &EngineKind::Dense);
+        assert_eq!(engine.n_shards(), 1);
+        assert_eq!(engine.support(&set(&[2, 5])), 4);
+    }
+}

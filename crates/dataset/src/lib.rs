@@ -10,9 +10,11 @@
 //! * the value types: [`Item`], [`Itemset`] (sorted set algebra), and
 //!   [`BitSet`] (dense object sets);
 //! * the stores: [`TransactionDb`] (horizontal, CSR) and the pluggable
-//!   vertical [`engine`] backends (dense bitsets, tid-lists, diffsets)
-//!   behind the [`SupportEngine`] trait, wrapped in a memoizing closure
-//!   cache;
+//!   vertical [`engine`] backends (dense bitsets, tid-lists, diffsets,
+//!   and the row-sharded parallel [`ShardedEngine`]) behind the
+//!   [`SupportEngine`] trait, wrapped in a memoizing closure cache;
+//! * the shared [`pool`] fan-out primitives and the [`Parallelism`]
+//!   configuration every parallel construction threads through;
 //! * the **Galois connection** of the paper's Section 2 via
 //!   [`MiningContext`]: extents (`g`), intents (`f`), and the closure
 //!   operator `h = f ∘ g` — all delegated to the engine;
@@ -51,6 +53,7 @@ pub mod generator;
 pub mod io;
 pub mod item;
 pub mod itemset;
+pub mod pool;
 pub mod sampling;
 pub mod stats;
 pub mod support;
@@ -59,10 +62,11 @@ pub mod vertical;
 
 pub use bitset::BitSet;
 pub use context::MiningContext;
-pub use engine::{CacheStats, CachedEngine, EngineKind, SupportEngine};
+pub use engine::{CacheStats, CachedEngine, EngineKind, ShardedEngine, SupportEngine};
 pub use error::DatasetError;
 pub use item::{Item, ItemDictionary};
 pub use itemset::Itemset;
+pub use pool::Parallelism;
 pub use stats::DatasetStats;
 pub use support::{MinSupport, Support};
 pub use transaction::{TransactionDb, TransactionDbBuilder};

@@ -1,0 +1,205 @@
+//! Shared scoped-thread fan-out and the [`Parallelism`] configuration.
+//!
+//! Every parallel construction in the workspace goes through this one
+//! module: the [`ShardedEngine`] fans support/closure queries across its
+//! row shards, the levelwise miners count candidate chunks concurrently,
+//! and the bench crate runs independent experiment cells side by side
+//! (it re-exports this module as `rulebases_bench::parallel`). Keeping a
+//! single implementation means one place to reason about panics, one
+//! ordering guarantee (results always come back in input order), and one
+//! knob — [`Parallelism`] — that callers thread through instead of each
+//! inventing its own thread policy.
+//!
+//! The primitives are deliberately simple `std::thread::scope` fan-outs:
+//! the workloads here are CPU-bound and coarse-grained (a shard, a chunk
+//! of a candidate level, an experiment cell), so a work-stealing pool
+//! would buy nothing over scoped threads while costing a dependency the
+//! offline build environment cannot fetch.
+//!
+//! [`ShardedEngine`]: crate::engine::ShardedEngine
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding [`Parallelism::Auto`]'s thread count
+/// (CI runs the suite with `RULEBASES_THREADS=1` and `=4` so the
+/// parallel paths are exercised both degenerate and fanned-out).
+pub const THREADS_ENV: &str = "RULEBASES_THREADS";
+
+/// How many worker threads a parallel construction may use.
+///
+/// `Auto` is the default everywhere: it honours [`THREADS_ENV`] when set
+/// and otherwise uses the machine's available parallelism. `Off` forces
+/// the sequential code path (useful for clean wall-clock timing), and
+/// `Fixed(n)` pins an exact fan-out degree — unlike `Auto`, a `Fixed`
+/// request is honoured even when the workload looks too small to bother,
+/// which is what the equivalence tests use to force the threaded paths
+/// on tiny contexts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// `RULEBASES_THREADS` if set, else the machine's available
+    /// parallelism.
+    #[default]
+    Auto,
+    /// Exactly this many threads (clamped to at least 1).
+    Fixed(usize),
+    /// Sequential execution.
+    Off,
+}
+
+impl Parallelism {
+    /// The resolved worker-thread count (always at least 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => env_threads().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+        }
+    }
+
+    /// Whether more than one thread would be used.
+    pub fn is_parallel(self) -> bool {
+        self.threads() > 1
+    }
+}
+
+/// Parses [`THREADS_ENV`], ignoring unset/empty/garbage values.
+fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// Maps `f` over `items` with one scoped thread per item; results come
+/// back in input order.
+///
+/// Right when the items are few and coarse (shards of a database,
+/// experiment cells — one dataset × one threshold): thread-per-item is
+/// then the correct granularity and needs no chunking policy. For long
+/// homogeneous lists use [`parallel_chunks`] instead.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(|| f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Splits `items` into at most `threads` balanced contiguous chunks,
+/// applies `f` to each chunk on its own scoped thread, and concatenates
+/// the per-chunk results in input order.
+///
+/// This is the levelwise-mining fan-out: `f` is typically a batch
+/// operation (e.g. [`SupportEngine::count_candidates`] over a slice of a
+/// candidate level) that returns one result per input item, so the
+/// concatenation lines up index-for-index with `items`. With
+/// `threads <= 1` (or fewer than two items) `f` runs once, inline, over
+/// the whole slice — the degenerate path is byte-for-byte the sequential
+/// algorithm.
+///
+/// [`SupportEngine::count_candidates`]: crate::SupportEngine::count_candidates
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let n_chunks = threads.min(items.len());
+    if n_chunks <= 1 {
+        return f(items);
+    }
+    let chunk_len = items.len().div_ceil(n_chunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| f(chunk)))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out = parallel_map(vec![1, 2, 3, 4], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn map_empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn map_propagates_panics() {
+        let _ = parallel_map(vec![1], |_| -> i32 { panic!("boom") });
+    }
+
+    #[test]
+    fn chunks_match_sequential_map() {
+        let items: Vec<u64> = (0..103).collect();
+        for threads in [0, 1, 2, 3, 8, 200] {
+            let out = parallel_chunks(&items, threads, |chunk| {
+                chunk.iter().map(|x| x * 3).collect()
+            });
+            let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_empty_input() {
+        let out: Vec<u8> = parallel_chunks(&[], 4, |chunk: &[u8]| chunk.to_vec());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn chunks_propagate_panics() {
+        let items = vec![1, 2, 3, 4];
+        let _ = parallel_chunks(&items, 2, |_| -> Vec<i32> { panic!("boom") });
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::Off.threads(), 1);
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert_eq!(Parallelism::Fixed(6).threads(), 6);
+        assert!(Parallelism::Fixed(2).is_parallel());
+        assert!(!Parallelism::Off.is_parallel());
+        // Auto resolves to *something* positive whatever the environment.
+        assert!(Parallelism::Auto.threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+}

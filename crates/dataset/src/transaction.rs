@@ -178,6 +178,44 @@ impl TransactionDb {
         self.items.len() as f64 / self.n_transactions() as f64
     }
 
+    /// Splits the database row-wise into `k` contiguous shards.
+    ///
+    /// Every shard keeps the full item universe and the label dictionary,
+    /// so an itemset query means the same thing against any shard and the
+    /// global answer is the shard answers stitched back together (supports
+    /// add, extents concatenate, intents intersect). Interior shard
+    /// boundaries are aligned to multiples of 64 rows so per-shard tidsets
+    /// splice into global tidsets with whole-word copies
+    /// ([`BitSet::splice_block`]); consequently shards are only
+    /// approximately balanced and may be empty when `64·k` exceeds the row
+    /// count — an empty shard is a legitimate (if useless) context.
+    ///
+    /// [`BitSet::splice_block`]: crate::BitSet::splice_block
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn partition(&self, k: usize) -> Vec<TransactionDb> {
+        assert!(k > 0, "cannot partition into 0 shards");
+        partition_points(self.n_transactions(), k)
+            .windows(2)
+            .map(|w| self.slice_rows(w[0], w[1]))
+            .collect()
+    }
+
+    /// A copy of rows `start..end` as a standalone database sharing the
+    /// universe and dictionary.
+    fn slice_rows(&self, start: usize, end: usize) -> TransactionDb {
+        let lo = self.offsets[start];
+        let hi = self.offsets[end];
+        TransactionDb {
+            items: self.items[lo..hi].to_vec(),
+            offsets: self.offsets[start..=end].iter().map(|o| o - lo).collect(),
+            n_items: self.n_items,
+            dict: self.dict.clone(),
+        }
+    }
+
     /// Density of the relation: `n_entries / (|O| · |I|)`.
     pub fn density(&self) -> f64 {
         let cells = self.n_transactions() * self.n_items;
@@ -186,6 +224,23 @@ impl TransactionDb {
         }
         self.items.len() as f64 / cells as f64
     }
+}
+
+/// The `k + 1` nondecreasing shard boundaries of an `n`-row database:
+/// balanced `i·n/k` targets rounded to the nearest multiple of 64 (the
+/// word-alignment [`TransactionDb::partition`] promises), with the ends
+/// pinned to `0` and `n`.
+fn partition_points(n: usize, k: usize) -> Vec<usize> {
+    // Interior boundaries may never exceed the last aligned row index
+    // (clamping to `n` itself would break the 64-alignment promise when
+    // `n` is not a multiple of 64).
+    let aligned_floor = n / 64 * 64;
+    let mut points: Vec<usize> = (0..=k)
+        .map(|i| ((i * n / k + 32) / 64 * 64).min(aligned_floor))
+        .collect();
+    points[0] = 0;
+    points[k] = n;
+    points
 }
 
 /// Membership of a sorted needle inside a sorted haystack.
@@ -401,6 +456,53 @@ mod tests {
         let db = b.build();
         assert_eq!(db.transaction(0), &[Item(1), Item(3)]);
         assert_eq!(db.transaction(1), &[Item(0), Item(2)]);
+    }
+
+    #[test]
+    fn partition_preserves_rows_universe_and_dictionary() {
+        let rows: Vec<Vec<u32>> = (0..200u32).map(|t| vec![t % 7, 7 + t % 5]).collect();
+        let db = TransactionDb::from_rows(rows).with_dictionary(ItemDictionary::from_labels(
+            (0..12).map(|i| format!("i{i}")).collect::<Vec<_>>(),
+        ));
+        for k in [1, 2, 3, 8, 250] {
+            let shards = db.partition(k);
+            assert_eq!(shards.len(), k);
+            let mut global = 0usize;
+            for shard in &shards {
+                assert_eq!(shard.n_items(), db.n_items(), "k={k}");
+                assert!(shard.dictionary().is_some());
+                for t in 0..shard.n_transactions() {
+                    assert_eq!(shard.transaction(t), db.transaction(global + t), "k={k}");
+                }
+                global += shard.n_transactions();
+            }
+            assert_eq!(global, db.n_transactions(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn partition_boundaries_are_word_aligned() {
+        let db = TransactionDb::from_rows((0..1000u32).map(|t| vec![t % 9]).collect());
+        let shards = db.partition(7);
+        let mut offset = 0usize;
+        for shard in &shards[..shards.len() - 1] {
+            offset += shard.n_transactions();
+            assert_eq!(offset % 64, 0, "interior boundary {offset} unaligned");
+        }
+    }
+
+    #[test]
+    fn partition_of_empty_db() {
+        let db = TransactionDb::from_rows(vec![]);
+        let shards = db.partition(3);
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.n_transactions() == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 shards")]
+    fn partition_zero_panics() {
+        let _ = paper_db().partition(0);
     }
 
     #[test]

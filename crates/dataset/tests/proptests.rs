@@ -6,7 +6,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use rulebases_dataset::io::{read_dat, write_dat};
 use rulebases_dataset::{
-    BitSet, CachedEngine, EngineKind, Itemset, MiningContext, SupportEngine, TransactionDb,
+    BitSet, CachedEngine, EngineKind, Itemset, MiningContext, Parallelism, ShardedEngine,
+    SupportEngine, TransactionDb,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -235,6 +236,86 @@ proptest! {
                 candidates.iter().map(|c| engine.support(c)).collect();
             prop_assert_eq!(batch, pointwise, "{} batch", engine.name());
         }
+    }
+
+    #[test]
+    fn sharded_engine_agrees_with_dense(
+        rows in vec(vec(0u32..14, 0..8), 0..90),
+        probes in vec(vec(0u32..16, 0..5), 1..6),
+        shards in 1usize..=8,
+        inner_idx in 0usize..4,
+        threads in 1usize..=4,
+    ) {
+        // Row-sharding is a representation change, never a semantic one:
+        // for random shard counts, random inner backends and random
+        // thread fan-outs, every query agrees bit-for-bit with the dense
+        // serial reference (the usual out-of-universe probes included).
+        let inners = [
+            EngineKind::Auto,
+            EngineKind::Dense,
+            EngineKind::TidList,
+            EngineKind::Diffset,
+        ];
+        let db = Arc::new(TransactionDb::from_rows(rows));
+        let dense = EngineKind::Dense.build(&db);
+        let sharded = ShardedEngine::from_horizontal(&db, shards, &inners[inner_idx])
+            .parallelism(Parallelism::Fixed(threads));
+        prop_assert_eq!(sharded.n_objects(), dense.n_objects());
+        prop_assert_eq!(sharded.n_items(), dense.n_items());
+        prop_assert_eq!(sharded.item_supports(), dense.item_supports());
+        for i in 0..16u32 {
+            let item = rulebases_dataset::Item::new(i);
+            prop_assert_eq!(sharded.cover(item), dense.cover(item), "cover {}", i);
+        }
+        for ids in &probes {
+            let probe = Itemset::from_ids(ids.iter().copied());
+            prop_assert_eq!(
+                sharded.support(&probe), dense.support(&probe),
+                "support of {:?}", probe
+            );
+            prop_assert_eq!(
+                sharded.tidset_of(&probe), dense.tidset_of(&probe),
+                "tidset of {:?}", probe
+            );
+            prop_assert_eq!(
+                sharded.closure(&probe), dense.closure(&probe),
+                "closure of {:?}", probe
+            );
+            prop_assert_eq!(
+                sharded.closure_and_support(&probe), dense.closure_and_support(&probe),
+                "closure+support of {:?}", probe
+            );
+        }
+        let candidates: Vec<Itemset> = probes
+            .iter()
+            .map(|ids| Itemset::from_ids(ids.iter().copied()))
+            .collect();
+        prop_assert_eq!(
+            sharded.count_candidates(&candidates),
+            dense.count_candidates(&candidates),
+            "batch counts"
+        );
+    }
+
+    #[test]
+    fn sharded_closure_of_tidset_distributes(
+        rows in vec(vec(0u32..10, 0..6), 1..70),
+        tid_picks in vec(0usize..70, 0..10),
+        shards in 2usize..=6,
+    ) {
+        // The intent of an arbitrary object set — not necessarily an
+        // extent — must survive shard-offset slicing and stitching.
+        let db = Arc::new(TransactionDb::from_rows(rows));
+        let dense = EngineKind::Dense.build(&db);
+        let sharded = ShardedEngine::from_horizontal(&db, shards, &EngineKind::Dense);
+        let tidset = BitSet::from_indices(
+            db.n_transactions(),
+            tid_picks.into_iter().filter(|&t| t < db.n_transactions()),
+        );
+        prop_assert_eq!(
+            sharded.closure_of_tidset(&tidset),
+            dense.closure_of_tidset(&tidset)
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod tests {
         let db = paper_example();
         let dict = db.dictionary().unwrap().clone();
         let ctx = MiningContext::new(db);
-        let fc = Close.mine_closed(&ctx, MinSupport::Count(2));
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Count(2));
         (IcebergLattice::from_closed(&fc), dict)
     }
 

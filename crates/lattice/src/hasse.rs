@@ -140,7 +140,7 @@ mod tests {
 
     fn paper_fc() -> (MiningContext, ClosedItemsets) {
         let ctx = MiningContext::new(paper_example());
-        let fc = Close.mine_closed(&ctx, MinSupport::Count(2));
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Count(2));
         (ctx, fc)
     }
 
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn closure_algorithm_at_minsup_one() {
         let ctx = MiningContext::new(paper_example());
-        let fc = Close.mine_closed(&ctx, MinSupport::Count(1));
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Count(1));
         let sets: Vec<_> = fc.iter().map(|(s, sup)| (s.clone(), sup)).collect();
         let by_pairs = upper_covers_by_pairs(&sets);
         let by_closure = upper_covers_by_closure(&fc, &ctx);

@@ -206,7 +206,7 @@ mod tests {
 
     fn lattice() -> IcebergLattice {
         let ctx = MiningContext::new(paper_example());
-        let fc = Close.mine_closed(&ctx, MinSupport::Count(2));
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Count(2));
         IcebergLattice::from_closed(&fc)
     }
 
@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn from_context_agrees() {
         let ctx = MiningContext::new(paper_example());
-        let fc = Close.mine_closed(&ctx, MinSupport::Count(2));
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Count(2));
         let a = IcebergLattice::from_closed(&fc);
         let b = IcebergLattice::from_context(&fc, &ctx);
         assert_eq!(a.n_nodes(), b.n_nodes());

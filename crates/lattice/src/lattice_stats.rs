@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn paper_lattice_stats() {
         let ctx = MiningContext::new(paper_example());
-        let fc = Close.mine_closed(&ctx, MinSupport::Count(2));
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Count(2));
         let lattice = IcebergLattice::from_closed(&fc);
         let stats = LatticeStats::compute(&lattice);
         assert_eq!(stats.n_nodes, 6);
@@ -109,7 +109,7 @@ mod tests {
         let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![vec![
             0, 1,
         ]]));
-        let fc = Close.mine_closed(&ctx, MinSupport::Count(1));
+        let fc = Close::new().mine_closed(&ctx, MinSupport::Count(1));
         let lattice = IcebergLattice::from_closed(&fc);
         let stats = LatticeStats::compute(&lattice);
         assert_eq!(stats.n_nodes, 1);

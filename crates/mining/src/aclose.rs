@@ -8,19 +8,30 @@
 //! Compared to Close it defers the (expensive) closures to the end, at the
 //! price of counting a few more candidates.
 
+use crate::counting::map_level;
 use crate::generators::mine_generators_engine;
 use crate::itemsets::ClosedItemsets;
 use crate::traits::ClosedMiner;
-use rulebases_dataset::{Itemset, MinSupport, MiningContext, Support, SupportEngine};
+use rulebases_dataset::{Itemset, MinSupport, MiningContext, Parallelism, Support, SupportEngine};
 
 /// The A-Close frequent-closed-itemset miner.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct AClose;
+pub struct AClose {
+    /// Thread policy for the closure phase (one closure per generator —
+    /// embarrassingly parallel).
+    pub parallelism: Parallelism,
+}
 
 impl AClose {
     /// Creates an A-Close miner.
     pub fn new() -> Self {
-        AClose
+        Self::default()
+    }
+
+    /// Sets the thread policy (default [`Parallelism::Auto`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Mines the frequent closed itemsets of `ctx` at `minsup`, through
@@ -45,12 +56,16 @@ impl AClose {
         let generators = mine_generators_engine(engine, min_count);
         let mut stats = generators.stats;
 
-        // Phase 2: close every generator. One extra conceptual pass.
+        // Phase 2: close every generator. One extra conceptual pass;
+        // closures are independent, so wide generator sets fan over
+        // chunks (results stay in generator order — the merge into the
+        // closed-set index below is deterministic). A sharded engine
+        // fans each closure internally, so the phase stays sequential
+        // rather than nest thread pools.
         stats.db_passes += 1;
-        let pairs: Vec<(Itemset, Support)> = generators
-            .iter()
-            .map(|(g, support)| (engine.closure(g), support))
-            .collect();
+        let close_one = |(g, support): &(&Itemset, Support)| (engine.closure(g), *support);
+        let gens: Vec<(&Itemset, Support)> = generators.iter().collect();
+        let pairs: Vec<(Itemset, Support)> = map_level(engine, self.parallelism, &gens, close_one);
 
         let mut result = ClosedItemsets::from_pairs(pairs, min_count, n);
         result.stats = stats;
@@ -119,5 +134,23 @@ mod tests {
     fn empty_context() {
         let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![]));
         assert!(AClose::new().mine(&ctx, MinSupport::Count(1)).is_empty());
+    }
+
+    #[test]
+    fn forced_parallelism_matches_sequential() {
+        let rows: Vec<Vec<u32>> = (0..80u32)
+            .map(|t| vec![t % 4, 4 + t % 3, 7 + (t / 2) % 4])
+            .collect();
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(rows));
+        let sequential = AClose::new()
+            .parallelism(Parallelism::Off)
+            .mine(&ctx, MinSupport::Count(2));
+        let parallel = AClose::new()
+            .parallelism(Parallelism::Fixed(3))
+            .mine(&ctx, MinSupport::Count(2));
+        assert_eq!(
+            parallel.into_sorted_vec(),
+            sequential.clone().into_sorted_vec(),
+        );
     }
 }

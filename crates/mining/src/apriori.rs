@@ -5,16 +5,18 @@
 //! database pass.
 
 use crate::candidates::join_and_prune;
-use crate::counting::{count_candidates, CountingStrategy};
+use crate::counting::{count_candidates_with, CountingStrategy};
 use crate::itemsets::{FrequentItemsets, MiningStats};
 use crate::traits::FrequentMiner;
-use rulebases_dataset::{Itemset, MinSupport, MiningContext};
+use rulebases_dataset::{Itemset, MinSupport, MiningContext, Parallelism};
 
 /// Apriori frequent-itemset miner.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Apriori {
     /// How candidate supports are counted.
     pub counting: CountingStrategy,
+    /// Thread policy for the per-level counting fan-out.
+    pub parallelism: Parallelism,
 }
 
 impl Apriori {
@@ -25,7 +27,16 @@ impl Apriori {
 
     /// Apriori with an explicit counting strategy.
     pub fn with_counting(counting: CountingStrategy) -> Self {
-        Apriori { counting }
+        Apriori {
+            counting,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the thread policy (default [`Parallelism::Auto`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Mines all frequent itemsets of `ctx` at threshold `minsup`.
@@ -60,7 +71,8 @@ impl Apriori {
             }
             stats.db_passes += 1;
             stats.candidates_counted += candidates.len();
-            let counts = count_candidates(ctx, &candidates, k, self.counting);
+            let counts =
+                count_candidates_with(ctx, &candidates, k, self.counting, self.parallelism);
             let mut next = Vec::with_capacity(candidates.len());
             for (candidate, support) in candidates.into_iter().zip(counts) {
                 if support >= min_count {
@@ -137,8 +149,11 @@ mod tests {
             CountingStrategy::Auto,
             CountingStrategy::SubsetHash,
             CountingStrategy::HashTree,
+            CountingStrategy::Parallel,
         ] {
-            let f = Apriori::with_counting(strategy).mine(&ctx, MinSupport::Count(2));
+            let f = Apriori::with_counting(strategy)
+                .parallelism(rulebases_dataset::Parallelism::Fixed(2))
+                .mine(&ctx, MinSupport::Count(2));
             assert_eq!(f.len(), baseline.len(), "{strategy:?}");
             for (set, support) in baseline.iter() {
                 assert_eq!(f.support(set), Some(support), "{strategy:?} on {set:?}");

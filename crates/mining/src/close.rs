@@ -11,19 +11,31 @@
 //! the efficiency claim of the paper family.
 
 use crate::candidates::join_and_prune;
+use crate::counting::map_level;
 use crate::itemsets::{ClosedItemsets, MiningStats};
 use crate::traits::ClosedMiner;
-use rulebases_dataset::{Item, Itemset, MinSupport, MiningContext, Support, SupportEngine};
+use rulebases_dataset::{
+    Item, Itemset, MinSupport, MiningContext, Parallelism, Support, SupportEngine,
+};
 use std::collections::HashMap;
 
 /// The Close frequent-closed-itemset miner.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct Close;
+pub struct Close {
+    /// Thread policy for the per-level extent/closure fan-out.
+    pub parallelism: Parallelism,
+}
 
 impl Close {
     /// Creates a Close miner.
     pub fn new() -> Self {
-        Close
+        Self::default()
+    }
+
+    /// Sets the thread policy (default [`Parallelism::Auto`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Mines the frequent closed itemsets of `ctx` at `minsup`, through
@@ -86,16 +98,26 @@ impl Close {
                 break;
             }
             stats.db_passes += 1;
+            stats.candidates_counted += candidates.len();
+            // Each candidate is independent (extent → support filter →
+            // closure), so wide levels fan over candidate chunks; the
+            // merge below runs sequentially in candidate order, keeping
+            // the output deterministic whatever the thread policy. A
+            // sharded engine already fans each query internally, so the
+            // level stays sequential rather than nest thread pools.
+            let evaluate = |candidate: &Itemset| {
+                let extent = engine.tidset_of(candidate);
+                let support = extent.count() as Support;
+                (support >= min_count).then(|| (engine.closure_of_tidset(&extent), support))
+            };
+            let evaluated: Vec<Option<(Itemset, Support)>> =
+                map_level(engine, self.parallelism, &candidates, evaluate);
             let mut next_generators = Vec::with_capacity(candidates.len());
             let mut next_closures = HashMap::with_capacity(candidates.len());
-            for candidate in candidates {
-                stats.candidates_counted += 1;
-                let extent = engine.tidset_of(&candidate);
-                let support = extent.count() as Support;
-                if support < min_count {
+            for (candidate, result) in candidates.into_iter().zip(evaluated) {
+                let Some((closure, support)) = result else {
                     continue;
-                }
-                let closure = engine.closure_of_tidset(&extent);
+                };
                 closed.push((closure.clone(), support));
                 next_closures.insert(candidate.clone(), closure);
                 next_generators.push(candidate);
@@ -205,5 +227,46 @@ mod tests {
         let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![]));
         let fc = Close::new().mine(&ctx, MinSupport::Count(1));
         assert!(fc.is_empty());
+    }
+
+    #[test]
+    fn forced_parallelism_matches_sequential() {
+        // Wide enough for multiple chunks under Fixed(3); the engine
+        // backend and the thread policy must not change a single closed
+        // set or support.
+        let rows: Vec<Vec<u32>> = (0..90u32)
+            .map(|t| vec![t % 4, 4 + t % 3, 7 + (t / 2) % 5])
+            .collect();
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(rows));
+        let sequential = Close::new()
+            .parallelism(Parallelism::Off)
+            .mine(&ctx, MinSupport::Count(2));
+        for threads in [2, 3, 8] {
+            let parallel = Close::new()
+                .parallelism(Parallelism::Fixed(threads))
+                .mine(&ctx, MinSupport::Count(2));
+            assert_eq!(
+                parallel.clone().into_sorted_vec(),
+                sequential.clone().into_sorted_vec(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn mines_over_a_sharded_engine() {
+        use rulebases_dataset::EngineKind;
+        let rows: Vec<Vec<u32>> = (0..150u32).map(|t| vec![t % 5, 5 + t % 3]).collect();
+        let db = rulebases_dataset::TransactionDb::from_rows(rows);
+        let reference = Close::new().mine(&MiningContext::new(db.clone()), MinSupport::Count(3));
+        let sharded = MiningContext::with_engine(
+            db,
+            EngineKind::Sharded {
+                shards: 4,
+                inner: Box::new(EngineKind::Auto),
+            },
+        );
+        let fc = Close::new().mine(&sharded, MinSupport::Count(3));
+        assert_eq!(fc.into_sorted_vec(), reference.clone().into_sorted_vec(),);
     }
 }

@@ -1,6 +1,6 @@
 //! Support-counting strategies for levelwise candidate sets.
 //!
-//! Three interchangeable strategies (benchmarked against each other in the
+//! Interchangeable strategies (benchmarked against each other in the
 //! E8 ablation):
 //!
 //! * [`CountingStrategy::SubsetHash`] — transaction-driven: enumerate the
@@ -11,17 +11,31 @@
 //! * [`CountingStrategy::Vertical`] — candidate-driven through the
 //!   context's [`SupportEngine`] batch API
 //!   ([`SupportEngine::count_candidates`]): which vertical representation
-//!   does the work (dense bitsets, tid-lists, diffsets) is the engine's
-//!   choice, making the backend an independent ablation axis.
+//!   does the work (dense bitsets, tid-lists, diffsets, shards) is the
+//!   engine's choice, making the backend an independent ablation axis.
+//! * [`CountingStrategy::Parallel`] — the vertical batch API over
+//!   candidate chunks fanned across scoped threads
+//!   ([`parallel_chunks`]): each worker batch-counts a contiguous slice
+//!   of the level, and the per-chunk counts concatenate back in
+//!   candidate order. When the engine is already sharded it fans
+//!   internally, so this strategy steps aside rather than nest thread
+//!   pools.
 //! * [`CountingStrategy::Auto`] picks per level based on transaction
-//!   length and `k`.
+//!   length, `k`, the level width, and the configured [`Parallelism`].
 //!
 //! [`SupportEngine`]: rulebases_dataset::SupportEngine
 //! [`SupportEngine::count_candidates`]: rulebases_dataset::SupportEngine::count_candidates
+//! [`parallel_chunks`]: rulebases_dataset::pool::parallel_chunks
 
 use crate::hash_tree::HashTree;
-use rulebases_dataset::{Item, Itemset, MiningContext, Support};
+use rulebases_dataset::pool::parallel_chunks;
+use rulebases_dataset::{Item, Itemset, MiningContext, Parallelism, Support, SupportEngine};
 use std::collections::HashMap;
+
+/// Minimum candidates in a level before a parallel path fans out — under
+/// this, thread start-up costs more than the counting itself. Shared by
+/// the levelwise closed miners.
+pub const PARALLEL_MIN_CANDIDATES: usize = 64;
 
 /// Which engine counts candidate supports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,9 +49,13 @@ pub enum CountingStrategy {
     HashTree,
     /// Candidate-driven counting via the context's vertical engine.
     Vertical,
+    /// Vertical batch counting over candidate chunks fanned across
+    /// threads.
+    Parallel,
 }
 
-/// Counts the support of every candidate (all of size `k`) in the context.
+/// Counts the support of every candidate (all of size `k`) in the
+/// context, with the default ([`Parallelism::Auto`]) thread policy.
 ///
 /// Returns the supports in candidate order.
 pub fn count_candidates(
@@ -46,12 +64,33 @@ pub fn count_candidates(
     k: usize,
     strategy: CountingStrategy,
 ) -> Vec<Support> {
+    count_candidates_with(ctx, candidates, k, strategy, Parallelism::Auto)
+}
+
+/// Counts the support of every candidate (all of size `k`) in the
+/// context under an explicit thread policy.
+///
+/// Returns the supports in candidate order.
+pub fn count_candidates_with(
+    ctx: &MiningContext,
+    candidates: &[Itemset],
+    k: usize,
+    strategy: CountingStrategy,
+    parallelism: Parallelism,
+) -> Vec<Support> {
     if candidates.is_empty() {
         return Vec::new();
     }
     debug_assert!(candidates.iter().all(|c| c.len() == k));
     match strategy {
         CountingStrategy::Auto => {
+            if ctx.engine().is_sharded() {
+                // The sharded engine fans its own batch API internally.
+                return count_vertical(ctx, candidates);
+            }
+            if parallelism.threads() > 1 && candidates.len() >= PARALLEL_MIN_CANDIDATES {
+                return count_parallel(ctx, candidates, parallelism);
+            }
             // Subset enumeration costs ~C(avg_len, k) per transaction;
             // vertical costs ~k·|O|/64 words per candidate. Prefer the
             // transaction-driven engines only for short rows and small k.
@@ -65,11 +104,54 @@ pub fn count_candidates(
         CountingStrategy::SubsetHash => count_subset_hash(ctx, candidates, k),
         CountingStrategy::HashTree => count_hash_tree(ctx, candidates, k),
         CountingStrategy::Vertical => count_vertical(ctx, candidates),
+        CountingStrategy::Parallel => count_parallel(ctx, candidates, parallelism),
     }
 }
 
 fn count_vertical(ctx: &MiningContext, candidates: &[Itemset]) -> Vec<Support> {
     ctx.engine().count_candidates(candidates)
+}
+
+/// Maps `f` over one candidate level (or generator set), fanning chunks
+/// across threads when the policy grants more than one, the level is at
+/// least [`PARALLEL_MIN_CANDIDATES`] wide, and the engine does not
+/// already parallelize internally (thread pools never nest). Results
+/// come back in input order, so the sequential and fanned paths are
+/// interchangeable — this one guard is shared by Close's per-level
+/// extent/closure evaluation and A-Close's closure phase.
+pub fn map_level<T, R, F>(
+    engine: &dyn SupportEngine,
+    parallelism: Parallelism,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = parallelism.threads();
+    if threads > 1 && items.len() >= PARALLEL_MIN_CANDIDATES && !engine.is_sharded() {
+        parallel_chunks(items, threads, |chunk| chunk.iter().map(&f).collect())
+    } else {
+        items.iter().map(&f).collect()
+    }
+}
+
+/// Fans the level over candidate chunks, each batch-counted by the
+/// engine on its own scoped thread; degenerates to [`count_vertical`]
+/// when the policy is sequential or the engine shards internally.
+fn count_parallel(
+    ctx: &MiningContext,
+    candidates: &[Itemset],
+    parallelism: Parallelism,
+) -> Vec<Support> {
+    let engine = ctx.engine();
+    let threads = parallelism.threads();
+    if threads <= 1 || engine.is_sharded() {
+        return count_vertical(ctx, candidates);
+    }
+    parallel_chunks(candidates, threads, |chunk| engine.count_candidates(chunk))
 }
 
 fn count_hash_tree(ctx: &MiningContext, candidates: &[Itemset], k: usize) -> Vec<Support> {
@@ -159,6 +241,7 @@ mod tests {
             CountingStrategy::SubsetHash,
             CountingStrategy::HashTree,
             CountingStrategy::Vertical,
+            CountingStrategy::Parallel,
         ] {
             assert_eq!(
                 count_candidates(&ctx, &cands, 2, strategy),
@@ -166,6 +249,60 @@ mod tests {
                 "{strategy:?}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_strategy_agrees_when_forced_to_fan() {
+        // Enough candidates to occupy several chunks, counted under an
+        // explicit thread policy so the fan-out runs even on one core.
+        let rows: Vec<Vec<u32>> = (0..120u32).map(|t| vec![t % 5, 5 + t % 4, 9]).collect();
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(rows));
+        let candidates: Vec<Itemset> = (0..5u32)
+            .flat_map(|a| (5..9u32).map(move |b| Itemset::from_ids([a, b])))
+            .collect();
+        let serial = count_candidates_with(
+            &ctx,
+            &candidates,
+            2,
+            CountingStrategy::Vertical,
+            Parallelism::Off,
+        );
+        for threads in [1, 2, 3, 7] {
+            let parallel = count_candidates_with(
+                &ctx,
+                &candidates,
+                2,
+                CountingStrategy::Parallel,
+                Parallelism::Fixed(threads),
+            );
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_strategy_over_sharded_engine_delegates() {
+        use rulebases_dataset::EngineKind;
+        let rows: Vec<Vec<u32>> = (0..130u32).map(|t| vec![t % 6, 6 + t % 3]).collect();
+        let db = rulebases_dataset::TransactionDb::from_rows(rows);
+        let sharded_ctx = MiningContext::with_engine(
+            db.clone(),
+            EngineKind::Sharded {
+                shards: 3,
+                inner: Box::new(EngineKind::Dense),
+            },
+        );
+        let plain_ctx = MiningContext::new(db);
+        let candidates: Vec<Itemset> = (0..6u32).map(|a| Itemset::from_ids([a, 6])).collect();
+        assert_eq!(
+            count_candidates_with(
+                &sharded_ctx,
+                &candidates,
+                2,
+                CountingStrategy::Parallel,
+                Parallelism::Fixed(4),
+            ),
+            count_candidates(&plain_ctx, &candidates, 2, CountingStrategy::Vertical),
+        );
     }
 
     #[test]

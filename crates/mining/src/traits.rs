@@ -4,7 +4,7 @@ use crate::aclose::AClose;
 use crate::charm::Charm;
 use crate::close::Close;
 use crate::itemsets::{ClosedItemsets, FrequentItemsets};
-use rulebases_dataset::{MinSupport, MiningContext, SupportEngine};
+use rulebases_dataset::{MinSupport, MiningContext, Parallelism, SupportEngine};
 use std::fmt;
 
 /// A miner producing all frequent itemsets.
@@ -50,11 +50,29 @@ impl ClosedAlgorithm {
     }
 
     /// Runs the selected algorithm against any [`SupportEngine`] backend —
-    /// the (algorithm × representation) ablation entry point.
+    /// the (algorithm × representation) ablation entry point — under the
+    /// default ([`Parallelism::Auto`]) thread policy.
     pub fn mine_engine(self, engine: &dyn SupportEngine, minsup: MinSupport) -> ClosedItemsets {
+        self.mine_engine_par(engine, minsup, Parallelism::default())
+    }
+
+    /// Runs the selected algorithm against any [`SupportEngine`] backend
+    /// under an explicit thread policy. CHARM's IT-tree search is
+    /// inherently sequential and ignores the policy (a sharded engine
+    /// still parallelizes its queries internally).
+    pub fn mine_engine_par(
+        self,
+        engine: &dyn SupportEngine,
+        minsup: MinSupport,
+        parallelism: Parallelism,
+    ) -> ClosedItemsets {
         match self {
-            ClosedAlgorithm::Close => Close::new().mine_engine(engine, minsup),
-            ClosedAlgorithm::AClose => AClose::new().mine_engine(engine, minsup),
+            ClosedAlgorithm::Close => Close::new()
+                .parallelism(parallelism)
+                .mine_engine(engine, minsup),
+            ClosedAlgorithm::AClose => AClose::new()
+                .parallelism(parallelism)
+                .mine_engine(engine, minsup),
             ClosedAlgorithm::Charm => Charm::new().mine_engine(engine, minsup),
         }
     }

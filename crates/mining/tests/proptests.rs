@@ -139,7 +139,7 @@ proptest! {
         let ctx = MiningContext::new(db);
         let threshold = MinSupport::Count(min_count);
         let apriori = Apriori::new().mine_frequent(&ctx, threshold);
-        let close = Close.mine_closed(&ctx, threshold);
+        let close = Close::new().mine_closed(&ctx, threshold);
         prop_assert!(close.stats.db_passes <= apriori.stats.db_passes.max(1));
     }
 

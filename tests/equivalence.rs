@@ -7,7 +7,9 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rulebases_dataset::{EngineKind, Itemset, MinSupport, MiningContext, TransactionDb};
+use rulebases_dataset::{
+    EngineKind, Itemset, MinSupport, MiningContext, Parallelism, ShardedEngine, TransactionDb,
+};
 use rulebases_mining::brute::{brute_closed, brute_frequent};
 use rulebases_mining::{
     mine_generators, Apriori, ClosedAlgorithm, CountingStrategy, FpGrowth, FrequentMiner,
@@ -69,17 +71,27 @@ proptest! {
     }
 
     #[test]
-    fn closed_miners_agree_under_every_backend(db in contexts(), min_count in 1u64..4) {
+    fn closed_miners_agree_under_every_backend(
+        db in contexts(),
+        min_count in 1u64..4,
+        shards in 1usize..=5,
+    ) {
         // The full (algorithm × representation) grid returns one answer:
-        // every closed miner over every SupportEngine backend matches the
-        // brute-force oracle.
+        // every closed miner over every SupportEngine backend — the three
+        // serial representations plus row-sharded configurations —
+        // matches the brute-force oracle.
         let threshold = MinSupport::Count(min_count);
         let reference = {
             let ctx = MiningContext::new(db.clone());
             brute_closed(&ctx, threshold).into_sorted_vec()
         };
         let shared = Arc::new(db);
-        for kind in EngineKind::BACKENDS {
+        let mut grid: Vec<EngineKind> = EngineKind::BACKENDS.to_vec();
+        grid.push(EngineKind::Sharded {
+            shards,
+            inner: Box::new(EngineKind::Auto),
+        });
+        for kind in grid {
             let engine = kind.build(&shared);
             for algo in ClosedAlgorithm::ALL {
                 let mined = algo.mine_engine(engine.as_ref(), threshold).into_sorted_vec();
@@ -88,6 +100,19 @@ proptest! {
                     "{} over {} disagrees with brute force", algo, kind
                 );
             }
+        }
+        // The sharded engine with a forced thread fan-out (and per-shard
+        // caches) must answer identically too, under every algorithm.
+        let fanned = ShardedEngine::with_shard_caches(&shared, shards, &EngineKind::Auto)
+            .parallelism(Parallelism::Fixed(shards.min(3)));
+        for algo in ClosedAlgorithm::ALL {
+            let mined = algo
+                .mine_engine_par(&fanned, threshold, Parallelism::Fixed(2))
+                .into_sorted_vec();
+            prop_assert_eq!(
+                &mined, &reference,
+                "{} over fanned sharded({}) disagrees with brute force", algo, shards
+            );
         }
     }
 
@@ -139,7 +164,7 @@ proptest! {
     fn engine_and_horizontal_supports_agree(db in contexts(), ids in vec(0u32..9, 0..4)) {
         let x = Itemset::from_ids(ids);
         for kind in EngineKind::BACKENDS {
-            let ctx = MiningContext::with_engine(db.clone(), kind);
+            let ctx = MiningContext::with_engine(db.clone(), kind.clone());
             prop_assert_eq!(
                 ctx.engine().support(&x),
                 ctx.horizontal().support(&x),
