@@ -1,0 +1,89 @@
+//! Fused vs staged pipeline ablation on the census-like stand-in.
+//!
+//! Times the full bases pipeline (mine closed sets → lattice → DG +
+//! Luxenburger bases) through both [`PipelineKind`]s on fresh contexts,
+//! then tallies the engine traffic of one run of each via
+//! [`MiningContext::closure_cache_stats`]: the fused path builds the
+//! Hasse diagram during the mining traversal and derives the frequent
+//! itemsets from `FC`, so it must answer with **strictly fewer** engine
+//! calls than the staged oracle — no extra full-lattice rebuild, no
+//! Apriori re-scan. The bench asserts that invariant rather than just
+//! printing it, so running it doubles as the acceptance check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulebases::{MinSupport, PipelineKind, RuleMiner};
+use rulebases_bench::{Scale, StandIn};
+use rulebases_dataset::{EngineKind, MiningContext};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_bases_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bases-fused");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    let dataset = StandIn::C20D10K;
+    let minsup = MinSupport::Fraction(dataset.default_minsup());
+    // Generate once; each iteration gets a fresh context (cold caches,
+    // fresh engine) over the shared rows — the timed section measures
+    // the pipelines, not dataset generation.
+    let db = Arc::new(dataset.generate(Scale::Test));
+
+    for pipeline in PipelineKind::ALL {
+        let miner = RuleMiner::new(minsup)
+            .min_confidence(0.7)
+            .pipeline(pipeline);
+        group.bench_function(BenchmarkId::new("pipeline", pipeline), |b| {
+            b.iter(|| {
+                // A fresh context per iteration: the closure cache must
+                // not let one pipeline ride the other's warm-up.
+                let ctx = MiningContext::with_engine_arc(db.clone(), EngineKind::Auto);
+                black_box(miner.mine_context(&ctx))
+            })
+        });
+    }
+    group.finish();
+
+    // Engine-traffic tally — one clean run per pipeline on a cold cache.
+    let tally = |pipeline: PipelineKind| {
+        let ctx = MiningContext::with_engine_arc(db.clone(), EngineKind::Auto);
+        let _ = RuleMiner::new(minsup)
+            .min_confidence(0.7)
+            .pipeline(pipeline)
+            .mine_context(&ctx);
+        ctx.closure_cache_stats()
+    };
+    let staged = tally(PipelineKind::Staged);
+    let fused = tally(PipelineKind::Fused);
+    for (name, stats) in [("staged", staged), ("fused", fused)] {
+        println!(
+            "{}/{name}: {} engine calls ({} closure lookups, {} extents, \
+             {} supports, {} intents)",
+            dataset.name(),
+            stats.engine_calls(),
+            stats.lookups(),
+            stats.extents,
+            stats.supports,
+            stats.intents
+        );
+    }
+    assert!(
+        fused.engine_calls() < staged.engine_calls(),
+        "fused pipeline must perform strictly fewer engine calls: \
+         fused {} !< staged {}",
+        fused.engine_calls(),
+        staged.engine_calls()
+    );
+    println!(
+        "fused saves {} engine calls ({:.1}% of staged)",
+        staged.engine_calls() - fused.engine_calls(),
+        100.0 * (staged.engine_calls() - fused.engine_calls()) as f64
+            / staged.engine_calls().max(1) as f64
+    );
+}
+
+criterion_group!(benches, bench_bases_fused);
+criterion_main!(benches);

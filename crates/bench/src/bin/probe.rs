@@ -5,13 +5,18 @@
 //!
 //! ```bash
 //! probe MUSHROOMS 0.5 [test|default|full] [--frequent] \
-//!     [--engine auto|dense|tid-list|diffset|sharded:<k>:<inner>]
+//!     [--engine auto|dense|tid-list|diffset|sharded:<k>:<inner>] \
+//!     [--pipeline staged|fused]
 //! ```
 //!
-//! Without `--engine`, the backend comes from the `RULEBASES_ENGINE`
-//! environment variable (default `auto`).
+//! Without `--engine` / `--pipeline`, the backend and pipeline come from
+//! the `RULEBASES_ENGINE` / `RULEBASES_PIPELINE` environment variables
+//! (defaults `auto` and `staged`). With `--pipeline fused`, the cell runs
+//! the full fused bases pipeline instead of the bare closed miner and
+//! reports the lattice/bases shape plus the engine-call tally.
 
-use rulebases_bench::{engine_from_env, Scale, StandIn};
+use rulebases::{PipelineKind, RuleMiner};
+use rulebases_bench::{engine_from_env, pipeline_from_env, Scale, StandIn};
 use rulebases_dataset::{EngineKind, MinSupport, MiningContext};
 use rulebases_mining::{Apriori, Close, ClosedMiner};
 use std::time::Instant;
@@ -19,6 +24,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut engine: Option<EngineKind> = None;
+    let mut pipeline: Option<PipelineKind> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut with_frequent = false;
     let mut i = 0;
@@ -31,6 +37,11 @@ fn main() {
             "--engine" => {
                 let value = args.get(i + 1).expect("--engine needs a value");
                 engine = Some(value.parse().unwrap_or_else(|e| panic!("--engine: {e}")));
+                i += 2;
+            }
+            "--pipeline" => {
+                let value = args.get(i + 1).expect("--pipeline needs a value");
+                pipeline = Some(value.parse().unwrap_or_else(|e| panic!("--pipeline: {e}")));
                 i += 2;
             }
             other => {
@@ -49,6 +60,7 @@ fn main() {
         .and_then(|s| Scale::parse(s))
         .unwrap_or(Scale::Test);
     let engine = engine.unwrap_or_else(engine_from_env);
+    let pipeline = pipeline.unwrap_or_else(pipeline_from_env);
 
     let dataset = StandIn::ALL
         .into_iter()
@@ -57,13 +69,46 @@ fn main() {
 
     let db = dataset.generate(scale);
     println!(
-        "{} |O|={} |I|={} minsup={minsup} engine={engine}",
+        "{} |O|={} |I|={} minsup={minsup} engine={engine} pipeline={pipeline}",
         dataset.name(),
         db.n_transactions(),
         db.n_items()
     );
     let ctx = MiningContext::with_engine(db, engine);
     println!("resolved backend: {}", ctx.engine_name());
+
+    if pipeline == PipelineKind::Fused {
+        let minconf = 0.5;
+        let start = Instant::now();
+        let bases = RuleMiner::new(MinSupport::Fraction(minsup))
+            .min_confidence(minconf)
+            .pipeline(pipeline)
+            .mine_context(&ctx);
+        println!(
+            "|FC| = {} ({} Hasse edges, DG {} rules, Lux reduced {} rules \
+             at minconf {minconf}, {:.1} ms)",
+            bases.n_closed_nonempty(),
+            bases.lattice.n_edges(),
+            bases.dg.len(),
+            bases.luxenburger_reduced_rules().len(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
+        if with_frequent {
+            // The fused pipeline derives F from FC — already in the
+            // bundle, no extra mining pass to time.
+            println!("|F| = {} (derived from FC)", bases.frequent.len());
+        }
+        let stats = ctx.closure_cache_stats();
+        println!(
+            "engine calls: {} ({} closure lookups, {} extents, {} supports, {} intents)",
+            stats.engine_calls(),
+            stats.lookups(),
+            stats.extents,
+            stats.supports,
+            stats.intents
+        );
+        return;
+    }
 
     let start = Instant::now();
     let fc = Close::new().mine_closed(&ctx, MinSupport::Fraction(minsup));

@@ -21,5 +21,5 @@ pub mod timing;
 /// `rulebases_dataset::pool` under this crate's historical module name.
 pub use rulebases_dataset::pool as parallel;
 
-pub use datasets::{engine_from_env, Scale, StandIn};
+pub use datasets::{engine_from_env, pipeline_from_env, Scale, StandIn};
 pub use parallel::{parallel_map, Parallelism};

@@ -41,15 +41,28 @@ mod tests {
         assert!(d.as_nanos() > 0);
     }
 
+    /// A loop the optimizer cannot collapse: `(0..n).sum()` gets
+    /// replaced by the closed-form formula in release builds, which made
+    /// the monotonicity check below compare two ~nanosecond timings and
+    /// flake on scheduler noise. The per-iteration `black_box` keeps the
+    /// work proportional to `iters`.
+    fn spin(iters: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..iters {
+            acc = std::hint::black_box(acc.wrapping_add(i));
+        }
+        acc
+    }
+
     #[test]
     fn median_is_monotone_in_work() {
         let fast = median_duration(3, || {
-            std::hint::black_box((0..100u64).sum::<u64>());
+            std::hint::black_box(spin(100));
         });
         let slow = median_duration(3, || {
-            std::hint::black_box((0..2_000_000u64).sum::<u64>());
+            std::hint::black_box(spin(2_000_000));
         });
-        assert!(slow >= fast);
+        assert!(slow >= fast, "slow {slow:?} !>= fast {fast:?}");
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! The fused one-pass pipeline.
+//!
+//! The staged pipeline ([`RuleMiner`] with [`PipelineKind::Staged`])
+//! walks the closed-set lattice three times: the miner materializes `FC`,
+//! [`IcebergLattice::from_closed`] rebuilds the Hasse diagram from
+//! scratch with a pairwise pass, and the frequent itemsets are re-mined
+//! from the database by Apriori before the bases are derived.
+//! [`FusedMiner`] collapses those traversals into the mining pass itself,
+//! the construction Hamrouni et al. and Vo & Le describe for extracting
+//! generic bases *during* closed-set discovery:
+//!
+//! * as Close / A-Close / CHARM prove each closed set, it streams through
+//!   a [`ClosedSink`] into an [`IncrementalLattice`] that maintains the
+//!   covering relation (and the minimal-generator tags the levelwise
+//!   miners carry for free) insertion by insertion — no post-hoc rebuild;
+//! * the frequent itemsets are *derived* from `FC` by the generating-set
+//!   property of the paper's Definition 1 (every frequent itemset is a
+//!   subset of a frequent closed itemset and takes its closure's
+//!   support) instead of re-mined — no second levelwise database scan;
+//! * both Luxenburger bases read straight off the finished lattice (the
+//!   reduced basis is its edge set; the full basis its reachability),
+//!   and the Duquenne-Guigues basis is built from the derived frequent
+//!   sets and the already-indexed `FC`.
+//!
+//! The two pipelines are property-tested equal (closed sets, Hasse
+//! edges, both bases) across every engine backend in
+//! `tests/equivalence.rs`; the `bases-fused` bench ablates their engine
+//! traffic via [`MiningContext::closure_cache_stats`] — the fused path
+//! answers the same questions with strictly fewer engine calls.
+//!
+//! [`ClosedSink`]: rulebases_mining::ClosedSink
+//! [`IncrementalLattice`]: rulebases_lattice::IncrementalLattice
+//! [`IcebergLattice::from_closed`]: rulebases_lattice::IcebergLattice::from_closed
+
+use crate::approx::LuxenburgerBasis;
+use crate::exact::DuquenneGuiguesBasis;
+use crate::miner::{MinedBases, RuleMiner};
+use rulebases_dataset::{Itemset, MinSupport, MiningContext, Support};
+use rulebases_lattice::IncrementalLattice;
+use rulebases_mining::{Apriori, ClosedItemsets, ClosedSink, FrequentItemsets};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which traversal structure [`RuleMiner`] runs.
+///
+/// Spelled `staged` / `fused` in CLI and environment contexts (the
+/// [`FromStr`] and [`fmt::Display`] implementations round-trip).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PipelineKind {
+    /// The three-pass oracle: mine `FC`, rebuild the Hasse diagram
+    /// pairwise, re-mine `F` with Apriori, then derive the bases.
+    #[default]
+    Staged,
+    /// The one-pass path: lattice and generator tags built during the
+    /// mining traversal, `F` derived from `FC`, bases read off the
+    /// lattice.
+    Fused,
+}
+
+impl PipelineKind {
+    /// Both pipelines — the ablation axis of the `bases-fused` bench and
+    /// the equivalence tests.
+    pub const ALL: [PipelineKind; 2] = [PipelineKind::Staged, PipelineKind::Fused];
+
+    /// Stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineKind::Staged => "staged",
+            PipelineKind::Fused => "fused",
+        }
+    }
+}
+
+impl fmt::Display for PipelineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`PipelineKind`] from its textual form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePipelineKindError(String);
+
+impl fmt::Display for ParsePipelineKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown pipeline {:?}: expected staged or fused", self.0)
+    }
+}
+
+impl std::error::Error for ParsePipelineKindError {}
+
+impl FromStr for PipelineKind {
+    type Err = ParsePipelineKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "staged" => Ok(PipelineKind::Staged),
+            "fused" => Ok(PipelineKind::Fused),
+            other => Err(ParsePipelineKindError(other.to_owned())),
+        }
+    }
+}
+
+/// The one-pass bases miner: a [`RuleMiner`] pinned to
+/// [`PipelineKind::Fused`], with the same builder surface.
+///
+/// ```
+/// use rulebases::{FusedMiner, MinSupport};
+/// use rulebases_dataset::paper_example;
+///
+/// let bases = FusedMiner::new(MinSupport::Fraction(0.4))
+///     .min_confidence(0.5)
+///     .mine(paper_example());
+/// assert_eq!(bases.dg.len(), 3);
+/// assert_eq!(bases.lattice.n_edges(), 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FusedMiner {
+    inner: RuleMiner,
+}
+
+impl FusedMiner {
+    /// Creates a fused miner at the given minimum support (same defaults
+    /// as [`RuleMiner::new`] otherwise).
+    pub fn new(min_support: impl Into<MinSupport>) -> Self {
+        FusedMiner {
+            inner: RuleMiner::new(min_support).pipeline(PipelineKind::Fused),
+        }
+    }
+
+    /// Sets the confidence threshold for approximate rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    pub fn min_confidence(mut self, minconf: f64) -> Self {
+        self.inner = self.inner.min_confidence(minconf);
+        self
+    }
+
+    /// Selects the closed-itemset algorithm driving the traversal.
+    pub fn algorithm(mut self, algorithm: rulebases_mining::ClosedAlgorithm) -> Self {
+        self.inner = self.inner.algorithm(algorithm);
+        self
+    }
+
+    /// Selects the [`SupportEngine`](rulebases_dataset::SupportEngine)
+    /// backend (see [`RuleMiner::engine`]).
+    pub fn engine(mut self, engine: rulebases_dataset::EngineKind) -> Self {
+        self.inner = self.inner.engine(engine);
+        self
+    }
+
+    /// Sets the thread policy (see [`RuleMiner::parallelism`]).
+    pub fn parallelism(mut self, parallelism: rulebases_dataset::Parallelism) -> Self {
+        self.inner = self.inner.parallelism(parallelism);
+        self
+    }
+
+    /// Also emit rules with an empty antecedent; off by default.
+    pub fn include_empty_antecedent(mut self, include: bool) -> Self {
+        self.inner = self.inner.include_empty_antecedent(include);
+        self
+    }
+
+    /// Runs the fused pipeline on a database.
+    pub fn mine(&self, db: rulebases_dataset::TransactionDb) -> MinedBases {
+        self.inner.mine(db)
+    }
+
+    /// Runs the fused pipeline on an existing context (keeping that
+    /// context's engine).
+    pub fn mine_context(&self, ctx: &MiningContext) -> MinedBases {
+        self.inner.mine_context(ctx)
+    }
+}
+
+/// The sink the fused traversal mines into: every emission goes straight
+/// into the incremental Hasse builder (which also dedups re-emissions and
+/// keeps the generator tags minimal).
+#[derive(Default)]
+struct LatticeSink {
+    lattice: IncrementalLattice,
+}
+
+impl ClosedSink for LatticeSink {
+    fn accept(&mut self, set: &Itemset, support: Support, generator: Option<&Itemset>) {
+        self.lattice.insert(set, support, generator);
+    }
+}
+
+/// Derives the frequent itemsets from the frequent closed itemsets — the
+/// generating-set property: `F = { X ⊆ C : C ∈ FC }` with
+/// `supp(X) = supp(h(X)) = max { supp(C) : X ⊆ C ∈ FC }`.
+///
+/// Exponential in the widest closed set, exactly like materializing `F`
+/// by mining is; the (practically unreachable) fallback keeps itemsets
+/// wider than the subset-enumeration limit correct rather than fast.
+fn derive_frequent(
+    closed: &ClosedItemsets,
+    miner: &RuleMiner,
+    ctx: &MiningContext,
+) -> FrequentItemsets {
+    if closed.iter().all(|(s, _)| s.len() < 64) {
+        closed.expand_to_frequent()
+    } else {
+        Apriori::new()
+            .parallelism(miner.parallelism_config())
+            .mine(ctx, miner.min_support_config())
+    }
+}
+
+/// Runs the fused pipeline for `miner` over `ctx`: one mining traversal
+/// feeding the incremental lattice, then every product read off it.
+pub(crate) fn mine_bases(miner: &RuleMiner, ctx: &MiningContext) -> MinedBases {
+    let n = ctx.n_objects();
+    let minsup = miner.min_support_config();
+    // Match the miners' empty-context convention (threshold pinned to 1).
+    let min_count = if n == 0 { 1 } else { minsup.to_count(n) };
+
+    let mut sink = LatticeSink::default();
+    let stats = miner.algorithm_config().mine_sink_par(
+        ctx.engine(),
+        minsup,
+        miner.parallelism_config(),
+        &mut sink,
+    );
+    let (lattice, minimal_generators) = sink.lattice.finish();
+
+    let mut closed = ClosedItemsets::from_pairs(
+        (0..lattice.n_nodes())
+            .map(|i| {
+                let (s, sup) = lattice.node(i);
+                (s.clone(), sup)
+            })
+            .collect(),
+        min_count,
+        n,
+    );
+    closed.stats = stats;
+
+    let frequent = derive_frequent(&closed, miner, ctx);
+    let dg = DuquenneGuiguesBasis::build(&frequent, &closed, ctx.n_items());
+    let lux_full = LuxenburgerBasis::full_from_lattice(
+        &lattice,
+        miner.min_confidence_config(),
+        miner.include_empty_antecedent_config(),
+    );
+    // Derivation paths may start at the bottom, so the reduced basis
+    // always keeps bottom edges internally; reporting filters them.
+    let lux_reduced = LuxenburgerBasis::reduced(&lattice, miner.min_confidence_config(), true);
+
+    MinedBases {
+        min_count,
+        n_objects: n,
+        min_support: minsup,
+        min_confidence: miner.min_confidence_config(),
+        include_empty_antecedent: miner.include_empty_antecedent_config(),
+        pipeline: PipelineKind::Fused,
+        frequent,
+        closed,
+        lattice,
+        minimal_generators: Some(minimal_generators),
+        dg,
+        lux_full,
+        lux_reduced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulebases_dataset::paper_example;
+    use rulebases_mining::ClosedAlgorithm;
+
+    #[test]
+    fn pipeline_kind_round_trips() {
+        for kind in PipelineKind::ALL {
+            assert_eq!(kind.to_string().parse::<PipelineKind>().unwrap(), kind);
+        }
+        assert_eq!(
+            "fused".parse::<PipelineKind>().unwrap(),
+            PipelineKind::Fused
+        );
+        assert_eq!(
+            " staged ".parse::<PipelineKind>().unwrap(),
+            PipelineKind::Staged
+        );
+        assert!("bogus".parse::<PipelineKind>().is_err());
+        assert_eq!(PipelineKind::default(), PipelineKind::Staged);
+    }
+
+    #[test]
+    fn fused_matches_staged_on_paper_example() {
+        let staged = RuleMiner::new(MinSupport::Fraction(0.4))
+            .min_confidence(0.5)
+            .mine(paper_example());
+        let fused = FusedMiner::new(MinSupport::Fraction(0.4))
+            .min_confidence(0.5)
+            .mine(paper_example());
+        assert_eq!(fused.pipeline, PipelineKind::Fused);
+        assert_eq!(staged.pipeline, PipelineKind::Staged);
+        assert_eq!(
+            fused.closed.clone().into_sorted_vec(),
+            staged.closed.clone().into_sorted_vec()
+        );
+        assert_eq!(
+            fused.lattice.edges().collect::<Vec<_>>(),
+            staged.lattice.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(fused.frequent.len(), staged.frequent.len());
+        assert_eq!(fused.dg.rules(), staged.dg.rules());
+        assert_eq!(fused.lux_full.rules(), staged.lux_full.rules());
+        assert_eq!(fused.lux_reduced.rules(), staged.lux_reduced.rules());
+        // And the fused bundle still derives everything.
+        assert_eq!(fused.exact_rules(), fused.derive_exact_rules());
+        assert_eq!(fused.approximate_rules(), fused.derive_approximate_rules());
+    }
+
+    #[test]
+    fn fused_generator_tags_are_minimal_generators() {
+        // The levelwise traversals tag each closure class with its
+        // minimal generators; CHARM's IT-tree cannot and leaves the tags
+        // empty.
+        let ctx = MiningContext::new(paper_example());
+        for algo in [ClosedAlgorithm::Close, ClosedAlgorithm::AClose] {
+            let bases = FusedMiner::new(MinSupport::Count(2))
+                .algorithm(algo)
+                .mine_context(&ctx);
+            let tags = bases.minimal_generators.as_ref().unwrap();
+            assert_eq!(tags.len(), bases.lattice.n_nodes());
+            let mut seen = 0;
+            for (node, generators) in tags.iter().enumerate() {
+                let (closure, support) = bases.lattice.node(node);
+                assert!(!generators.is_empty(), "{algo}: node {node} untagged");
+                for g in generators {
+                    seen += 1;
+                    // Same closure class...
+                    assert_eq!(&ctx.closure(g), closure, "{algo}");
+                    // ...and minimal: every facet has strictly larger
+                    // support.
+                    for facet in g.facets() {
+                        assert!(ctx.support(&facet) > support, "{algo}: {g:?} not minimal");
+                    }
+                }
+            }
+            // BE is generated by both B and E.
+            let be = bases.lattice.position(&Itemset::from_ids([2, 5])).unwrap();
+            assert_eq!(
+                tags[be],
+                vec![Itemset::from_ids([2]), Itemset::from_ids([5])],
+                "{algo}"
+            );
+            assert!(seen >= bases.lattice.n_nodes(), "{algo}");
+        }
+        // Staged runs carry no tags.
+        let staged = RuleMiner::new(MinSupport::Count(2)).mine_context(&ctx);
+        assert!(staged.minimal_generators.is_none());
+    }
+
+    #[test]
+    fn fused_empty_database() {
+        let bases = FusedMiner::new(MinSupport::Fraction(0.5))
+            .mine(rulebases_dataset::TransactionDb::from_rows(vec![]));
+        assert_eq!(bases.frequent.len(), 0);
+        assert!(bases.dg.is_empty());
+        assert!(bases.exact_rules().is_empty());
+        assert!(bases.approximate_rules().is_empty());
+        assert_eq!(bases.lattice.n_nodes(), 0);
+    }
+
+    #[test]
+    fn fused_skips_the_apriori_scan() {
+        // The acceptance claim in miniature: on the paper example the
+        // fused pipeline answers every engine question the staged one
+        // answers, with strictly fewer engine calls (no Apriori re-scan
+        // of the database, no pairwise lattice rebuild).
+        let staged_ctx = MiningContext::new(paper_example());
+        let _ = RuleMiner::new(MinSupport::Count(2)).mine_context(&staged_ctx);
+        let staged_calls = staged_ctx.closure_cache_stats().engine_calls();
+
+        let fused_ctx = MiningContext::new(paper_example());
+        let _ = FusedMiner::new(MinSupport::Count(2)).mine_context(&fused_ctx);
+        let fused_calls = fused_ctx.closure_cache_stats().engine_calls();
+
+        assert!(
+            fused_calls < staged_calls,
+            "fused {fused_calls} !< staged {staged_calls}"
+        );
+        // The fused frequent itemsets are derived, not re-mined: zero
+        // database passes on that product.
+        let fused = FusedMiner::new(MinSupport::Count(2)).mine(paper_example());
+        assert_eq!(fused.frequent.stats.db_passes, 0);
+    }
+}

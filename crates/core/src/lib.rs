@@ -18,7 +18,7 @@
 //!   its support and confidence can be derived (Theorem 2).
 //!
 //! Both directions are implemented: *constructing* the bases and
-//! *deriving* the full rule sets back from them ([`derive`]), so the
+//! *deriving* the full rule sets back from them ([`mod@derive`]), so the
 //! basis properties (soundness, completeness, minimality) are executable
 //! and property-tested rather than assumed.
 //!
@@ -58,6 +58,7 @@ pub mod approx;
 pub mod derive;
 pub mod exact;
 pub mod export;
+pub mod fused;
 pub mod generic_basis;
 pub mod metrics;
 pub mod miner;
@@ -70,6 +71,7 @@ pub use approx::{all_approximate_rules, LuxenburgerBasis};
 pub use derive::{derive_approximate_rules, derive_exact_rules, ApproxDerivation};
 pub use exact::{all_exact_rules, count_exact_rules, DuquenneGuiguesBasis};
 pub use export::{read_rules_jsonl, write_rules_csv, write_rules_jsonl};
+pub use fused::{FusedMiner, PipelineKind};
 pub use generic_basis::{generic_basis, informative_basis, informative_basis_reduced};
 pub use metrics::RuleMetrics;
 pub use miner::{MinedBases, RuleMiner};

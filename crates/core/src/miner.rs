@@ -10,10 +10,11 @@ use crate::all_rules::{all_rules, count_all_rules};
 use crate::approx::{all_approximate_rules, LuxenburgerBasis};
 use crate::derive::{derive_approximate_rules, derive_exact_rules, ApproxDerivation};
 use crate::exact::{all_exact_rules, count_exact_rules, DuquenneGuiguesBasis};
+use crate::fused::{self, PipelineKind};
 use crate::report::BasisReport;
 use crate::rule::Rule;
 use rulebases_dataset::{
-    EngineKind, MinSupport, MiningContext, Parallelism, Support, TransactionDb,
+    EngineKind, Itemset, MinSupport, MiningContext, Parallelism, Support, TransactionDb,
 };
 use rulebases_lattice::IcebergLattice;
 use rulebases_mining::{Apriori, ClosedAlgorithm, ClosedItemsets, FrequentItemsets};
@@ -27,6 +28,7 @@ pub struct RuleMiner {
     include_empty_antecedent: bool,
     engine: EngineKind,
     parallelism: Parallelism,
+    pipeline: PipelineKind,
 }
 
 impl RuleMiner {
@@ -42,6 +44,7 @@ impl RuleMiner {
             include_empty_antecedent: false,
             engine: EngineKind::Auto,
             parallelism: Parallelism::Auto,
+            pipeline: PipelineKind::Staged,
         }
     }
 
@@ -90,6 +93,37 @@ impl RuleMiner {
         self
     }
 
+    /// Selects the pipeline structure: the default
+    /// [`PipelineKind::Staged`] three-pass oracle, or the
+    /// [`PipelineKind::Fused`] one-pass traversal (see [`crate::fused`]).
+    /// Both produce identical bases — the fused path just gets there with
+    /// one lattice walk and no Apriori re-scan.
+    pub fn pipeline(mut self, pipeline: PipelineKind) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    // Configuration accessors for the fused pipeline (same crate).
+    pub(crate) fn min_support_config(&self) -> MinSupport {
+        self.min_support
+    }
+
+    pub(crate) fn min_confidence_config(&self) -> f64 {
+        self.min_confidence
+    }
+
+    pub(crate) fn algorithm_config(&self) -> ClosedAlgorithm {
+        self.algorithm
+    }
+
+    pub(crate) fn include_empty_antecedent_config(&self) -> bool {
+        self.include_empty_antecedent
+    }
+
+    pub(crate) fn parallelism_config(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// Runs the pipeline on a database, through the configured engine
     /// backend under the configured thread policy (so
     /// `.parallelism(Parallelism::Off)` makes the whole run sequential,
@@ -105,6 +139,9 @@ impl RuleMiner {
     /// Runs the pipeline on an existing context (keeping that context's
     /// engine).
     pub fn mine_context(&self, ctx: &MiningContext) -> MinedBases {
+        if self.pipeline == PipelineKind::Fused {
+            return fused::mine_bases(self, ctx);
+        }
         let frequent = Apriori::new()
             .parallelism(self.parallelism)
             .mine(ctx, self.min_support);
@@ -131,9 +168,11 @@ impl RuleMiner {
             min_support: self.min_support,
             min_confidence: self.min_confidence,
             include_empty_antecedent: self.include_empty_antecedent,
+            pipeline: PipelineKind::Staged,
             frequent,
             closed,
             lattice,
+            minimal_generators: None,
             dg,
             lux_full,
             lux_reduced,
@@ -154,12 +193,20 @@ pub struct MinedBases {
     pub min_confidence: f64,
     /// Whether empty-antecedent rules are reported.
     pub include_empty_antecedent: bool,
-    /// All frequent itemsets (Apriori).
+    /// Which pipeline produced this bundle.
+    pub pipeline: PipelineKind,
+    /// All frequent itemsets (mined by Apriori on the staged path,
+    /// derived from `FC` on the fused path — identical either way).
     pub frequent: FrequentItemsets,
     /// The frequent closed itemsets `FC`.
     pub closed: ClosedItemsets,
     /// The iceberg lattice over `FC`.
     pub lattice: IcebergLattice,
+    /// Minimal-generator tags per lattice node (aligned with
+    /// [`IcebergLattice`] node order), collected on the fly by the fused
+    /// pipeline's levelwise traversals; `None` on the staged path, and
+    /// empty per node under CHARM (its IT-tree carries no generators).
+    pub minimal_generators: Option<Vec<Vec<Itemset>>>,
     /// The Duquenne-Guigues basis.
     pub dg: DuquenneGuiguesBasis,
     /// The full Luxenburger basis at `min_confidence`.

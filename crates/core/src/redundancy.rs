@@ -13,7 +13,7 @@
 //!   other (the min-max / most-informative representatives);
 //! * [`find_redundant`] reports which rules would be pruned and why.
 //!
-//! The generic/informative bases of [`crate::generic_basis`] produce
+//! The generic/informative bases of [`mod@crate::generic_basis`] produce
 //! exactly such covers by construction; these functions verify that and
 //! let users post-process *any* rule list the same way.
 

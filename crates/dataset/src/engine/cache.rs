@@ -14,7 +14,10 @@ use std::sync::{Arc, Mutex};
 /// LRU bookkeeping would cost more than it saves).
 const DEFAULT_CAPACITY: usize = 1 << 20;
 
-/// Closure-cache counters.
+/// Closure-cache counters, plus pass-through query counters for the
+/// uncached engine primitives — together they measure how much engine
+/// work a pipeline actually performs (the fused-vs-staged ablation reads
+/// exactly these numbers).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Closure queries answered from the cache.
@@ -23,6 +26,17 @@ pub struct CacheStats {
     pub misses: u64,
     /// Times the cache hit capacity and was wiped.
     pub evictions: u64,
+    /// Extent queries passed through uncached (`tidset_of`, per-item
+    /// `cover` materializations, and one-item `extend_tidset`
+    /// refinements).
+    pub extents: u64,
+    /// Support queries passed through uncached (`support` plus one per
+    /// candidate in a `count_candidates` batch).
+    pub supports: u64,
+    /// Intent computations passed through uncached (`closure_of_tidset`
+    /// — the closure primitive the levelwise miners drive directly from
+    /// an extent they already hold).
+    pub intents: u64,
 }
 
 impl CacheStats {
@@ -34,12 +48,22 @@ impl CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
             evictions: self.evictions + other.evictions,
+            extents: self.extents + other.extents,
+            supports: self.supports + other.supports,
+            intents: self.intents + other.intents,
         }
     }
 
-    /// Total queries seen (hits + misses).
+    /// Total closure queries seen (hits + misses).
     pub fn lookups(self) -> u64 {
         self.hits + self.misses
+    }
+
+    /// Every engine query this layer observed: closure lookups plus the
+    /// pass-through extent, support, and intent queries. The scalar the
+    /// pipeline ablations compare.
+    pub fn engine_calls(self) -> u64 {
+        self.lookups() + self.extents + self.supports + self.intents
     }
 }
 
@@ -64,6 +88,9 @@ pub struct CachedEngine {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    extents: AtomicU64,
+    supports: AtomicU64,
+    intents: AtomicU64,
 }
 
 impl CachedEngine {
@@ -82,6 +109,9 @@ impl CachedEngine {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            extents: AtomicU64::new(0),
+            supports: AtomicU64::new(0),
+            intents: AtomicU64::new(0),
         }
     }
 
@@ -148,18 +178,22 @@ impl SupportEngine for CachedEngine {
     }
 
     fn cover(&self, item: Item) -> BitSet {
+        self.extents.fetch_add(1, Ordering::Relaxed);
         self.inner.cover(item)
     }
 
     fn tidset_of(&self, itemset: &Itemset) -> BitSet {
+        self.extents.fetch_add(1, Ordering::Relaxed);
         self.inner.tidset_of(itemset)
     }
 
     fn extend_tidset(&self, tidset: &BitSet, item: Item) -> BitSet {
+        self.extents.fetch_add(1, Ordering::Relaxed);
         self.inner.extend_tidset(tidset, item)
     }
 
     fn support(&self, itemset: &Itemset) -> Support {
+        self.supports.fetch_add(1, Ordering::Relaxed);
         self.inner.support(itemset)
     }
 
@@ -168,6 +202,7 @@ impl SupportEngine for CachedEngine {
     }
 
     fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
+        self.intents.fetch_add(1, Ordering::Relaxed);
         self.inner.closure_of_tidset(tidset)
     }
 
@@ -180,6 +215,8 @@ impl SupportEngine for CachedEngine {
     }
 
     fn count_candidates(&self, candidates: &[Itemset]) -> Vec<Support> {
+        self.supports
+            .fetch_add(candidates.len() as u64, Ordering::Relaxed);
         self.inner.count_candidates(candidates)
     }
 
@@ -192,6 +229,9 @@ impl SupportEngine for CachedEngine {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            extents: self.extents.load(Ordering::Relaxed),
+            supports: self.supports.load(Ordering::Relaxed),
+            intents: self.intents.load(Ordering::Relaxed),
         }
     }
 }
@@ -257,12 +297,24 @@ mod tests {
     }
 
     #[test]
-    fn passthrough_queries_stay_uncached() {
+    fn passthrough_queries_stay_uncached_but_counted() {
         let engine = cached();
         let probe = Itemset::from_ids([2, 5]);
         assert_eq!(engine.support(&probe), 4);
         assert_eq!(engine.tidset_of(&probe).count(), 4);
-        assert_eq!(engine.cache_stats(), CacheStats::default());
+        let _ = engine.cover(Item::new(2));
+        let extent = engine.tidset_of(&probe);
+        let _ = engine.extend_tidset(&extent, Item::new(3));
+        let _ = engine.closure_of_tidset(&extent);
+        let _ = engine.count_candidates(&[probe.clone(), Itemset::from_ids([3])]);
+        let stats = engine.cache_stats();
+        // No closure lookup was asked: the cache itself stays empty...
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 0, 0));
+        // ...but the pass-through work is tallied.
+        assert_eq!(stats.extents, 4, "2× tidset_of + cover + extend");
+        assert_eq!(stats.supports, 3, "support + 2-candidate batch");
+        assert_eq!(stats.intents, 1, "closure_of_tidset");
+        assert_eq!(stats.engine_calls(), 8);
     }
 
     #[test]
@@ -287,17 +339,27 @@ mod tests {
             hits: 3,
             misses: 5,
             evictions: 1,
+            extents: 7,
+            supports: 11,
+            intents: 2,
         };
         let b = CacheStats {
             hits: 10,
             misses: 2,
             evictions: 0,
+            extents: 1,
+            supports: 4,
+            intents: 3,
         };
         let merged = a.merge(b);
         assert_eq!(merged.hits, 13);
         assert_eq!(merged.misses, 7);
         assert_eq!(merged.evictions, 1);
+        assert_eq!(merged.extents, 8);
+        assert_eq!(merged.supports, 15);
+        assert_eq!(merged.intents, 5);
         assert_eq!(merged.lookups(), 20);
+        assert_eq!(merged.engine_calls(), 48);
         // Identity and commutativity.
         assert_eq!(a.merge(CacheStats::default()), a);
         assert_eq!(a.merge(b), b.merge(a));

@@ -43,7 +43,7 @@
 //! supports add, extents stitch at 64-aligned shard offsets, intents
 //! intersect. [`EngineKind::Sharded`] names such a configuration
 //! (spelled `sharded:<k>:<inner>` in CLI/env contexts — [`EngineKind`]
-//! implements [`FromStr`](std::str::FromStr)), and [`EngineKind::Auto`]
+//! implements [`FromStr`]), and [`EngineKind::Auto`]
 //! promotes itself to a sharded engine above a row-count threshold when
 //! more than one thread is available.
 //!
@@ -592,6 +592,33 @@ mod tests {
             assert_eq!(engine.closure(&probe), reference.closure(&probe));
             assert_eq!(engine.tidset_of(&probe), reference.tidset_of(&probe));
         }
+    }
+
+    #[test]
+    fn auto_shard_threshold_is_the_documented_16384_rows() {
+        // ROADMAP.md and CHANGES.md both document "Auto promotes itself
+        // to sharding at ≥ 16384 rows"; this pin keeps code and docs from
+        // drifting apart again (they did once: an early changelog said
+        // 8192).
+        assert_eq!(AUTO_SHARD_MIN_ROWS, 16384);
+        let rows_at = |n: usize| {
+            TransactionDb::from_rows((0..n as u32).map(|t| vec![t % 11, 11 + t % 7]).collect())
+        };
+        // One row below the floor: never sharded, whatever the policy.
+        let below = rows_at(AUTO_SHARD_MIN_ROWS - 1);
+        assert_eq!(
+            EngineKind::Auto.select_par(&below, Parallelism::Fixed(4)),
+            EngineKind::Auto.select_flat(&below)
+        );
+        // Exactly at the floor: sharded as soon as threads are granted.
+        let at = rows_at(AUTO_SHARD_MIN_ROWS);
+        assert_eq!(
+            EngineKind::Auto.select_par(&at, Parallelism::Fixed(4)),
+            EngineKind::Sharded {
+                shards: 4,
+                inner: Box::new(EngineKind::Auto),
+            }
+        );
     }
 
     #[test]

@@ -66,12 +66,60 @@ impl Parallelism {
     }
 }
 
-/// Parses [`THREADS_ENV`], ignoring unset/empty/garbage values.
+/// The outcome of reading one [`THREADS_ENV`] value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum EnvThreads {
+    /// Variable unset or empty — fall through to machine parallelism.
+    Unset,
+    /// A thread count. `0` is accepted as an explicit request for the
+    /// sequential path and resolves to one thread.
+    Count(usize),
+    /// Unparsable text — fall through, but tell the operator: a typo'd
+    /// `RULEBASES_THREADS=fuor` silently running 64-wide is exactly the
+    /// kind of misconfiguration that wastes a benchmark run.
+    Malformed(String),
+}
+
+/// Classifies a raw [`THREADS_ENV`] value. Pure, so every malformed shape
+/// is unit-testable without touching the (process-global) environment.
+fn classify_env_threads(raw: Option<&str>) -> EnvThreads {
+    let Some(raw) = raw else {
+        return EnvThreads::Unset;
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return EnvThreads::Unset;
+    }
+    match trimmed.parse::<usize>() {
+        // `0` means "no worker fan-out": resolve to the one mandatory
+        // thread rather than pretending the value was absent.
+        Ok(0) => EnvThreads::Count(1),
+        Ok(n) => EnvThreads::Count(n),
+        Err(_) => EnvThreads::Malformed(trimmed.to_owned()),
+    }
+}
+
+/// Parses [`THREADS_ENV`]: unset/empty falls through to the machine's
+/// parallelism, `0` explicitly forces the sequential path, and anything
+/// unparsable falls through **with a warning** (printed once per
+/// process).
 fn env_threads() -> Option<usize> {
-    std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .map(|n| n.max(1))
+    let raw = std::env::var(THREADS_ENV).ok();
+    match classify_env_threads(raw.as_deref()) {
+        EnvThreads::Unset => None,
+        EnvThreads::Count(n) => Some(n),
+        EnvThreads::Malformed(value) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: ignoring unparsable {THREADS_ENV}={value:?} \
+                     (expected a thread count; 0 forces sequential) — \
+                     falling back to the machine's available parallelism"
+                );
+            });
+            None
+        }
+    }
 }
 
 /// Maps `f` over `items` with one scoped thread per item; results come
@@ -189,6 +237,28 @@ mod tests {
     fn chunks_propagate_panics() {
         let items = vec![1, 2, 3, 4];
         let _ = parallel_chunks(&items, 2, |_| -> Vec<i32> { panic!("boom") });
+    }
+
+    #[test]
+    fn env_threads_classification() {
+        use super::EnvThreads::{Count, Malformed, Unset};
+        // Unset and empty fall through silently.
+        assert_eq!(classify_env_threads(None), Unset);
+        assert_eq!(classify_env_threads(Some("")), Unset);
+        assert_eq!(classify_env_threads(Some("   ")), Unset);
+        // Well-formed counts, with surrounding whitespace tolerated.
+        assert_eq!(classify_env_threads(Some("4")), Count(4));
+        assert_eq!(classify_env_threads(Some(" 8 ")), Count(8));
+        // `0` is an explicit sequential request, not garbage.
+        assert_eq!(classify_env_threads(Some("0")), Count(1));
+        // Every malformed shape is surfaced, never silently dropped.
+        for bad in ["abc", "-1", "3.5", "4x", "0x4", "١٢", "+ 2"] {
+            assert_eq!(
+                classify_env_threads(Some(bad)),
+                Malformed(bad.trim().to_owned()),
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Incremental Hasse-diagram construction.
+//!
+//! The staged pipeline first materializes all frequent closed itemsets,
+//! then rebuilds the covering relation from scratch with a full pairwise
+//! pass ([`crate::hasse::upper_covers_by_pairs`]). [`IncrementalLattice`]
+//! instead maintains the transitive reduction *while* the closed sets
+//! arrive, in any order, one insertion at a time — the construction
+//! Hamrouni et al. and Vo & Le use to build the frequent-closed lattice
+//! during mining. Feeding a miner's
+//! [`ClosedSink`](rulebases_mining::sink::ClosedSink) emissions straight
+//! into it removes the post-hoc lattice rebuild from the pipeline.
+//!
+//! Each insertion of a new set `X` finds the maximal strict subsets
+//! (immediate predecessors) and minimal strict supersets (immediate
+//! successors) among the nodes inserted so far, deletes the pred→succ
+//! edges that `X` now interposes on, and links `X` in between. Duplicate
+//! insertions (one closure reached from several generators) are cheap
+//! hash lookups.
+//!
+//! Alongside the order itself, the builder tags every node with the
+//! **minimal generators** the miner reports for it (see
+//! [`IncrementalLattice::insert`]) — the levelwise closed miners prove
+//! minimality as a byproduct, and downstream constructions (the generic
+//! and informative bases) want generators per closure class without a
+//! separate mining pass.
+
+use crate::lattice::IcebergLattice;
+use rulebases_dataset::{Itemset, Support};
+use std::collections::HashMap;
+
+/// A Hasse diagram over closed itemsets, maintained insertion by
+/// insertion. Nodes are kept in arrival order internally;
+/// [`IncrementalLattice::finish`] re-sorts canonically and hands back an
+/// [`IcebergLattice`] plus the per-node generator tags.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalLattice {
+    nodes: Vec<(Itemset, Support)>,
+    index: HashMap<Itemset, usize>,
+    upper: Vec<Vec<usize>>,
+    lower: Vec<Vec<usize>>,
+    generators: Vec<Vec<Itemset>>,
+}
+
+impl IncrementalLattice {
+    /// An empty diagram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct closed sets inserted so far.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of covering edges in the current diagram.
+    pub fn n_edges(&self) -> usize {
+        self.upper.iter().map(Vec::len).sum()
+    }
+
+    /// Inserts a closed set with its support and an optional minimal
+    /// generator tag, maintaining the covering relation. Re-inserting a
+    /// known set only records the (deduplicated) generator tag. Returns
+    /// the node's internal id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set was inserted before with a different support —
+    /// closed sets have one extent.
+    pub fn insert(
+        &mut self,
+        set: &Itemset,
+        support: Support,
+        generator: Option<&Itemset>,
+    ) -> usize {
+        if let Some(&id) = self.index.get(set) {
+            assert_eq!(
+                self.nodes[id].1, support,
+                "conflicting supports for {set:?}"
+            );
+            self.tag(id, generator);
+            return id;
+        }
+        let id = self.nodes.len();
+
+        // Strict subsets and supersets among the existing nodes.
+        let mut subs: Vec<usize> = Vec::new();
+        let mut supers: Vec<usize> = Vec::new();
+        for (j, (node, _)) in self.nodes.iter().enumerate() {
+            if node.is_proper_subset_of(set) {
+                subs.push(j);
+            } else if set.is_proper_subset_of(node) {
+                supers.push(j);
+            }
+        }
+        // Immediate predecessors: maximal among the subsets. A subset is
+        // dominated iff one of the nodes it covers from below reaches
+        // another subset — cheaper to test directly on the small lists.
+        let preds: Vec<usize> = subs
+            .iter()
+            .copied()
+            .filter(|&p| {
+                !subs
+                    .iter()
+                    .any(|&q| q != p && self.nodes[p].0.is_proper_subset_of(&self.nodes[q].0))
+            })
+            .collect();
+        // Immediate successors: minimal among the supersets.
+        let succs: Vec<usize> = supers
+            .iter()
+            .copied()
+            .filter(|&s| {
+                !supers
+                    .iter()
+                    .any(|&q| q != s && self.nodes[q].0.is_proper_subset_of(&self.nodes[s].0))
+            })
+            .collect();
+
+        // The new node interposes on every pred→succ edge that existed.
+        for &p in &preds {
+            for &s in &succs {
+                if let Some(pos) = self.upper[p].iter().position(|&u| u == s) {
+                    self.upper[p].swap_remove(pos);
+                    let back = self.lower[s]
+                        .iter()
+                        .position(|&l| l == p)
+                        .expect("cover lists out of sync");
+                    self.lower[s].swap_remove(back);
+                }
+            }
+        }
+
+        self.nodes.push((set.clone(), support));
+        self.index.insert(set.clone(), id);
+        self.upper.push(succs.clone());
+        self.lower.push(preds.clone());
+        self.generators.push(Vec::new());
+        for &p in &preds {
+            self.upper[p].push(id);
+        }
+        for &s in &succs {
+            self.lower[s].push(id);
+        }
+        self.tag(id, generator);
+        id
+    }
+
+    /// Records a generator tag for a node, keeping the tag list minimal:
+    /// a tag subsumed by (superset of) an existing tag is dropped, and
+    /// tags subsumed by the new one are removed.
+    fn tag(&mut self, id: usize, generator: Option<&Itemset>) {
+        let Some(g) = generator else {
+            return;
+        };
+        let tags = &mut self.generators[id];
+        if tags.iter().any(|t| t.is_subset_of(g)) {
+            return; // equal or smaller generator already recorded
+        }
+        tags.retain(|t| !g.is_subset_of(t));
+        tags.push(g.clone());
+    }
+
+    /// Finalizes into a canonical-order [`IcebergLattice`] plus, aligned
+    /// with its node order, the minimal-generator tags collected per
+    /// closed set (empty for nodes the miner never tagged).
+    pub fn finish(self) -> (IcebergLattice, Vec<Vec<Itemset>>) {
+        // Canonical order (size, then lexicographic) is what every
+        // consumer of IcebergLattice assumes; insertion order is not it.
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by(|&a, &b| self.nodes[a].0.cmp(&self.nodes[b].0));
+        let mut rank = vec![0usize; order.len()];
+        for (new, &old) in order.iter().enumerate() {
+            rank[old] = new;
+        }
+        let mut nodes = Vec::with_capacity(order.len());
+        let mut upper = vec![Vec::new(); order.len()];
+        let mut generators = vec![Vec::new(); order.len()];
+        for &old in &order {
+            nodes.push(self.nodes[old].clone());
+            let mut covers: Vec<usize> = self.upper[old].iter().map(|&u| rank[u]).collect();
+            covers.sort_unstable();
+            upper[rank[old]] = covers;
+            let mut tags = self.generators[old].clone();
+            tags.sort();
+            generators[rank[old]] = tags;
+        }
+        (IcebergLattice::assemble(nodes, upper), generators)
+    }
+
+    /// Finalizes into the canonical [`IcebergLattice`], discarding the
+    /// generator tags.
+    pub fn into_lattice(self) -> IcebergLattice {
+        self.finish().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hasse::verify_covers;
+    use rulebases_dataset::{paper_example, MinSupport, MiningContext};
+    use rulebases_mining::{Close, ClosedMiner};
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    fn paper_pairs() -> Vec<(Itemset, Support)> {
+        let ctx = MiningContext::new(paper_example());
+        Close::new()
+            .mine_closed(&ctx, MinSupport::Count(2))
+            .into_sorted_vec()
+    }
+
+    #[test]
+    fn matches_batch_construction_in_any_insertion_order() {
+        let pairs = paper_pairs();
+        let ctx = MiningContext::new(paper_example());
+        let reference =
+            IcebergLattice::from_closed(&Close::new().mine_closed(&ctx, MinSupport::Count(2)));
+        // Forward, reverse, and a few rotations: same diagram every time.
+        let n = pairs.len();
+        for rotation in 0..n {
+            let mut inc = IncrementalLattice::new();
+            for i in 0..n {
+                let (s, sup) = &pairs[(i * 5 + rotation) % n];
+                inc.insert(s, *sup, None);
+            }
+            // Duplicate re-insertions are no-ops.
+            for (s, sup) in &pairs {
+                inc.insert(s, *sup, None);
+            }
+            assert_eq!(inc.n_nodes(), reference.n_nodes());
+            let lattice = inc.into_lattice();
+            let edges: Vec<_> = lattice.edges().collect();
+            let expected: Vec<_> = reference.edges().collect();
+            assert_eq!(edges, expected, "rotation {rotation}");
+        }
+    }
+
+    #[test]
+    fn interposition_rewires_edges() {
+        // Insert ∅ and ABCE first (edge ∅→ABCE), then interpose C and AC:
+        // the long edge must disappear step by step.
+        let mut inc = IncrementalLattice::new();
+        inc.insert(&Itemset::empty(), 5, None);
+        inc.insert(&set(&[1, 2, 3, 5]), 2, None);
+        assert_eq!(inc.n_edges(), 1);
+        inc.insert(&set(&[3]), 4, None);
+        // ∅→C→ABCE.
+        assert_eq!(inc.n_edges(), 2);
+        inc.insert(&set(&[1, 3]), 3, None);
+        // ∅→C→AC→ABCE.
+        assert_eq!(inc.n_edges(), 3);
+        let lattice = inc.into_lattice();
+        let nodes: Vec<_> = (0..lattice.n_nodes())
+            .map(|i| {
+                let (s, sup) = lattice.node(i);
+                (s.clone(), sup)
+            })
+            .collect();
+        let upper: Vec<Vec<usize>> = (0..lattice.n_nodes())
+            .map(|i| lattice.upper_covers(i).to_vec())
+            .collect();
+        verify_covers(&nodes, &upper).unwrap();
+    }
+
+    #[test]
+    fn generator_tags_stay_minimal_and_aligned() {
+        let mut inc = IncrementalLattice::new();
+        inc.insert(&set(&[2, 5]), 4, Some(&set(&[2])));
+        inc.insert(&set(&[2, 5]), 4, Some(&set(&[2, 5]))); // subsumed
+        inc.insert(&set(&[2, 5]), 4, Some(&set(&[5])));
+        inc.insert(&set(&[3]), 4, Some(&set(&[3])));
+        inc.insert(&set(&[3]), 4, None);
+        let (lattice, generators) = inc.finish();
+        let be = lattice.position(&set(&[2, 5])).unwrap();
+        let c = lattice.position(&set(&[3])).unwrap();
+        assert_eq!(generators[be], vec![set(&[2]), set(&[5])]);
+        assert_eq!(generators[c], vec![set(&[3])]);
+    }
+
+    #[test]
+    fn tag_replaces_subsumed_larger_generator() {
+        let mut inc = IncrementalLattice::new();
+        inc.insert(&set(&[1, 2, 3]), 2, Some(&set(&[1, 2])));
+        inc.insert(&set(&[1, 2, 3]), 2, Some(&set(&[1])));
+        let (_, generators) = inc.finish();
+        assert_eq!(generators[0], vec![set(&[1])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting supports")]
+    fn conflicting_support_panics() {
+        let mut inc = IncrementalLattice::new();
+        inc.insert(&set(&[1]), 3, None);
+        inc.insert(&set(&[1]), 2, None);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let inc = IncrementalLattice::new();
+        assert_eq!(inc.n_nodes(), 0);
+        let lattice = inc.into_lattice();
+        assert_eq!(lattice.n_nodes(), 0);
+
+        let mut one = IncrementalLattice::new();
+        one.insert(&set(&[0, 1]), 5, None);
+        let lattice = one.into_lattice();
+        assert_eq!(lattice.n_nodes(), 1);
+        assert_eq!(lattice.n_edges(), 0);
+    }
+}

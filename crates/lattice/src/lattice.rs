@@ -43,7 +43,10 @@ impl IcebergLattice {
         Self::assemble(nodes, upper)
     }
 
-    fn assemble(nodes: Vec<(Itemset, Support)>, upper: Vec<Vec<usize>>) -> Self {
+    /// Assembles a lattice from canonically ordered nodes and their upper
+    /// covers (shared with the incremental builder, which re-sorts its
+    /// insertion-order nodes before calling in).
+    pub(crate) fn assemble(nodes: Vec<(Itemset, Support)>, upper: Vec<Vec<usize>>) -> Self {
         let mut lower = vec![Vec::new(); nodes.len()];
         for (i, covers) in upper.iter().enumerate() {
             for &j in covers {

@@ -34,6 +34,7 @@ pub mod closure_op;
 pub mod dot;
 pub mod hasse;
 pub mod implications;
+pub mod incremental;
 pub mod lattice;
 pub mod lattice_stats;
 pub mod next_closure;
@@ -42,6 +43,7 @@ pub mod pseudo;
 pub use closure_op::ClosureOperator;
 pub use dot::to_dot;
 pub use implications::{Implication, ImplicationSet};
+pub use incremental::IncrementalLattice;
 pub use lattice::IcebergLattice;
 pub use lattice_stats::LatticeStats;
 pub use next_closure::{next_closed, stem_base, AllClosed, StemBase};

@@ -10,7 +10,8 @@
 
 use crate::counting::map_level;
 use crate::generators::mine_generators_engine;
-use crate::itemsets::ClosedItemsets;
+use crate::itemsets::{ClosedItemsets, MiningStats};
+use crate::sink::{ClosedSink, CollectSink};
 use crate::traits::ClosedMiner;
 use rulebases_dataset::{Itemset, MinSupport, MiningContext, Parallelism, Support, SupportEngine};
 
@@ -51,6 +52,29 @@ impl AClose {
             return ClosedItemsets::from_pairs(Vec::new(), 1, 0);
         }
         let min_count = minsup.to_count(n);
+        let mut sink = CollectSink::new();
+        let stats = self.mine_engine_sink(engine, minsup, &mut sink);
+        let mut result = sink.into_closed(min_count, n);
+        result.stats = stats;
+        result
+    }
+
+    /// Mines the frequent closed itemsets of any [`SupportEngine`] at
+    /// `minsup`, streaming every `(closure, support)` pair into `sink`
+    /// tagged with the minimal generator it was closed from. Distinct
+    /// generators of one closure class produce duplicate emissions; sinks
+    /// deduplicate (see [`ClosedSink`]).
+    pub fn mine_engine_sink(
+        &self,
+        engine: &dyn SupportEngine,
+        minsup: MinSupport,
+        sink: &mut dyn ClosedSink,
+    ) -> MiningStats {
+        let n = engine.n_objects();
+        if n == 0 {
+            return MiningStats::default();
+        }
+        let min_count = minsup.to_count(n);
 
         // Phase 1: frequent minimal generators (includes ∅ for the bottom).
         let generators = mine_generators_engine(engine, min_count);
@@ -58,18 +82,17 @@ impl AClose {
 
         // Phase 2: close every generator. One extra conceptual pass;
         // closures are independent, so wide generator sets fan over
-        // chunks (results stay in generator order — the merge into the
-        // closed-set index below is deterministic). A sharded engine
-        // fans each closure internally, so the phase stays sequential
-        // rather than nest thread pools.
+        // chunks (results stay in generator order — emission stays
+        // deterministic). A sharded engine fans each closure internally,
+        // so the phase stays sequential rather than nest thread pools.
         stats.db_passes += 1;
         let close_one = |(g, support): &(&Itemset, Support)| (engine.closure(g), *support);
         let gens: Vec<(&Itemset, Support)> = generators.iter().collect();
         let pairs: Vec<(Itemset, Support)> = map_level(engine, self.parallelism, &gens, close_one);
-
-        let mut result = ClosedItemsets::from_pairs(pairs, min_count, n);
-        result.stats = stats;
-        result
+        for ((generator, _), (closure, support)) in gens.iter().zip(&pairs) {
+            sink.accept(closure, *support, Some(generator));
+        }
+        stats
     }
 }
 

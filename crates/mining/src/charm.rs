@@ -8,6 +8,7 @@
 //! benchmark ablations.
 
 use crate::itemsets::{ClosedItemsets, MiningStats};
+use crate::sink::{ClosedSink, CollectSink};
 use crate::traits::ClosedMiner;
 use rulebases_dataset::{BitSet, Item, Itemset, MinSupport, MiningContext, Support, SupportEngine};
 use std::collections::hash_map::DefaultHasher;
@@ -37,17 +38,44 @@ impl Collector {
         h.finish()
     }
 
-    /// Inserts `set` unless an already-found closed set with the same
-    /// tidset subsumes it (then `set` is not closed).
+    /// Inserts `set`, resolving subsumption in **both** directions: if an
+    /// already-found set with the same tidset subsumes `set`, the new set
+    /// is not closed and is dropped; if `set` subsumes an earlier entry
+    /// with the same tidset, that earlier entry was not closed and is
+    /// replaced in place.
+    ///
+    /// Comparing `set ⊆/⊇ existing` under equal support is sound without
+    /// materializing tidsets: for comparable itemsets the extents nest
+    /// the opposite way, so equal support forces equal extents. CHARM's
+    /// depth-first order (classes sorted by ascending support) happens to
+    /// discover each closure class's full closure first, but the
+    /// collector must not lean on that traversal invariant — a different
+    /// emission order (a future parallel or streaming IT-tree walk) would
+    /// otherwise silently report non-closed sets.
     fn insert(&mut self, set: Itemset, tidset: &BitSet) {
         let support = tidset.count() as Support;
         let key = Self::tidset_hash(tidset);
         let bucket = self.by_tidset_hash.entry(key).or_default();
+        let mut replaced = false;
         for &idx in bucket.iter() {
             let (existing, existing_support) = &self.sets[idx];
-            if *existing_support == support && set.is_subset_of(existing) {
+            if *existing_support != support {
+                continue;
+            }
+            if set.is_subset_of(existing) {
                 return; // subsumed: not closed
             }
+            if existing.is_subset_of(&set) {
+                // The earlier entry is a proper subset with the same
+                // extent — it was a premature partial closure. Replace it
+                // (duplicates, if several partials accumulated, collapse
+                // to identical entries and dedup downstream).
+                self.sets[idx] = (set.clone(), support);
+                replaced = true;
+            }
+        }
+        if replaced {
+            return;
         }
         bucket.push(self.sets.len());
         self.sets.push((set, support));
@@ -75,6 +103,32 @@ impl Charm {
         let n = engine.n_objects();
         if n == 0 {
             return ClosedItemsets::from_pairs(Vec::new(), 1, 0);
+        }
+        let min_count = minsup.to_count(n);
+        let mut sink = CollectSink::new();
+        let stats = self.mine_engine_sink(engine, minsup, &mut sink);
+        let mut result = sink.into_closed(min_count, n);
+        result.stats = stats;
+        result
+    }
+
+    /// Mines the frequent closed itemsets of any [`SupportEngine`] at
+    /// `minsup`, streaming the result into `sink`.
+    ///
+    /// CHARM's subsumption check can retract a candidate after it was
+    /// recorded (the collector resolves subsumption in both directions),
+    /// so this path buffers in the collector and flushes once the IT-tree walk settles — the sink
+    /// contract forbids retractions. The IT-tree carries no generator
+    /// information, so emissions are untagged.
+    pub fn mine_engine_sink(
+        &self,
+        engine: &dyn SupportEngine,
+        minsup: MinSupport,
+        sink: &mut dyn ClosedSink,
+    ) -> MiningStats {
+        let n = engine.n_objects();
+        if n == 0 {
+            return MiningStats::default();
         }
         let min_count = minsup.to_count(n);
         let mut stats = MiningStats {
@@ -105,15 +159,18 @@ impl Charm {
         let mut collector = Collector::default();
         Self::extend(&mut root, &mut collector, min_count, &mut stats);
 
-        let mut pairs = collector.sets;
         // Lattice bottom — frequent unless the threshold exceeds |O|.
         if n as Support >= min_count {
-            pairs.push((engine.closure(&Itemset::empty()), n as Support));
+            sink.accept(
+                &engine.closure(&Itemset::empty()),
+                n as Support,
+                Some(&Itemset::empty()),
+            );
         }
-
-        let mut result = ClosedItemsets::from_pairs(pairs, min_count, n);
-        result.stats = stats;
-        result
+        for (set, support) in &collector.sets {
+            sink.accept(set, *support, None);
+        }
+        stats
     }
 
     fn extend(
@@ -250,6 +307,77 @@ mod tests {
     fn empty_context() {
         let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![]));
         assert!(Charm::new().mine(&ctx, MinSupport::Count(1)).is_empty());
+    }
+
+    #[test]
+    fn collector_is_insertion_order_independent() {
+        // AB and its same-tidset superset ABC, inserted in both orders,
+        // must leave only ABC. Superset-first is what CHARM's
+        // ascending-support traversal produces; subset-first is the order
+        // the old one-directional check silently got wrong (the partial
+        // set survived as a phantom "closed" set).
+        let tidset = {
+            let mut t = BitSet::new(4);
+            t.insert(0);
+            t.insert(2);
+            t
+        };
+        let partial = Itemset::from_ids([1, 2]);
+        let full = Itemset::from_ids([1, 2, 3]);
+        for first_is_partial in [true, false] {
+            let mut collector = Collector::default();
+            if first_is_partial {
+                collector.insert(partial.clone(), &tidset);
+                collector.insert(full.clone(), &tidset);
+            } else {
+                collector.insert(full.clone(), &tidset);
+                collector.insert(partial.clone(), &tidset);
+            }
+            assert_eq!(
+                collector.sets,
+                vec![(full.clone(), 2)],
+                "first_is_partial={first_is_partial}"
+            );
+        }
+    }
+
+    #[test]
+    fn collector_keeps_distinct_closure_classes_apart() {
+        // Same support, different tidsets: no subsumption either way.
+        let t1 = {
+            let mut t = BitSet::new(4);
+            t.insert(0);
+            t.insert(1);
+            t
+        };
+        let t2 = {
+            let mut t = BitSet::new(4);
+            t.insert(2);
+            t.insert(3);
+            t
+        };
+        let mut collector = Collector::default();
+        collector.insert(Itemset::from_ids([1]), &t1);
+        collector.insert(Itemset::from_ids([1, 2]), &t2);
+        assert_eq!(collector.sets.len(), 2);
+    }
+
+    #[test]
+    fn cross_branch_closure_classes_match_brute_force() {
+        // C's cover {0,1} is the intersection of A's {0,1,2} and B's
+        // {0,1,3}: the closure class {0,1} = ABC is reachable both through
+        // the C branch (prop-2 absorptions) and the A×B child — the shape
+        // whose duplicate insertions exercise the collector's subsumption
+        // resolution. Items: A=1, B=2, C=3.
+        let ctx = MiningContext::new(rulebases_dataset::TransactionDb::from_rows(vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1],
+            vec![2],
+        ]));
+        let fc = Charm::new().mine(&ctx, MinSupport::Count(1));
+        let brute = crate::brute::brute_closed(&ctx, MinSupport::Count(1));
+        assert_eq!(fc.into_sorted_vec(), brute.into_sorted_vec());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::candidates::join_and_prune;
 use crate::counting::map_level;
 use crate::itemsets::{ClosedItemsets, MiningStats};
+use crate::sink::{ClosedSink, CollectSink};
 use crate::traits::ClosedMiner;
 use rulebases_dataset::{
     Item, Itemset, MinSupport, MiningContext, Parallelism, Support, SupportEngine,
@@ -56,13 +57,39 @@ impl Close {
             return ClosedItemsets::from_pairs(Vec::new(), 1, 0);
         }
         let min_count = minsup.to_count(n);
+        let mut sink = CollectSink::new();
+        let stats = self.mine_engine_sink(engine, minsup, &mut sink);
+        let mut result = sink.into_closed(min_count, n);
+        result.stats = stats;
+        result
+    }
+
+    /// Mines the frequent closed itemsets of any [`SupportEngine`] at
+    /// `minsup`, streaming every discovered closed set (tagged with the
+    /// generator that reached it) into `sink` instead of materializing a
+    /// container. One closure class may be emitted once per generator;
+    /// sinks deduplicate (see [`ClosedSink`]).
+    pub fn mine_engine_sink(
+        &self,
+        engine: &dyn SupportEngine,
+        minsup: MinSupport,
+        sink: &mut dyn ClosedSink,
+    ) -> MiningStats {
+        let n = engine.n_objects();
         let mut stats = MiningStats::default();
-        let mut closed: Vec<(Itemset, Support)> = Vec::new();
+        if n == 0 {
+            return stats;
+        }
+        let min_count = minsup.to_count(n);
 
         // Lattice bottom: closure of the empty set, supported by every
         // object — frequent unless the threshold exceeds |O|.
         if n as Support >= min_count {
-            closed.push((engine.closure(&Itemset::empty()), n as Support));
+            sink.accept(
+                &engine.closure(&Itemset::empty()),
+                n as Support,
+                Some(&Itemset::empty()),
+            );
         }
 
         // Level 1: singleton generators. One pass computes extents,
@@ -79,7 +106,10 @@ impl Close {
             }
             let generator = Itemset::from_ids([i as u32]);
             let closure = engine.closure_of_tidset(&cover);
-            closed.push((closure.clone(), support));
+            // A full-support singleton reaches the bottom, whose minimal
+            // generator is ∅ (tagged above) — the singleton is not one.
+            let tag = (support < n as Support).then_some(&generator);
+            sink.accept(&closure, support, tag);
             closures.insert(generator.clone(), closure);
             generators.push(generator);
         }
@@ -118,7 +148,7 @@ impl Close {
                 let Some((closure, support)) = result else {
                     continue;
                 };
-                closed.push((closure.clone(), support));
+                sink.accept(&closure, support, Some(&candidate));
                 next_closures.insert(candidate.clone(), closure);
                 next_generators.push(candidate);
             }
@@ -126,9 +156,7 @@ impl Close {
             closures = next_closures;
         }
 
-        let mut result = ClosedItemsets::from_pairs(closed, min_count, n);
-        result.stats = stats;
-        result
+        stats
     }
 }
 

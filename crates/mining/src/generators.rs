@@ -3,7 +3,7 @@
 //! An itemset `G` is a (minimal) *generator* iff no proper subset has the
 //! same support — equivalently, `G` is a minimal element of its closure
 //! class `{X | h(X) = h(G)}`. Generators are what A-Close mines levelwise,
-//! and what the generic/informative rule bases (the [B00] extension) use
+//! and what the generic/informative rule bases (the B00 extension) use
 //! as minimal antecedents.
 
 use crate::candidates::join_and_prune;

@@ -43,6 +43,7 @@ pub mod fpgrowth;
 pub mod generators;
 pub mod hash_tree;
 pub mod itemsets;
+pub mod sink;
 pub mod traits;
 
 pub use aclose::AClose;
@@ -53,4 +54,5 @@ pub use counting::CountingStrategy;
 pub use fpgrowth::FpGrowth;
 pub use generators::{mine_generators, mine_generators_engine, GeneratorSet};
 pub use itemsets::{ClosedItemsets, FrequentItemsets, MiningStats};
+pub use sink::{ClosedSink, CollectSink};
 pub use traits::{ClosedAlgorithm, ClosedMiner, FrequentMiner};

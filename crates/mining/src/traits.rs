@@ -3,7 +3,8 @@
 use crate::aclose::AClose;
 use crate::charm::Charm;
 use crate::close::Close;
-use crate::itemsets::{ClosedItemsets, FrequentItemsets};
+use crate::itemsets::{ClosedItemsets, FrequentItemsets, MiningStats};
+use crate::sink::ClosedSink;
 use rulebases_dataset::{MinSupport, MiningContext, Parallelism, SupportEngine};
 use std::fmt;
 
@@ -74,6 +75,28 @@ impl ClosedAlgorithm {
                 .parallelism(parallelism)
                 .mine_engine(engine, minsup),
             ClosedAlgorithm::Charm => Charm::new().mine_engine(engine, minsup),
+        }
+    }
+
+    /// Runs the selected algorithm against any [`SupportEngine`] backend
+    /// under an explicit thread policy, streaming every discovered closed
+    /// set into `sink` instead of materializing a container — the entry
+    /// point of the fused pipeline. Returns the miner's bookkeeping.
+    pub fn mine_sink_par(
+        self,
+        engine: &dyn SupportEngine,
+        minsup: MinSupport,
+        parallelism: Parallelism,
+        sink: &mut dyn ClosedSink,
+    ) -> MiningStats {
+        match self {
+            ClosedAlgorithm::Close => Close::new()
+                .parallelism(parallelism)
+                .mine_engine_sink(engine, minsup, sink),
+            ClosedAlgorithm::AClose => AClose::new()
+                .parallelism(parallelism)
+                .mine_engine_sink(engine, minsup, sink),
+            ClosedAlgorithm::Charm => Charm::new().mine_engine_sink(engine, minsup, sink),
         }
     }
 

@@ -7,6 +7,8 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use proptest::TestCaseError;
+use rulebases::{MinedBases, PipelineKind, RuleMiner};
 use rulebases_dataset::{
     EngineKind, Itemset, MinSupport, MiningContext, Parallelism, ShardedEngine, TransactionDb,
 };
@@ -117,6 +119,41 @@ proptest! {
     }
 
     #[test]
+    fn fused_pipeline_matches_staged_under_every_backend(
+        db in contexts(),
+        min_count in 1u64..4,
+        minconf_idx in 0usize..4,
+        shards in 1usize..=4,
+    ) {
+        let minconf = [0.0, 0.5, 0.8, 1.0][minconf_idx];
+        // The fused one-pass pipeline and the staged oracle must agree on
+        // every product — closed sets, Hasse edges, DG basis, both
+        // Luxenburger bases — whatever the algorithm and engine backend.
+        let shared = Arc::new(db);
+        let mut grid: Vec<EngineKind> = EngineKind::BACKENDS.to_vec();
+        grid.push(EngineKind::Sharded {
+            shards,
+            inner: Box::new(EngineKind::Auto),
+        });
+        for kind in grid {
+            for algo in ClosedAlgorithm::ALL {
+                let run = |pipeline: PipelineKind| {
+                    let ctx = MiningContext::with_engine_arc(shared.clone(), kind.clone());
+                    RuleMiner::new(MinSupport::Count(min_count))
+                        .min_confidence(minconf)
+                        .algorithm(algo)
+                        .pipeline(pipeline)
+                        .mine_context(&ctx)
+                };
+                let staged = run(PipelineKind::Staged);
+                let fused = run(PipelineKind::Fused);
+                assert_pipelines_agree(&staged, &fused, &format!("{algo} over {kind}"))
+                    .map_err(TestCaseError::fail)?;
+            }
+        }
+    }
+
+    #[test]
     fn closure_axioms_hold(db in contexts(), ids in vec(0u32..9, 0..5)) {
         let ctx = MiningContext::new(db);
         // The closure operator is only defined on subsets of the universe.
@@ -169,6 +206,95 @@ proptest! {
                 ctx.engine().support(&x),
                 ctx.horizontal().support(&x),
                 "{} backend", kind
+            );
+        }
+    }
+}
+
+/// Every product of a bases run the two pipelines must agree on.
+fn assert_pipelines_agree(
+    staged: &MinedBases,
+    fused: &MinedBases,
+    label: &str,
+) -> Result<(), String> {
+    let check = |ok: bool, what: &str| {
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("{label}: fused and staged disagree on {what}"))
+        }
+    };
+    check(
+        staged.closed.clone().into_sorted_vec() == fused.closed.clone().into_sorted_vec(),
+        "closed sets",
+    )?;
+    check(
+        staged.lattice.edges().collect::<Vec<_>>() == fused.lattice.edges().collect::<Vec<_>>(),
+        "Hasse edges",
+    )?;
+    // The frequent itemsets are mined (staged) vs derived (fused) —
+    // identical contents either way.
+    check(staged.frequent.len() == fused.frequent.len(), "|F|")?;
+    for (set, support) in staged.frequent.iter() {
+        check(
+            fused.frequent.support(set) == Some(support),
+            &format!("support of {set:?}"),
+        )?;
+    }
+    check(staged.dg.rules() == fused.dg.rules(), "DG basis")?;
+    check(
+        staged.lux_full.rules() == fused.lux_full.rules(),
+        "full Luxenburger basis",
+    )?;
+    check(
+        staged.lux_reduced.rules() == fused.lux_reduced.rules(),
+        "reduced Luxenburger basis",
+    )?;
+    Ok(())
+}
+
+/// The fused pipeline on a context whose closure of ∅ is non-empty (a
+/// constant column): the lattice bottom is not ∅, the DG basis carries
+/// the `∅ → h(∅)` rule, and both pipelines still agree — including at the
+/// minconf = 1.0 boundary, where every Luxenburger basis is empty but the
+/// derivations must not fall over.
+#[test]
+fn fused_handles_nonempty_bottom_and_minconf_one() {
+    // Item 9 occurs everywhere: h(∅) = {9}.
+    let rows: Vec<Vec<u32>> = (0..12u32).map(|t| vec![t % 3, 3 + t % 2, 9]).collect();
+    for minconf in [0.6, 1.0] {
+        for algo in ClosedAlgorithm::ALL {
+            let run = |pipeline: PipelineKind| {
+                RuleMiner::new(MinSupport::Count(2))
+                    .min_confidence(minconf)
+                    .algorithm(algo)
+                    .pipeline(pipeline)
+                    .mine(TransactionDb::from_rows(rows.clone()))
+            };
+            let staged = run(PipelineKind::Staged);
+            let fused = run(PipelineKind::Fused);
+            assert_pipelines_agree(&staged, &fused, &format!("{algo} at minconf {minconf}"))
+                .unwrap();
+            // The bottom is {9}, and the DG basis starts from ∅.
+            let bottom = fused.lattice.bottom();
+            assert_eq!(fused.lattice.node(bottom).0, &Itemset::from_ids([9]));
+            assert!(fused
+                .dg
+                .rules()
+                .iter()
+                .any(|r| r.antecedent.is_empty()
+                    && Itemset::from_ids([9]).is_subset_of(&r.consequent)));
+            if (minconf - 1.0).abs() < f64::EPSILON {
+                // Closed-set pairs are never exact: both bases are empty.
+                assert!(fused.lux_full.is_empty());
+                assert!(fused.luxenburger_reduced_rules().is_empty());
+            }
+            // Derivations round-trip on the fused bundle.
+            assert_eq!(fused.exact_rules(), fused.derive_exact_rules(), "{algo}");
+            assert_eq!(
+                fused.approximate_rules(),
+                fused.derive_approximate_rules(),
+                "{algo} at minconf {minconf}"
             );
         }
     }

@@ -2,7 +2,7 @@
 //! bases pipeline at reduced scale, checking the structural invariants
 //! the paper's experiments rely on.
 
-use rulebases::{count_all_rules, count_exact_rules, MinSupport, RuleMiner};
+use rulebases::{count_all_rules, count_exact_rules, MinSupport, PipelineKind, RuleMiner};
 use rulebases_bench::{Scale, StandIn};
 use rulebases_dataset::MiningContext;
 use rulebases_lattice::hasse::verify_covers;
@@ -123,6 +123,79 @@ fn closed_supports_match_context_on_every_dataset() {
             assert!(ctx.is_closed(set), "{}: {set:?} not closed", dataset.name());
         }
     }
+}
+
+#[test]
+fn fused_pipeline_matches_staged_on_every_dataset() {
+    // The one-pass fused pipeline and the staged oracle agree on every
+    // stand-in, at realistic (non-toy) lattice sizes.
+    for dataset in StandIn::ALL {
+        let run = |pipeline: PipelineKind| {
+            RuleMiner::new(MinSupport::Fraction(dataset.default_minsup()))
+                .min_confidence(0.7)
+                .pipeline(pipeline)
+                .mine(dataset.generate(Scale::Test))
+        };
+        let staged = run(PipelineKind::Staged);
+        let fused = run(PipelineKind::Fused);
+        assert_eq!(
+            staged.closed.clone().into_sorted_vec(),
+            fused.closed.clone().into_sorted_vec(),
+            "{}: closed sets",
+            dataset.name()
+        );
+        assert_eq!(
+            staged.lattice.edges().collect::<Vec<_>>(),
+            fused.lattice.edges().collect::<Vec<_>>(),
+            "{}: Hasse edges",
+            dataset.name()
+        );
+        assert_eq!(
+            staged.frequent.len(),
+            fused.frequent.len(),
+            "{}: |F|",
+            dataset.name()
+        );
+        assert_eq!(staged.dg.rules(), fused.dg.rules(), "{}", dataset.name());
+        assert_eq!(
+            staged.lux_full.rules(),
+            fused.lux_full.rules(),
+            "{}",
+            dataset.name()
+        );
+        assert_eq!(
+            staged.lux_reduced.rules(),
+            fused.lux_reduced.rules(),
+            "{}",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn fused_pipeline_performs_fewer_engine_calls_on_census() {
+    // The acceptance criterion of the fused tentpole, enforced in CI: on
+    // the census-like stand-in the fused pipeline answers every query
+    // through strictly fewer engine calls than the staged oracle — it
+    // neither re-mines the frequent itemsets from the database nor
+    // rebuilds the lattice after mining.
+    let dataset = StandIn::C20D10K;
+    let tally = |pipeline: PipelineKind| {
+        let ctx = MiningContext::new(dataset.generate(Scale::Test));
+        let _ = RuleMiner::new(MinSupport::Fraction(dataset.default_minsup()))
+            .min_confidence(0.7)
+            .pipeline(pipeline)
+            .mine_context(&ctx);
+        ctx.closure_cache_stats()
+    };
+    let staged = tally(PipelineKind::Staged);
+    let fused = tally(PipelineKind::Fused);
+    assert!(
+        fused.engine_calls() < staged.engine_calls(),
+        "fused {} !< staged {}",
+        fused.engine_calls(),
+        staged.engine_calls()
+    );
 }
 
 #[test]
