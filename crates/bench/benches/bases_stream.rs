@@ -1,0 +1,101 @@
+//! Streaming vs re-mining ablation.
+//!
+//! Replays a correlated stand-in in 64-row batches two ways: maintaining
+//! the bases online (`StreamingMiner::push_batch` — engine delta, GALICIA
+//! lattice insertion, bases re-read from the maintained order) versus
+//! re-running the one-shot fused pipeline on the grown prefix at every
+//! batch. Besides timing both, it tallies the engine traffic of one full
+//! replay per mode and **asserts** the streaming invariant: incremental
+//! maintenance answers every batch with strictly fewer engine calls than
+//! re-mining from scratch — running the bench doubles as the acceptance
+//! check (the CI-run twin lives in `tests/streaming.rs`).
+//!
+//! Read the two numbers the way the `counting-sharded` bench reads its
+//! thread ablation on a 1-CPU box: at this toy scale the whole context is
+//! cache-resident and mining it is almost free, so the wall clock can
+//! favor re-mining — the engine-call tally is the number that scales,
+//! because every avoided call is an avoided pass over data that in a real
+//! deployment no longer fits where it is cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulebases::{MinSupport, PipelineKind, RuleMiner};
+use rulebases_dataset::{MiningContext, TransactionDb};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BATCH: usize = 64;
+const ROWS: usize = 512;
+
+/// Correlated rows over 14 items in four attribute groups — compact
+/// closed-set lattice, non-trivial structure at every prefix.
+fn census_rows(n: usize) -> Vec<Vec<u32>> {
+    (0..n as u32)
+        .map(|t| vec![t % 4, 4 + t % 3, 7 + t % 2, 9 + (t / 7) % 5])
+        .collect()
+}
+
+fn miner() -> RuleMiner {
+    RuleMiner::new(MinSupport::Fraction(0.1)).min_confidence(0.6)
+}
+
+/// One full streamed replay; returns the engine calls it performed.
+fn replay_streaming(rows: &[Vec<u32>]) -> u64 {
+    let mut stream = miner().streaming(TransactionDb::from_rows(vec![]));
+    for chunk in rows.chunks(BATCH) {
+        stream.push_batch(chunk.to_vec()).unwrap();
+        black_box(stream.bases().dg.len());
+    }
+    stream.context().closure_cache_stats().engine_calls()
+}
+
+/// One full re-mining replay (fused pipeline per prefix); returns its
+/// engine calls.
+fn replay_remining(rows: &[Vec<u32>]) -> u64 {
+    let mut calls = 0;
+    let mut seen = 0;
+    let config = miner().pipeline(PipelineKind::Fused);
+    while seen < rows.len() {
+        seen = (seen + BATCH).min(rows.len());
+        let ctx = MiningContext::new(TransactionDb::from_rows(rows[..seen].to_vec()));
+        black_box(config.mine_context(&ctx).dg.len());
+        calls += ctx.closure_cache_stats().engine_calls();
+    }
+    calls
+}
+
+fn bench_bases_stream(c: &mut Criterion) {
+    let rows = census_rows(ROWS);
+    let mut group = c.benchmark_group("bases-stream");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function(BenchmarkId::new("replay", "streaming"), |b| {
+        b.iter(|| black_box(replay_streaming(&rows)))
+    });
+    group.bench_function(BenchmarkId::new("replay", "remine-per-batch"), |b| {
+        b.iter(|| black_box(replay_remining(&rows)))
+    });
+    group.finish();
+
+    // Engine-traffic tally — one clean replay per mode.
+    let streaming = replay_streaming(&rows);
+    let remining = replay_remining(&rows);
+    println!(
+        "bases-stream: {ROWS} rows in {BATCH}-row batches — streaming {streaming} \
+         engine calls vs re-mining {remining}"
+    );
+    assert!(
+        streaming < remining,
+        "incremental maintenance must perform strictly fewer engine calls \
+         than re-mining per batch: streaming {streaming} !< remining {remining}"
+    );
+    println!(
+        "streaming saves {} engine calls ({:.1}% of re-mining)",
+        remining - streaming,
+        100.0 * (remining - streaming) as f64 / remining.max(1) as f64
+    );
+}
+
+criterion_group!(benches, bench_bases_stream);
+criterion_main!(benches);

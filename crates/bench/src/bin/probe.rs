@@ -6,18 +6,27 @@
 //! ```bash
 //! probe MUSHROOMS 0.5 [test|default|full] [--frequent] \
 //!     [--engine auto|dense|tid-list|diffset|sharded:<k>:<inner>] \
-//!     [--pipeline staged|fused]
+//!     [--pipeline staged|fused] [--stream [--batch <n>]]
 //! ```
 //!
 //! Without `--engine` / `--pipeline`, the backend and pipeline come from
 //! the `RULEBASES_ENGINE` / `RULEBASES_PIPELINE` environment variables
 //! (defaults `auto` and `staged`). With `--pipeline fused`, the cell runs
 //! the full fused bases pipeline instead of the bare closed miner and
-//! reports the lattice/bases shape plus the engine-call tally.
+//! reports the lattice/bases shape plus the engine-call tally. With
+//! `--stream`, the dataset is *replayed* in `--batch`-row appends (default
+//! 64) through `RuleMiner::streaming`, reporting per-replay movement
+//! totals and the engine calls the whole replay cost next to what one
+//! fused re-mine of the final context pays. The streaming session
+//! maintains the **unthresholded** closure system (so the threshold can
+//! rescale per batch), whose size is governed by the item universe — the
+//! replay therefore projects the dataset onto its `--stream-items` most
+//! frequent items first (default 16), the usual bounded-vocabulary
+//! serving setup.
 
 use rulebases::{PipelineKind, RuleMiner};
 use rulebases_bench::{engine_from_env, pipeline_from_env, Scale, StandIn};
-use rulebases_dataset::{EngineKind, MinSupport, MiningContext};
+use rulebases_dataset::{EngineKind, MinSupport, MiningContext, TransactionDb};
 use rulebases_mining::{Apriori, Close, ClosedMiner};
 use std::time::Instant;
 
@@ -27,12 +36,33 @@ fn main() {
     let mut pipeline: Option<PipelineKind> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut with_frequent = false;
+    let mut stream = false;
+    let mut batch = 64usize;
+    let mut stream_items = 16usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--frequent" => {
                 with_frequent = true;
                 i += 1;
+            }
+            "--stream" => {
+                stream = true;
+                i += 1;
+            }
+            "--batch" => {
+                let value = args.get(i + 1).expect("--batch needs a value");
+                batch = value.parse().unwrap_or_else(|e| panic!("--batch: {e}"));
+                assert!(batch > 0, "--batch must be at least 1");
+                i += 2;
+            }
+            "--stream-items" => {
+                let value = args.get(i + 1).expect("--stream-items needs a value");
+                stream_items = value
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--stream-items: {e}"));
+                assert!(stream_items > 0, "--stream-items must be at least 1");
+                i += 2;
             }
             "--engine" => {
                 let value = args.get(i + 1).expect("--engine needs a value");
@@ -74,6 +104,78 @@ fn main() {
         db.n_transactions(),
         db.n_items()
     );
+    if stream {
+        let minconf = 0.5;
+        // Project onto the top-`stream_items` most frequent items: the
+        // maintained closure system grows with the vocabulary, so a
+        // bounded universe is what keeps a long replay serviceable.
+        let mut by_support: Vec<(u64, u32)> = db
+            .item_supports()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, i as u32))
+            .collect();
+        by_support.sort_unstable_by(|a, b| b.cmp(a));
+        let kept: std::collections::HashSet<u32> = by_support
+            .into_iter()
+            .take(stream_items)
+            .map(|(_, i)| i)
+            .collect();
+        let rows: Vec<Vec<u32>> = db
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|item| item.id())
+                    .filter(|id| kept.contains(id))
+                    .collect()
+            })
+            .collect();
+        println!("streaming replay over the top {stream_items} items");
+        let miner = RuleMiner::new(MinSupport::Fraction(minsup))
+            .min_confidence(minconf)
+            .engine(engine.clone());
+        let start = Instant::now();
+        let mut session = miner.streaming(TransactionDb::from_rows(vec![]));
+        let (mut batches, mut added, mut removed, mut rules_moved) = (0usize, 0, 0, 0);
+        for chunk in rows.chunks(batch) {
+            let delta = session.push_batch(chunk.to_vec()).expect("append batch");
+            batches += 1;
+            added += delta.closed_added.len();
+            removed += delta.closed_removed.len();
+            rules_moved += delta.dg.added.len()
+                + delta.dg.removed.len()
+                + delta.lux_reduced.added.len()
+                + delta.lux_reduced.removed.len();
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let bases = session.bases();
+        println!(
+            "replayed {} rows in {batches} batches of ≤{batch} ({elapsed:.1} ms): \
+             |FC| = {} ({} Hasse edges, DG {} rules, Lux reduced {} rules at minconf {minconf})",
+            session.n_objects(),
+            bases.n_closed_nonempty(),
+            bases.lattice.n_edges(),
+            bases.dg.len(),
+            bases.luxenburger_reduced_rules().len(),
+        );
+        println!(
+            "movement: {added} closed sets entered, {removed} left, \
+             {rules_moved} DG/Lux-reduced rule changes; {} closure classes maintained",
+            session.n_closure_classes()
+        );
+        let streaming_calls = session.context().closure_cache_stats().engine_calls();
+        let remine_ctx = MiningContext::with_engine(session.db().clone(), engine);
+        let _ = miner
+            .pipeline(PipelineKind::Fused)
+            .mine_context(&remine_ctx);
+        println!(
+            "engine calls: {streaming_calls} for the whole replay vs {} for ONE fused \
+             re-mine of the final context",
+            remine_ctx.closure_cache_stats().engine_calls()
+        );
+        return;
+    }
+
     let ctx = MiningContext::with_engine(db, engine);
     println!("resolved backend: {}", ctx.engine_name());
 

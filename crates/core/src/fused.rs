@@ -210,24 +210,21 @@ fn derive_frequent(
     }
 }
 
-/// Runs the fused pipeline for `miner` over `ctx`: one mining traversal
-/// feeding the incremental lattice, then every product read off it.
-pub(crate) fn mine_bases(miner: &RuleMiner, ctx: &MiningContext) -> MinedBases {
+/// Assembles a [`MinedBases`] bundle from a finished lattice (+ its
+/// generator tags): `F` derived from `FC` by the generating-set property,
+/// the DG basis from the derived sets, both Luxenburger bases read off
+/// the lattice. The common tail of the fused pipeline and of every
+/// [`StreamingMiner`](crate::stream::StreamingMiner) batch — the batch
+/// pipeline is literally the one-snapshot case of the streaming one.
+pub(crate) fn assemble_bases(
+    miner: &RuleMiner,
+    ctx: &MiningContext,
+    lattice: rulebases_lattice::IcebergLattice,
+    minimal_generators: Vec<Vec<Itemset>>,
+    min_count: Support,
+) -> MinedBases {
     let n = ctx.n_objects();
-    let minsup = miner.min_support_config();
-    // Match the miners' empty-context convention (threshold pinned to 1).
-    let min_count = if n == 0 { 1 } else { minsup.to_count(n) };
-
-    let mut sink = LatticeSink::default();
-    let stats = miner.algorithm_config().mine_sink_par(
-        ctx.engine(),
-        minsup,
-        miner.parallelism_config(),
-        &mut sink,
-    );
-    let (lattice, minimal_generators) = sink.lattice.finish();
-
-    let mut closed = ClosedItemsets::from_pairs(
+    let closed = ClosedItemsets::from_pairs(
         (0..lattice.n_nodes())
             .map(|i| {
                 let (s, sup) = lattice.node(i);
@@ -237,7 +234,6 @@ pub(crate) fn mine_bases(miner: &RuleMiner, ctx: &MiningContext) -> MinedBases {
         min_count,
         n,
     );
-    closed.stats = stats;
 
     let frequent = derive_frequent(&closed, miner, ctx);
     let dg = DuquenneGuiguesBasis::build(&frequent, &closed, ctx.n_items());
@@ -253,7 +249,7 @@ pub(crate) fn mine_bases(miner: &RuleMiner, ctx: &MiningContext) -> MinedBases {
     MinedBases {
         min_count,
         n_objects: n,
-        min_support: minsup,
+        min_support: miner.min_support_config(),
         min_confidence: miner.min_confidence_config(),
         include_empty_antecedent: miner.include_empty_antecedent_config(),
         pipeline: PipelineKind::Fused,
@@ -265,6 +261,34 @@ pub(crate) fn mine_bases(miner: &RuleMiner, ctx: &MiningContext) -> MinedBases {
         lux_full,
         lux_reduced,
     }
+}
+
+/// The absolute support threshold for an `n`-object context, matching the
+/// miners' empty-context convention (threshold pinned to 1).
+pub(crate) fn min_count_for(minsup: MinSupport, n: usize) -> Support {
+    if n == 0 {
+        1
+    } else {
+        minsup.to_count(n)
+    }
+}
+
+/// Runs the fused pipeline for `miner` over `ctx`: one mining traversal
+/// feeding the incremental lattice, then every product read off it.
+pub(crate) fn mine_bases(miner: &RuleMiner, ctx: &MiningContext) -> MinedBases {
+    let min_count = min_count_for(miner.min_support_config(), ctx.n_objects());
+
+    let mut sink = LatticeSink::default();
+    let stats = miner.algorithm_config().mine_sink_par(
+        ctx.engine(),
+        miner.min_support_config(),
+        miner.parallelism_config(),
+        &mut sink,
+    );
+    let (lattice, minimal_generators) = sink.lattice.finish();
+    let mut bases = assemble_bases(miner, ctx, lattice, minimal_generators, min_count);
+    bases.closed.stats = stats;
+    bases
 }
 
 #[cfg(test)]

@@ -65,6 +65,7 @@ pub mod miner;
 pub mod redundancy;
 pub mod report;
 pub mod rule;
+pub mod stream;
 
 pub use all_rules::{all_rules, count_all_rules};
 pub use approx::{all_approximate_rules, LuxenburgerBasis};
@@ -78,6 +79,7 @@ pub use miner::{MinedBases, RuleMiner};
 pub use redundancy::{covers, find_redundant, minimal_cover, Redundancy};
 pub use report::BasisReport;
 pub use rule::Rule;
+pub use stream::{BasesDelta, RuleSetDelta, StreamError, StreamingMiner};
 
 // Re-export the substrate crates and the most common types.
 pub use rulebases_dataset::{self as dataset, MinSupport, MiningContext, TransactionDb};

@@ -103,9 +103,27 @@ impl RuleMiner {
         self
     }
 
+    /// Opens a streaming session seeded with `db` (possibly empty): the
+    /// returned [`StreamingMiner`] keeps engine, closed-set lattice, and
+    /// all three bases live while batches arrive through
+    /// [`StreamingMiner::push_batch`] — the configured thresholds rescale
+    /// to the growing row count, and the batch pipelines are the
+    /// degenerate one-batch case. The `pipeline` setting is ignored here:
+    /// a stream always maintains the fused shape.
+    ///
+    /// [`StreamingMiner`]: crate::stream::StreamingMiner
+    /// [`StreamingMiner::push_batch`]: crate::stream::StreamingMiner::push_batch
+    pub fn streaming(&self, db: TransactionDb) -> crate::stream::StreamingMiner {
+        crate::stream::StreamingMiner::new(self.clone(), db)
+    }
+
     // Configuration accessors for the fused pipeline (same crate).
     pub(crate) fn min_support_config(&self) -> MinSupport {
         self.min_support
+    }
+
+    pub(crate) fn engine_config(&self) -> EngineKind {
+        self.engine.clone()
     }
 
     pub(crate) fn min_confidence_config(&self) -> f64 {

@@ -1,0 +1,511 @@
+//! Streaming rule-base maintenance.
+//!
+//! The batch pipelines answer one question about one frozen database.
+//! [`StreamingMiner`] keeps the answer *live* while the database grows:
+//! it owns an appendable [`TransactionDb`], a delta-aware engine (see
+//! [`rulebases_dataset::engine::delta`]), and the full incremental closed
+//! lattice, and [`StreamingMiner::push_batch`] threads one append through
+//! all three layers:
+//!
+//! 1. the rows join the CSR in place
+//!    ([`TransactionDb::append_rows`]) under a new epoch;
+//! 2. the engine absorbs the [`TxDelta`] incrementally — covers extend,
+//!    the closure cache drops only the classes the batch can change
+//!    ([`MiningContext::apply_delta`]);
+//! 3. each appended transaction is inserted into the lattice GALICIA-style
+//!    ([`IncrementalLattice::insert_object`]): supports bump, split
+//!    closure classes appear, covers rewire, minimal generators retag —
+//!    all by set algebra over the maintained nodes, with **zero**
+//!    support-engine queries;
+//! 4. the iceberg view is re-cut at the support threshold *rescaled to
+//!    the new row count*, and the Duquenne-Guigues and both Luxenburger
+//!    bases are refreshed from the maintained lattice — no re-mining.
+//!
+//! The returned [`BasesDelta`] says exactly what changed: closed sets
+//! that entered or left the iceberg, and rules added to / removed from /
+//! restated in each basis. The batch pipelines are the degenerate case —
+//! pushing the whole database as one batch yields bit-for-bit the
+//! [`PipelineKind::Fused`](crate::PipelineKind::Fused) result (the
+//! equivalence is property-tested in `tests/streaming.rs` over every
+//! engine backend and batch-size schedule).
+//!
+//! # Example
+//!
+//! ```
+//! use rulebases::{MinSupport, RuleMiner};
+//! use rulebases_dataset::paper_example;
+//!
+//! // Open a stream over the paper's five-object context...
+//! let mut stream = RuleMiner::new(MinSupport::Count(2))
+//!     .min_confidence(0.5)
+//!     .streaming(paper_example());
+//! assert_eq!(stream.bases().dg.len(), 3);
+//!
+//! // ...then two more customers check out.
+//! let delta = stream.push_batch(vec![vec![1, 3], vec![2, 3, 5]]).unwrap();
+//! assert_eq!(stream.n_objects(), 7);
+//! assert_eq!(stream.epoch(), 1);
+//! // The maintained bases moved without re-mining: the batch changed
+//! // some rules and left the rest alone.
+//! assert!(!delta.is_empty());
+//! assert_eq!(stream.bases().n_objects, 7);
+//! ```
+//!
+//! [`TransactionDb::append_rows`]: rulebases_dataset::TransactionDb::append_rows
+//! [`MiningContext::apply_delta`]: rulebases_dataset::MiningContext::apply_delta
+//! [`IncrementalLattice::insert_object`]: rulebases_lattice::IncrementalLattice::insert_object
+
+use crate::fused::{assemble_bases, min_count_for};
+use crate::miner::{MinedBases, RuleMiner};
+use crate::rule::Rule;
+use rulebases_dataset::{
+    DatasetError, DeltaError, Itemset, MiningContext, Support, TransactionDb, TxDelta,
+};
+use rulebases_lattice::IncrementalLattice;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a [`StreamingMiner::push_batch`] failed. The miner is unchanged on
+/// error.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The append itself was rejected (e.g. an item id outside a
+    /// dictionary-pinned universe).
+    Dataset(DatasetError),
+    /// The engine could not absorb the delta (e.g. the context has live
+    /// clones sharing the engine).
+    Delta(DeltaError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Dataset(e) => write!(f, "append rejected: {e}"),
+            StreamError::Delta(e) => write!(f, "delta rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Dataset(e) => Some(e),
+            StreamError::Delta(e) => Some(e),
+        }
+    }
+}
+
+impl From<DatasetError> for StreamError {
+    fn from(e: DatasetError) -> Self {
+        StreamError::Dataset(e)
+    }
+}
+
+impl From<DeltaError> for StreamError {
+    fn from(e: DeltaError) -> Self {
+        StreamError::Delta(e)
+    }
+}
+
+/// How one rule family moved across a batch. Rules are identified by
+/// their `antecedent → consequent` pair; a rule present before and after
+/// with different counts (supports always grow with the context) is
+/// *restated*, not added + removed.
+#[derive(Clone, Debug, Default)]
+pub struct RuleSetDelta {
+    /// Rules the batch introduced (with their new-context counts).
+    pub added: Vec<Rule>,
+    /// Rules the batch retired (with their old-context counts).
+    pub removed: Vec<Rule>,
+    /// Rules present on both sides whose support or confidence moved.
+    pub restated: usize,
+}
+
+impl RuleSetDelta {
+    fn between(old: &[Rule], new: &[Rule]) -> Self {
+        let key = |r: &Rule| (r.antecedent.clone(), r.consequent.clone());
+        let old_by_key: HashMap<_, &Rule> = old.iter().map(|r| (key(r), r)).collect();
+        let mut delta = RuleSetDelta::default();
+        let mut kept: HashSet<(Itemset, Itemset)> = HashSet::new();
+        for rule in new {
+            match old_by_key.get(&key(rule)) {
+                None => delta.added.push(rule.clone()),
+                Some(before) => {
+                    kept.insert(key(rule));
+                    if *before != rule {
+                        delta.restated += 1;
+                    }
+                }
+            }
+        }
+        delta.removed = old
+            .iter()
+            .filter(|r| !kept.contains(&key(r)))
+            .cloned()
+            .collect();
+        delta
+    }
+
+    /// Whether the batch left this family untouched.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.restated == 0
+    }
+}
+
+/// What one [`StreamingMiner::push_batch`] changed, against the
+/// support/confidence thresholds rescaled to the grown context.
+#[derive(Clone, Debug)]
+pub struct BasesDelta {
+    /// Epoch stamped by the append.
+    pub epoch: u64,
+    /// Number of rows the batch appended.
+    pub appended: usize,
+    /// Context size after the batch.
+    pub n_objects: usize,
+    /// Absolute support threshold after rescaling to `n_objects`.
+    pub min_count: Support,
+    /// Closed sets that entered the iceberg view.
+    pub closed_added: Vec<Itemset>,
+    /// Closed sets that left the iceberg view (a fractional threshold
+    /// rises with the row count).
+    pub closed_removed: Vec<Itemset>,
+    /// Movement of the Duquenne-Guigues basis.
+    pub dg: RuleSetDelta,
+    /// Movement of the full Luxenburger basis.
+    pub lux_full: RuleSetDelta,
+    /// Movement of the reduced Luxenburger basis.
+    pub lux_reduced: RuleSetDelta,
+}
+
+impl BasesDelta {
+    fn between(old: &MinedBases, new: &MinedBases, epoch: u64, appended: usize) -> Self {
+        let old_sets: HashSet<&Itemset> = old.closed.iter().map(|(s, _)| s).collect();
+        let new_sets: HashSet<&Itemset> = new.closed.iter().map(|(s, _)| s).collect();
+        BasesDelta {
+            epoch,
+            appended,
+            n_objects: new.n_objects,
+            min_count: new.min_count,
+            closed_added: new
+                .closed
+                .iter()
+                .filter(|(s, _)| !old_sets.contains(s))
+                .map(|(s, _)| s.clone())
+                .collect(),
+            closed_removed: old
+                .closed
+                .iter()
+                .filter(|(s, _)| !new_sets.contains(s))
+                .map(|(s, _)| s.clone())
+                .collect(),
+            dg: RuleSetDelta::between(old.dg.rules(), new.dg.rules()),
+            lux_full: RuleSetDelta::between(old.lux_full.rules(), new.lux_full.rules()),
+            lux_reduced: RuleSetDelta::between(old.lux_reduced.rules(), new.lux_reduced.rules()),
+        }
+    }
+
+    /// Whether the batch changed nothing visible: no closed-set movement
+    /// and no rule movement in any basis (supports of untouched classes
+    /// may still have grown).
+    pub fn is_empty(&self) -> bool {
+        self.closed_added.is_empty()
+            && self.closed_removed.is_empty()
+            && self.dg.is_empty()
+            && self.lux_full.is_empty()
+            && self.lux_reduced.is_empty()
+    }
+}
+
+/// A live bases-mining session over a growing database — built with
+/// [`RuleMiner::streaming`], driven with [`StreamingMiner::push_batch`],
+/// read with [`StreamingMiner::bases`] (see the [module docs](self) for
+/// the maintenance story and a worked example).
+#[derive(Debug)]
+pub struct StreamingMiner {
+    config: RuleMiner,
+    db: Arc<TransactionDb>,
+    ctx: MiningContext,
+    lattice: IncrementalLattice,
+    bases: MinedBases,
+}
+
+impl StreamingMiner {
+    pub(crate) fn new(config: RuleMiner, db: TransactionDb) -> Self {
+        let db = Arc::new(db);
+        let ctx = MiningContext::with_engine_arc_par(
+            Arc::clone(&db),
+            config.engine_config(),
+            config.parallelism_config(),
+        );
+        let mut lattice = IncrementalLattice::new();
+        for t in 0..db.n_transactions() {
+            lattice.insert_object(&Itemset::from_sorted(db.transaction(t).to_vec()));
+        }
+        let min_count = min_count_for(config.min_support_config(), ctx.n_objects());
+        let (snapshot, tags) = lattice.snapshot(min_count);
+        let bases = assemble_bases(&config, &ctx, snapshot, tags, min_count);
+        StreamingMiner {
+            config,
+            db,
+            ctx,
+            lattice,
+            bases,
+        }
+    }
+
+    /// Appends one batch of transactions and patches everything the
+    /// session maintains — engine, lattice, and all three bases — without
+    /// re-mining. Thresholds rescale to the grown row count (a fractional
+    /// minimum support rises in absolute terms as rows arrive). Returns
+    /// what changed; on error nothing changed.
+    ///
+    /// An empty batch is a no-op: it returns an empty delta without
+    /// advancing the epoch or touching any layer.
+    pub fn push_batch(&mut self, rows: Vec<Vec<u32>>) -> Result<BasesDelta, StreamError> {
+        if rows.is_empty() {
+            return Ok(BasesDelta {
+                epoch: self.db.epoch(),
+                appended: 0,
+                n_objects: self.n_objects(),
+                min_count: self.bases.min_count,
+                closed_added: Vec::new(),
+                closed_removed: Vec::new(),
+                dg: RuleSetDelta::default(),
+                lux_full: RuleSetDelta::default(),
+                lux_reduced: RuleSetDelta::default(),
+            });
+        }
+        // The engines hold the previous snapshot and swap to the grown
+        // one during apply_delta, so this clone is the one O(|db|) cost
+        // of a push (everything downstream is delta-sized); an
+        // append-in-place snapshot scheme is a ROADMAP open item.
+        let mut grown = TransactionDb::clone(&self.db);
+        let info = grown.append_rows(rows)?;
+        let grown = Arc::new(grown);
+        let delta = TxDelta::new(Arc::clone(&grown), info);
+        self.ctx.apply_delta(&delta)?;
+        for t in delta.start()..delta.end() {
+            self.lattice
+                .insert_object(&Itemset::from_sorted(grown.transaction(t).to_vec()));
+        }
+        self.db = grown;
+        let min_count = min_count_for(self.config.min_support_config(), self.ctx.n_objects());
+        let (snapshot, tags) = self.lattice.snapshot(min_count);
+        let bases = assemble_bases(&self.config, &self.ctx, snapshot, tags, min_count);
+        let report = BasesDelta::between(&self.bases, &bases, delta.epoch(), delta.n_appended());
+        self.bases = bases;
+        Ok(report)
+    }
+
+    /// The current bases — the same bundle a one-shot
+    /// [`PipelineKind::Fused`](crate::PipelineKind::Fused) run over the
+    /// grown database would produce.
+    pub fn bases(&self) -> &MinedBases {
+        &self.bases
+    }
+
+    /// The live mining context (delta-maintained engine included).
+    ///
+    /// Cloning the returned context shares its engine; a clone held
+    /// across the next [`StreamingMiner::push_batch`] makes that push
+    /// fail with [`DeltaError::SharedEngine`] — query and drop.
+    pub fn context(&self) -> &MiningContext {
+        &self.ctx
+    }
+
+    /// The grown database.
+    pub fn db(&self) -> &TransactionDb {
+        &self.db
+    }
+
+    /// Number of objects seen so far.
+    pub fn n_objects(&self) -> usize {
+        self.db.n_transactions()
+    }
+
+    /// The append epoch (0 before any batch).
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch()
+    }
+
+    /// Number of closed sets the maintained (unthresholded) lattice
+    /// holds — the memory the session pays to answer any future
+    /// threshold.
+    pub fn n_closure_classes(&self) -> usize {
+        self.lattice.n_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::PipelineKind;
+    use rulebases_dataset::{paper_example, MinSupport};
+
+    fn paper_rows() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+            vec![1, 2, 3, 5],
+        ]
+    }
+
+    fn assert_same_bases(a: &MinedBases, b: &MinedBases, label: &str) {
+        assert_eq!(
+            a.closed.clone().into_sorted_vec(),
+            b.closed.clone().into_sorted_vec(),
+            "{label}: closed sets"
+        );
+        assert_eq!(
+            a.lattice.edges().collect::<Vec<_>>(),
+            b.lattice.edges().collect::<Vec<_>>(),
+            "{label}: Hasse edges"
+        );
+        assert_eq!(a.dg.rules(), b.dg.rules(), "{label}: DG");
+        assert_eq!(a.lux_full.rules(), b.lux_full.rules(), "{label}: Lux full");
+        assert_eq!(
+            a.lux_reduced.rules(),
+            b.lux_reduced.rules(),
+            "{label}: Lux reduced"
+        );
+        assert_eq!(a.min_count, b.min_count, "{label}: min_count");
+    }
+
+    #[test]
+    fn one_batch_is_the_fused_pipeline() {
+        // The degenerate streaming run — everything in one batch from an
+        // empty start — is the batch pipeline.
+        let miner = RuleMiner::new(MinSupport::Fraction(0.4)).min_confidence(0.5);
+        let fused = miner
+            .clone()
+            .pipeline(PipelineKind::Fused)
+            .mine(paper_example());
+        let mut stream = miner.streaming(TransactionDb::from_rows(vec![]));
+        let delta = stream.push_batch(paper_rows()).unwrap();
+        assert_eq!(delta.n_objects, 5);
+        assert_eq!(delta.appended, 5);
+        assert_same_bases(stream.bases(), &fused, "one batch");
+        // And seeding the session with the full db gives the same state.
+        let seeded = miner.streaming(paper_example());
+        assert_same_bases(seeded.bases(), &fused, "seeded");
+    }
+
+    #[test]
+    fn per_batch_states_match_fused_on_every_prefix() {
+        let miner = RuleMiner::new(MinSupport::Fraction(0.4)).min_confidence(0.6);
+        let rows = paper_rows();
+        let mut stream = miner.streaming(TransactionDb::from_rows(vec![]));
+        for end in 1..=rows.len() {
+            stream.push_batch(vec![rows[end - 1].clone()]).unwrap();
+            let oracle = miner
+                .clone()
+                .pipeline(PipelineKind::Fused)
+                .mine(TransactionDb::from_rows(rows[..end].to_vec()));
+            assert_same_bases(stream.bases(), &oracle, &format!("prefix {end}"));
+            assert_eq!(stream.epoch(), end as u64);
+        }
+    }
+
+    #[test]
+    fn fractional_threshold_rescales_and_reports_removals() {
+        // At minsup 0.4, BCE (supp 3 of 5) is frequent; flooding the
+        // stream with unrelated rows raises the absolute threshold and
+        // BCE must drop out of the iceberg view — reported as removed.
+        let miner = RuleMiner::new(MinSupport::Fraction(0.4)).min_confidence(0.5);
+        let mut stream = miner.streaming(paper_example());
+        let bce = Itemset::from_ids([2, 3, 5]);
+        assert!(stream.bases().closed.contains(&bce));
+        let delta = stream
+            .push_batch((0..5).map(|_| vec![1, 3]).collect())
+            .unwrap();
+        assert_eq!(delta.min_count, 4); // 0.4 × 10 rows
+        assert!(delta.closed_removed.contains(&bce));
+        assert!(!stream.bases().closed.contains(&bce));
+        // The whole state still equals the one-shot oracle on the grown
+        // context.
+        let mut rows = paper_rows();
+        rows.extend((0..5).map(|_| vec![1, 3]));
+        let oracle = miner
+            .pipeline(PipelineKind::Fused)
+            .mine(TransactionDb::from_rows(rows));
+        assert_same_bases(stream.bases(), &oracle, "after flood");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut stream = RuleMiner::new(MinSupport::Count(2)).streaming(paper_example());
+        let delta = stream.push_batch(vec![]).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.appended, 0);
+        assert_eq!(delta.n_objects, 5);
+        // No epoch burned, no layer touched.
+        assert_eq!(stream.epoch(), 0);
+        assert_eq!(stream.context().epoch(), 0);
+        // A real batch still flows normally afterwards.
+        stream.push_batch(vec![vec![1, 3]]).unwrap();
+        assert_eq!(stream.epoch(), 1);
+    }
+
+    #[test]
+    fn dictionary_pinned_universe_rejects_batch_atomically() {
+        let mut stream = RuleMiner::new(MinSupport::Count(2)).streaming(paper_example());
+        let before = stream.n_objects();
+        let err = stream
+            .push_batch(vec![vec![1], vec![99]])
+            .expect_err("id 99 outside the 6-label dictionary");
+        assert!(matches!(
+            err,
+            StreamError::Dataset(DatasetError::UniversePinned { item: 99, .. })
+        ));
+        // Nothing moved: rows, epoch, engine, bases.
+        assert_eq!(stream.n_objects(), before);
+        assert_eq!(stream.epoch(), 0);
+        assert_eq!(stream.context().epoch(), 0);
+        // The session still works afterwards.
+        stream.push_batch(vec![vec![1, 3]]).unwrap();
+        assert_eq!(stream.n_objects(), 6);
+    }
+
+    #[test]
+    fn cloned_context_blocks_the_next_push() {
+        let mut stream = RuleMiner::new(MinSupport::Count(2)).streaming(paper_example());
+        let clone = stream.context().clone();
+        let err = stream.push_batch(vec![vec![1]]).expect_err("engine shared");
+        assert!(matches!(err, StreamError::Delta(DeltaError::SharedEngine)));
+        drop(clone);
+        stream.push_batch(vec![vec![1]]).unwrap();
+        assert_eq!(stream.n_objects(), 6);
+    }
+
+    #[test]
+    fn delta_reports_rule_movement() {
+        // Start with rows where A→C is exact, then break the implication:
+        // the DG basis must move and the delta must say so.
+        let miner = RuleMiner::new(MinSupport::Count(1)).min_confidence(0.5);
+        let mut stream = miner.streaming(TransactionDb::from_rows(vec![
+            vec![1, 3],
+            vec![1, 3],
+            vec![3],
+            vec![2],
+        ]));
+        assert!(stream
+            .bases()
+            .dg
+            .rules()
+            .iter()
+            .any(|r| r.antecedent == Itemset::from_ids([1])));
+        let delta = stream.push_batch(vec![vec![1]]).unwrap();
+        assert!(!delta.is_empty());
+        // {1} is now closed: it entered the iceberg.
+        assert!(delta.closed_added.contains(&Itemset::from_ids([1])));
+        // The A→AC implication left the DG basis.
+        assert!(delta
+            .dg
+            .removed
+            .iter()
+            .any(|r| r.antecedent == Itemset::from_ids([1])));
+    }
+}

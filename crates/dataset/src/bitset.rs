@@ -65,6 +65,25 @@ impl BitSet {
         self.nbits
     }
 
+    /// Grows the capacity to `nbits`, keeping every set bit. New bits are
+    /// clear — this is how a vertical cover is extended when transactions
+    /// are appended to the database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits` is smaller than the current capacity.
+    pub fn grow(&mut self, nbits: usize) {
+        assert!(
+            nbits >= self.nbits,
+            "cannot shrink a bitset from {} to {nbits} bits",
+            self.nbits
+        );
+        // Bits past the old capacity in the last word are zero by the
+        // trim_tail invariant, so widening is just appending zero words.
+        self.words.resize(nbits.div_ceil(WORD_BITS), 0);
+        self.nbits = nbits;
+    }
+
     /// Sets bit `i`. Returns `true` if it was newly set.
     ///
     /// # Panics

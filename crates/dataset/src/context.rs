@@ -19,7 +19,9 @@
 //! closures are answered from the cache.
 
 use crate::bitset::BitSet;
-use crate::engine::{CacheStats, CachedEngine, EngineKind, SupportEngine};
+use crate::engine::{
+    CacheStats, CachedEngine, DeltaError, DeltaSupportEngine, EngineKind, SupportEngine, TxDelta,
+};
 use crate::itemset::Itemset;
 use crate::pool::Parallelism;
 use crate::support::{MinSupport, Support};
@@ -121,6 +123,35 @@ impl MiningContext {
     /// The active backend's name (`"dense"`, `"tid-list"`, `"diffset"`).
     pub fn engine_name(&self) -> &'static str {
         self.engine.name()
+    }
+
+    /// The concrete [`EngineKind`] the backend resolved to at
+    /// construction (never `Auto` — the density choice is made once when
+    /// the engine is built).
+    pub fn resolved_kind(&self) -> EngineKind {
+        self.engine.resolved_kind()
+    }
+
+    /// The append epoch of the data the engine reflects (see
+    /// [`TransactionDb::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
+    /// Absorbs one append batch: the engine catches up incrementally
+    /// (covers extend, the closure cache drops only the entries the
+    /// delta can change) and the context's horizontal view switches to
+    /// the grown snapshot.
+    ///
+    /// Fails with [`DeltaError::SharedEngine`] when the context has live
+    /// clones (clones share the engine, which must be unique to mutate in
+    /// place) — the streaming paths own their context exactly.
+    pub fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
+        Arc::get_mut(&mut self.engine)
+            .ok_or(DeltaError::SharedEngine)?
+            .apply_delta(delta)?;
+        self.horizontal = Arc::clone(delta.db_arc());
+        Ok(())
     }
 
     /// Closure-cache counters (hits, misses, evictions) of the context's

@@ -1,6 +1,7 @@
 //! The memoizing closure cache.
 
-use super::SupportEngine;
+use super::delta::{DeltaError, DeltaSupportEngine, TxDelta};
+use super::{EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
@@ -140,6 +141,28 @@ impl CachedEngine {
             .clear();
     }
 
+    /// Drops exactly the cached closures an append batch can change, and
+    /// returns how many were dropped. An entry `X ↦ (h(X), supp X)` stays
+    /// valid across an append unless the extent of `X` intersects the
+    /// delta — i.e. some appended row contains `X` (then the support
+    /// grows and the closure may shrink). One special case rides along:
+    /// when the batch grew the item universe, entries for unsupported
+    /// itemsets (`supp = 0`, closure = the old, smaller universe) are
+    /// dropped too.
+    fn invalidate_delta(&self, delta: &TxDelta) -> usize {
+        let db = delta.db();
+        let grew = delta.grew_universe();
+        let mut cache = self.closures.lock().expect("closure cache poisoned");
+        let before = cache.len();
+        cache.retain(|key, (_, support)| {
+            if grew && *support == 0 {
+                return false;
+            }
+            !(delta.start()..delta.end()).any(|t| db.transaction_contains(t, key))
+        });
+        before - cache.len()
+    }
+
     fn cached_closure(&self, itemset: &Itemset) -> (Itemset, Support) {
         {
             let cache = self.closures.lock().expect("closure cache poisoned");
@@ -160,9 +183,40 @@ impl CachedEngine {
     }
 }
 
+impl DeltaSupportEngine for CachedEngine {
+    /// Applies the delta to the wrapped backend, then performs the
+    /// epoch-keyed invalidation: only the closure classes whose extents
+    /// intersect the delta are dropped (an entry stays valid unless some
+    /// appended row contains its key, plus the unsupported-closure
+    /// entries when the universe grew); everything else keeps serving
+    /// hits across the append.
+    fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
+        let name = self.inner.name();
+        let inner = Arc::get_mut(&mut self.inner).ok_or(DeltaError::SharedEngine)?;
+        inner
+            .as_delta_mut()
+            .ok_or(DeltaError::NotDeltaAware(name))?
+            .apply_delta(delta)?;
+        self.invalidate_delta(delta);
+        Ok(())
+    }
+}
+
 impl SupportEngine for CachedEngine {
     fn name(&self) -> &'static str {
         self.inner.name()
+    }
+
+    fn resolved_kind(&self) -> EngineKind {
+        self.inner.resolved_kind()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn as_delta_mut(&mut self) -> Option<&mut dyn DeltaSupportEngine> {
+        Some(self)
     }
 
     fn is_sharded(&self) -> bool {
@@ -386,6 +440,56 @@ mod tests {
         // The layers never blur into one conflated count: two closure
         // queries stay two outer lookups, not 2 + 3.
         assert_eq!(outer.lookups(), 2);
+    }
+
+    #[test]
+    fn apply_delta_invalidates_only_intersecting_closure_classes() {
+        use super::super::delta::TxDelta;
+        let mut db = paper_example();
+        let shared = Arc::new(db.clone());
+        let mut engine = CachedEngine::new(EngineKind::Dense.build(&shared));
+
+        let b = Itemset::from_ids([2]); // will be contained in the new row
+        let d = Itemset::from_ids([4]); // untouched by the new row
+        assert_eq!(engine.closure(&b), Itemset::from_ids([2, 5]));
+        assert_eq!(engine.closure(&d), Itemset::from_ids([1, 3, 4]));
+        assert_eq!(engine.cache_stats().misses, 2);
+
+        // Append the row {B, C}: it contains B but not D, so only B's
+        // closure class intersects the delta.
+        let info = db.append_rows(vec![vec![2, 3]]).unwrap();
+        let delta = TxDelta::new(Arc::new(db.clone()), info);
+        engine.apply_delta(&delta).unwrap();
+        assert_eq!(engine.epoch(), 1);
+
+        // D's class survived the append: answered from cache.
+        assert_eq!(engine.closure(&d), Itemset::from_ids([1, 3, 4]));
+        assert_eq!(engine.cache_stats().hits, 1);
+        // B's class was invalidated and recomputed: supp grew 4 → 5 and
+        // the closure shrank BE → B (the new row has B without E).
+        let (closure, support) = engine.closure_and_support(&b);
+        assert_eq!(closure, Itemset::from_ids([2]));
+        assert_eq!(support, 5);
+        assert_eq!(engine.cache_stats().misses, 3);
+    }
+
+    #[test]
+    fn universe_growth_drops_unsupported_closure_entries() {
+        use super::super::delta::TxDelta;
+        let mut db = TransactionDb::from_rows(vec![vec![0, 1], vec![1, 2]]);
+        let shared = Arc::new(db.clone());
+        let mut engine = CachedEngine::new(EngineKind::Dense.build(&shared));
+        // Unsupported itemsets close to the universe — which is about to
+        // grow, so the cached answer must not survive.
+        let probe = Itemset::from_ids([0, 2]);
+        assert_eq!(engine.closure(&probe), Itemset::universe(3));
+
+        let info = db.append_rows(vec![vec![7]]).unwrap();
+        let delta = TxDelta::new(Arc::new(db.clone()), info);
+        engine.apply_delta(&delta).unwrap();
+        assert_eq!(engine.closure(&probe), Itemset::universe(8));
+        assert_eq!(engine.cache_stats().hits, 0);
+        assert_eq!(engine.cache_stats().misses, 2);
     }
 
     #[test]

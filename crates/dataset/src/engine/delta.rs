@@ -1,0 +1,236 @@
+//! Append-batch deltas and the delta-aware engine surface.
+//!
+//! A streaming context grows by whole batches:
+//! [`TransactionDb::append_rows`] extends the CSR in place and stamps a
+//! monotone epoch, and a [`TxDelta`] packages one such append — the grown
+//! database snapshot plus the appended row range — so every derived
+//! structure can catch up *incrementally* instead of being rebuilt.
+//! [`DeltaSupportEngine`] is the surface the backends implement:
+//!
+//! * **dense** extends every bitset cover by the appended rows
+//!   ([`BitSet::grow`] + delta bit inserts);
+//! * **tid-list** appends the new transaction ids to the affected sorted
+//!   lists (the ids are larger than everything present, so the append
+//!   keeps the lists sorted);
+//! * **diffset** appends the *missing* ids per item, seeding items the
+//!   batch introduced with the full pre-append id range (a brand-new item
+//!   was absent from every old row);
+//! * **sharded** routes the delta to its tail shard, re-resolves that
+//!   shard's backend when the batch flips it across a density threshold,
+//!   and spills into a fresh shard once the tail outgrows its 64-row
+//!   budget (the spill boundary stays 64-aligned, so whole-word tidset
+//!   stitching keeps working);
+//! * **cached** invalidates exactly the closure classes whose extents
+//!   intersect the delta — an entry `X ↦ (h(X), supp X)` stays correct
+//!   unless some appended row contains `X` — and passes the delta to the
+//!   backend beneath.
+//!
+//! Deltas must be applied in epoch order: every engine remembers the
+//! epoch of the data it reflects and rejects out-of-order deltas with
+//! [`DeltaError::EpochMismatch`].
+//!
+//! [`TransactionDb::append_rows`]: crate::TransactionDb::append_rows
+//! [`BitSet::grow`]: crate::BitSet::grow
+
+use super::SupportEngine;
+use crate::transaction::{AppendInfo, TransactionDb};
+use std::fmt;
+use std::sync::Arc;
+
+/// One append batch, as seen by a delta-aware engine: a snapshot of the
+/// *grown* database plus the half-open appended row range
+/// `start()..end()`.
+///
+/// The snapshot is shared (`Arc`), so building a delta never copies row
+/// data; engines that keep a horizontal view swap their snapshot for this
+/// one while extending their vertical structures from the appended rows
+/// only.
+#[derive(Clone, Debug)]
+pub struct TxDelta {
+    db: Arc<TransactionDb>,
+    info: AppendInfo,
+}
+
+impl TxDelta {
+    /// Packages an append described by `info` against the grown snapshot
+    /// `db`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `info.start` exceeds the snapshot's row count (the
+    /// appended range must exist in the snapshot).
+    pub fn new(db: Arc<TransactionDb>, info: AppendInfo) -> Self {
+        assert!(
+            info.start <= db.n_transactions(),
+            "append start {} beyond the {}-row snapshot",
+            info.start,
+            db.n_transactions()
+        );
+        TxDelta { db, info }
+    }
+
+    /// The grown database snapshot.
+    #[inline]
+    pub fn db(&self) -> &TransactionDb {
+        &self.db
+    }
+
+    /// The grown database snapshot, shared.
+    #[inline]
+    pub fn db_arc(&self) -> &Arc<TransactionDb> {
+        &self.db
+    }
+
+    /// First appended row (= the row count before the append).
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.info.start
+    }
+
+    /// One past the last appended row (= the grown row count).
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.db.n_transactions()
+    }
+
+    /// Number of appended rows.
+    #[inline]
+    pub fn n_appended(&self) -> usize {
+        self.end() - self.start()
+    }
+
+    /// The epoch the receiving engine must be at (the epoch before the
+    /// append).
+    #[inline]
+    pub fn base_epoch(&self) -> u64 {
+        self.info.base_epoch
+    }
+
+    /// The epoch after the append.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.info.epoch
+    }
+
+    /// Universe size before the append.
+    #[inline]
+    pub fn prior_items(&self) -> usize {
+        self.info.prior_items
+    }
+
+    /// Whether the append introduced item ids beyond the old universe.
+    #[inline]
+    pub fn grew_universe(&self) -> bool {
+        self.db.n_items() > self.info.prior_items
+    }
+}
+
+/// Why a delta could not be applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The engine (or a layer beneath it) is aliased by another `Arc`
+    /// handle, so it cannot be mutated in place. Drop the other handles —
+    /// typically a cloned [`MiningContext`](crate::MiningContext) — and
+    /// retry.
+    SharedEngine,
+    /// A layer of the engine stack does not implement
+    /// [`DeltaSupportEngine`]; the payload names the backend.
+    NotDeltaAware(&'static str),
+    /// The delta does not continue the engine's epoch: deltas must be
+    /// applied contiguously, in append order.
+    EpochMismatch {
+        /// The epoch the engine is at.
+        engine: u64,
+        /// The epoch the delta starts from.
+        delta: u64,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::SharedEngine => {
+                write!(
+                    f,
+                    "engine is shared (aliased Arc); cannot apply delta in place"
+                )
+            }
+            DeltaError::NotDeltaAware(name) => {
+                write!(f, "backend {name:?} does not support delta application")
+            }
+            DeltaError::EpochMismatch { engine, delta } => write!(
+                f,
+                "delta starts at epoch {delta} but the engine is at epoch {engine}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// A [`SupportEngine`] that can absorb an append batch in place.
+///
+/// After a successful [`DeltaSupportEngine::apply_delta`], every query
+/// answers exactly as a fresh engine built from the grown snapshot would
+/// (cross-checked by the dataset proptests) and
+/// [`SupportEngine::epoch`] reports the delta's epoch.
+pub trait DeltaSupportEngine: SupportEngine {
+    /// Absorbs one append batch. On error the engine is unchanged.
+    fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError>;
+}
+
+/// The epoch guard every backend runs first: a delta must start exactly
+/// where the engine is.
+pub(crate) fn check_epoch(engine: u64, delta: &TxDelta) -> Result<(), DeltaError> {
+    if delta.base_epoch() != engine {
+        return Err(DeltaError::EpochMismatch {
+            engine,
+            delta: delta.base_epoch(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_describes_the_append() {
+        let mut db = TransactionDb::from_rows(vec![vec![1, 2], vec![0]]);
+        let info = db.append_rows(vec![vec![5], vec![1]]).unwrap();
+        let delta = TxDelta::new(Arc::new(db), info);
+        assert_eq!((delta.start(), delta.end()), (2, 4));
+        assert_eq!(delta.n_appended(), 2);
+        assert_eq!((delta.base_epoch(), delta.epoch()), (0, 1));
+        assert_eq!(delta.prior_items(), 3);
+        assert!(delta.grew_universe());
+    }
+
+    #[test]
+    fn epoch_guard_rejects_gaps() {
+        let mut db = TransactionDb::from_rows(vec![vec![1]]);
+        let info = db.append_rows(vec![vec![1]]).unwrap();
+        let delta = TxDelta::new(Arc::new(db), info);
+        assert_eq!(check_epoch(0, &delta), Ok(()));
+        assert_eq!(
+            check_epoch(1, &delta),
+            Err(DeltaError::EpochMismatch {
+                engine: 1,
+                delta: 0
+            })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(DeltaError::SharedEngine.to_string().contains("shared"));
+        assert!(DeltaError::NotDeltaAware("x").to_string().contains("x"));
+        assert!(DeltaError::EpochMismatch {
+            engine: 2,
+            delta: 0
+        }
+        .to_string()
+        .contains("epoch"));
+    }
+}

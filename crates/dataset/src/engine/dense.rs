@@ -1,6 +1,7 @@
 //! The dense bitset backend.
 
-use super::{intent_of, SupportEngine};
+use super::delta::{check_epoch, DeltaError, DeltaSupportEngine, TxDelta};
+use super::{intent_of, EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
@@ -15,10 +16,15 @@ use std::sync::Arc;
 /// Support counting is word-wise `AND` + popcount; closure goes through
 /// merge-intersection of the extent's transactions. The robust default
 /// for everything that is not extremely sparse or near-saturated.
+///
+/// Append batches extend the covers in place: each bitset widens by the
+/// appended rows and only the delta's bits are inserted (see
+/// [`VerticalDb::extend_from`]).
 #[derive(Clone, Debug)]
 pub struct DenseEngine {
     vertical: VerticalDb,
     horizontal: Arc<TransactionDb>,
+    epoch: u64,
 }
 
 impl DenseEngine {
@@ -27,6 +33,7 @@ impl DenseEngine {
         DenseEngine {
             vertical: VerticalDb::from_horizontal(db),
             horizontal: Arc::clone(db),
+            epoch: db.epoch(),
         }
     }
 
@@ -36,9 +43,31 @@ impl DenseEngine {
     }
 }
 
+impl DeltaSupportEngine for DenseEngine {
+    fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
+        check_epoch(self.epoch, delta)?;
+        self.vertical.extend_from(delta.db(), delta.start());
+        self.horizontal = Arc::clone(delta.db_arc());
+        self.epoch = delta.epoch();
+        Ok(())
+    }
+}
+
 impl SupportEngine for DenseEngine {
     fn name(&self) -> &'static str {
         "dense"
+    }
+
+    fn resolved_kind(&self) -> EngineKind {
+        EngineKind::Dense
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn as_delta_mut(&mut self) -> Option<&mut dyn DeltaSupportEngine> {
+        Some(self)
     }
 
     fn n_objects(&self) -> usize {

@@ -1,6 +1,7 @@
 //! The diffset backend (dEclat-style complements).
 
-use super::{intent_of, SupportEngine};
+use super::delta::{check_epoch, DeltaError, DeltaSupportEngine, TxDelta};
+use super::{intent_of, EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
@@ -17,12 +18,18 @@ use std::sync::Arc;
 /// `supp(X) = |O| − |⋃ d(i)|`. On near-saturated relations covers are
 /// almost all of `O` and complements are tiny, so the union touches far
 /// fewer entries than any cover intersection would.
+///
+/// Append batches tail-append the missing ids per item; an item the
+/// batch introduces starts with the full pre-append id range (it was
+/// absent from every old row), which makes universe growth the one
+/// `O(|O|)` case of the otherwise delta-sized update.
 #[derive(Clone, Debug)]
 pub struct DiffsetEngine {
     /// `diffs[i]` = sorted tids missing item `i`.
     diffs: Vec<Vec<u32>>,
     n_objects: usize,
     horizontal: Arc<TransactionDb>,
+    epoch: u64,
 }
 
 impl DiffsetEngine {
@@ -46,6 +53,7 @@ impl DiffsetEngine {
             diffs,
             n_objects,
             horizontal: Arc::clone(db),
+            epoch: db.epoch(),
         }
     }
 
@@ -57,9 +65,49 @@ impl DiffsetEngine {
     }
 }
 
+impl DeltaSupportEngine for DiffsetEngine {
+    fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
+        check_epoch(self.epoch, delta)?;
+        let db = delta.db();
+        let start = delta.start();
+        // Items the batch introduced were in none of the old rows: their
+        // diffsets begin as the whole pre-append id range.
+        self.diffs
+            .resize_with(db.n_items(), || (0..start as u32).collect());
+        let mut present = vec![false; db.n_items()];
+        for t in start..delta.end() {
+            for &item in db.transaction(t) {
+                present[item.index()] = true;
+            }
+            for (i, flag) in present.iter_mut().enumerate() {
+                if !*flag {
+                    self.diffs[i].push(t as u32);
+                }
+                *flag = false;
+            }
+        }
+        self.n_objects = db.n_transactions();
+        self.horizontal = Arc::clone(delta.db_arc());
+        self.epoch = delta.epoch();
+        Ok(())
+    }
+}
+
 impl SupportEngine for DiffsetEngine {
     fn name(&self) -> &'static str {
         "diffset"
+    }
+
+    fn resolved_kind(&self) -> EngineKind {
+        EngineKind::Diffset
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn as_delta_mut(&mut self) -> Option<&mut dyn DeltaSupportEngine> {
+        Some(self)
     }
 
     fn n_objects(&self) -> usize {

@@ -47,6 +47,19 @@
 //! promotes itself to a sharded engine above a row-count threshold when
 //! more than one thread is available.
 //!
+//! # Streaming
+//!
+//! Every backend is *delta-aware*: when transactions are appended to the
+//! database ([`TransactionDb::append_rows`]), a [`TxDelta`] describes the
+//! batch and [`DeltaSupportEngine::apply_delta`] absorbs it in place —
+//! dense covers extend, tid-lists tail-append, diffsets record the new
+//! missing ids, the sharded engine routes the delta to its tail shard
+//! (spilling into a new shard past the 64-row budget), and the closure
+//! cache invalidates only the entries the delta can change. See the
+//! [`delta`] module.
+//!
+//! [`TransactionDb::append_rows`]: crate::TransactionDb::append_rows
+//!
 //! # Selection and caching
 //!
 //! [`EngineKind::Auto`] picks a backend from [`DatasetStats`]-style
@@ -61,15 +74,17 @@
 //! [`DatasetStats`]: crate::DatasetStats
 
 mod cache;
+pub mod delta;
 mod dense;
 mod diffset;
 mod sharded;
 mod tidlist;
 
 pub use cache::{CacheStats, CachedEngine};
+pub use delta::{DeltaError, DeltaSupportEngine, TxDelta};
 pub use dense::DenseEngine;
 pub use diffset::DiffsetEngine;
-pub use sharded::ShardedEngine;
+pub use sharded::{ShardedEngine, SHARD_SPILL_BUDGET};
 pub use tidlist::{intersect, intersect_count, TidList, TidListEngine};
 
 use crate::bitset::BitSet;
@@ -96,6 +111,29 @@ use std::sync::Arc;
 pub trait SupportEngine: fmt::Debug + Send + Sync {
     /// Stable backend identifier for reports and benchmarks.
     fn name(&self) -> &'static str;
+
+    /// The concrete [`EngineKind`] this engine resolved to at
+    /// construction — never `Auto`. `Auto` picks a backend exactly once,
+    /// when the engine is built; streaming appends do not re-resolve a
+    /// flat engine (only the sharded backend re-evaluates its *tail
+    /// shard* on [`DeltaSupportEngine::apply_delta`], where a batch can
+    /// flip one shard across a density threshold). Wrappers delegate.
+    fn resolved_kind(&self) -> EngineKind;
+
+    /// The append epoch of the data this engine reflects (see
+    /// [`TransactionDb::epoch`](crate::TransactionDb::epoch)). Engines
+    /// built before any append report 0; a successful
+    /// [`DeltaSupportEngine::apply_delta`] advances it.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// This engine as a [`DeltaSupportEngine`], when the backend supports
+    /// in-place append batches. The default (`None`) marks a backend that
+    /// must be rebuilt instead.
+    fn as_delta_mut(&mut self) -> Option<&mut dyn DeltaSupportEngine> {
+        None
+    }
 
     /// Whether the engine already parallelizes internally (the sharded
     /// backend). Callers that would otherwise fan candidate chunks over
@@ -284,10 +322,21 @@ impl EngineKind {
     /// the robust middle — for everything else. This is also how a
     /// [`ShardedEngine`] resolves its inner kind per shard.
     pub fn select_flat(&self, db: &TransactionDb) -> EngineKind {
+        self.select_by_density(db.density(), db.n_transactions())
+    }
+
+    /// The density rule behind [`EngineKind::select_flat`], on raw
+    /// measurements — the form the sharded engine uses to re-resolve its
+    /// tail shard after an append without materializing the slice
+    /// (density from [`TransactionDb::rows_density`]). Thresholds:
+    /// tid-lists strictly below density 0.02 (with at least 1024 rows),
+    /// diffsets strictly above 0.60, dense bitsets between.
+    ///
+    /// [`TransactionDb::rows_density`]: crate::TransactionDb::rows_density
+    pub fn select_by_density(&self, density: f64, n_rows: usize) -> EngineKind {
         match self {
             EngineKind::Auto => {
-                let density = db.density();
-                if density < 0.02 && db.n_transactions() >= 1024 {
+                if density < 0.02 && n_rows >= 1024 {
                     EngineKind::TidList
                 } else if density > 0.60 {
                     EngineKind::Diffset

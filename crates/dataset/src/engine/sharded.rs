@@ -41,14 +41,22 @@
 //! [`closure_of_tidset`]: SupportEngine::closure_of_tidset
 //! [`TransactionDb::partition`]: crate::TransactionDb::partition
 
+use super::delta::{check_epoch, DeltaError, DeltaSupportEngine, TxDelta};
 use super::{CacheStats, CachedEngine, EngineKind, SupportEngine, AUTO_SHARD_MIN_ROWS};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
 use crate::pool::{self, Parallelism};
 use crate::support::Support;
-use crate::transaction::TransactionDb;
+use crate::transaction::{AppendInfo, TransactionDb};
 use std::sync::Arc;
+
+/// How many rows the tail shard may hold before an append spills it: the
+/// rows past the largest 64-aligned boundary stay the (new) tail and the
+/// sealed prefix becomes a regular shard. 64 rows is one tidset word —
+/// the same alignment quantum [`TransactionDb::partition`] promises, so
+/// every spill boundary keeps whole-word stitching valid.
+pub const SHARD_SPILL_BUDGET: usize = 64;
 
 /// A [`SupportEngine`] over `K` row shards, each served by its own inner
 /// backend, with queries fanned across shards and stitched back together
@@ -66,6 +74,15 @@ pub struct ShardedEngine {
     /// `Parallelism::Auto`'s thread count, resolved once at construction
     /// (env + machine lookups have no business on the per-query path).
     auto_threads: usize,
+    /// The configured inner kind — kept so an append can re-resolve the
+    /// tail shard's backend (`Auto` picks per density) and build spilled
+    /// shards consistently.
+    inner_kind: EngineKind,
+    /// Whether shard backends are wrapped in per-shard caches
+    /// ([`ShardedEngine::with_shard_caches`]); rebuilt shards follow suit.
+    cached: bool,
+    /// Append epoch of the data the shards reflect.
+    epoch: u64,
 }
 
 impl ShardedEngine {
@@ -97,13 +114,7 @@ impl ShardedEngine {
         let mut shards: Vec<Arc<dyn SupportEngine>> = Vec::with_capacity(n_shards);
         for part in db.partition(n_shards) {
             offsets.push(offsets.last().unwrap() + part.n_transactions());
-            let part = Arc::new(part);
-            let backend = inner.select_flat(&part).build(&part);
-            shards.push(if cached {
-                Arc::new(CachedEngine::new(backend))
-            } else {
-                backend
-            });
+            shards.push(shard_backend(Arc::new(part), inner, cached));
         }
         ShardedEngine {
             shards,
@@ -112,6 +123,9 @@ impl ShardedEngine {
             n_items: db.n_items(),
             parallelism: Parallelism::default(),
             auto_threads: Parallelism::Auto.threads(),
+            inner_kind: inner.clone(),
+            cached,
+            epoch: db.epoch(),
         }
     }
 
@@ -183,6 +197,42 @@ impl ShardedEngine {
         global
     }
 
+    /// Applies a shard-local slice of `delta` to shard `s`: rows
+    /// `offsets[s]..hi_new` of the grown snapshot become the shard's new
+    /// view (for non-tail shards `hi_new` is the old boundary — only the
+    /// universe can have changed; for the tail it is the grown row
+    /// count). The local delta's epochs are synthesized from the shard's
+    /// own epoch, so nested sharded inners keep their bookkeeping.
+    fn apply_local(&mut self, s: usize, delta: &TxDelta, hi_new: usize) -> Result<(), DeltaError> {
+        let lo = self.offsets[s];
+        let hi_old = self.offsets[s + 1];
+        let local_db = Arc::new(delta.db().slice_rows(lo, hi_new));
+        let info = AppendInfo {
+            start: hi_old - lo,
+            base_epoch: self.shards[s].epoch(),
+            epoch: delta.epoch(),
+            prior_items: delta.prior_items(),
+        };
+        let local = TxDelta::new(local_db, info);
+        let name = self.shards[s].name();
+        let engine = Arc::get_mut(&mut self.shards[s]).ok_or(DeltaError::SharedEngine)?;
+        engine
+            .as_delta_mut()
+            .ok_or(DeltaError::NotDeltaAware(name))?
+            .apply_delta(&local)
+    }
+
+    /// Rebuilds shard `s` as rows `lo..hi` of `db` with a backend
+    /// re-resolved by the slice's own density — how a spilled or
+    /// density-flipped tail gets its representation.
+    fn rebuild_shard(&self, db: &TransactionDb, lo: usize, hi: usize) -> Arc<dyn SupportEngine> {
+        shard_backend(
+            Arc::new(db.slice_rows(lo, hi)),
+            &self.inner_kind,
+            self.cached,
+        )
+    }
+
     /// Intersects per-shard intents into the global intent; an empty
     /// shard list (impossible by construction, but cheap to honour)
     /// yields the universe, the intent over no objects.
@@ -201,9 +251,108 @@ impl ShardedEngine {
     }
 }
 
+/// Builds one shard's backend: the inner kind resolved against the
+/// slice's own density, optionally wrapped in a per-shard cache.
+fn shard_backend(
+    part: Arc<TransactionDb>,
+    inner: &EngineKind,
+    cached: bool,
+) -> Arc<dyn SupportEngine> {
+    let backend = inner.select_flat(&part).build(&part);
+    if cached {
+        Arc::new(CachedEngine::new(backend))
+    } else {
+        backend
+    }
+}
+
+impl DeltaSupportEngine for ShardedEngine {
+    /// Routes the delta to the tail shard (every other shard's rows are
+    /// untouched by an append), then:
+    ///
+    /// * when the batch grew the item universe, the non-tail shards are
+    ///   refreshed with empty local deltas so their universes agree —
+    ///   without this, the intent of an empty extent would meet at the
+    ///   *old* universe;
+    /// * when the configured inner kind is `Auto` and the batch flipped
+    ///   the tail across a density threshold
+    ///   ([`EngineKind::select_by_density`]), the tail backend is rebuilt
+    ///   as the newly appropriate representation;
+    /// * when the tail would outgrow [`SHARD_SPILL_BUDGET`], it spills
+    ///   instead of delta-applying: the prefix up to the largest
+    ///   64-aligned boundary is sealed as a regular shard and the
+    ///   remainder (at most 64 rows) becomes the new tail, both built
+    ///   fresh from the grown snapshot with their density re-resolved.
+    ///   After any over-budget append the tail holds ≤ 64 rows, so every
+    ///   later delta is batch-sized; a session seeded with large shards
+    ///   pays one O(shard) seal on its first over-budget append,
+    ///   amortized across the stream.
+    fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
+        check_epoch(self.epoch, delta)?;
+        let n_new = delta.db().n_transactions();
+        let tail = self.shards.len() - 1;
+        if delta.grew_universe() {
+            for s in 0..tail {
+                let hi = self.offsets[s + 1];
+                self.apply_local(s, delta, hi)?;
+            }
+        }
+        let lo = self.offsets[tail];
+        let tail_len = n_new - lo;
+        if tail_len > SHARD_SPILL_BUDGET {
+            // Seal everything up to the largest interior 64-aligned
+            // boundary; the remainder (1..=64 rows) is the new tail. The
+            // budget is ≥ one alignment quantum, so the split is always
+            // interior — and rebuilding both sides directly from the
+            // snapshot beats delta-applying a tail that is about to be
+            // re-cut anyway.
+            let split = lo + (tail_len - 1) / 64 * 64;
+            let sealed = self.rebuild_shard(delta.db(), lo, split);
+            let new_tail = self.rebuild_shard(delta.db(), split, n_new);
+            self.shards[tail] = sealed;
+            self.shards.push(new_tail);
+            self.offsets.insert(self.offsets.len() - 1, split);
+        } else {
+            self.apply_local(tail, delta, n_new)?;
+            if matches!(self.inner_kind, EngineKind::Auto) {
+                // Re-evaluate the construction-time density choice for
+                // the tail only: an appended batch can flip one shard's
+                // regime.
+                let want = self
+                    .inner_kind
+                    .select_by_density(delta.db().rows_density(lo, n_new), tail_len);
+                if want != self.shards[tail].resolved_kind() {
+                    let flipped = self.rebuild_shard(delta.db(), lo, n_new);
+                    self.shards[tail] = flipped;
+                }
+            }
+        }
+        self.n_objects = n_new;
+        self.n_items = delta.db().n_items();
+        *self.offsets.last_mut().unwrap() = n_new;
+        self.epoch = delta.epoch();
+        Ok(())
+    }
+}
+
 impl SupportEngine for ShardedEngine {
     fn name(&self) -> &'static str {
         "sharded"
+    }
+
+    fn resolved_kind(&self) -> EngineKind {
+        EngineKind::Sharded {
+            shards: self.shards.len(),
+            inner: Box::new(self.inner_kind.clone()),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn as_delta_mut(&mut self) -> Option<&mut dyn DeltaSupportEngine> {
+        Some(self)
     }
 
     fn is_sharded(&self) -> bool {
@@ -444,6 +593,187 @@ mod tests {
         let engine = ShardedEngine::from_horizontal(&db, 2, &EngineKind::Dense);
         let _ = engine.closure(&set(&[1]));
         assert_eq!(engine.cache_stats(), CacheStats::default());
+    }
+
+    fn assert_engines_agree(sharded: &ShardedEngine, reference: &DenseEngine, label: &str) {
+        assert_eq!(sharded.n_objects(), reference.n_objects(), "{label}");
+        assert_eq!(sharded.n_items(), reference.n_items(), "{label}");
+        assert_eq!(
+            sharded.item_supports(),
+            reference.item_supports(),
+            "{label}"
+        );
+        for probe in probes() {
+            assert_eq!(
+                sharded.support(&probe),
+                reference.support(&probe),
+                "{label}: support {probe:?}"
+            );
+            assert_eq!(
+                sharded.tidset_of(&probe),
+                reference.tidset_of(&probe),
+                "{label}: tidset {probe:?}"
+            );
+            assert_eq!(
+                sharded.closure_and_support(&probe),
+                reference.closure_and_support(&probe),
+                "{label}: closure {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_routes_to_tail_and_answers_like_fresh() {
+        let mut db = TransactionDb::clone(&wide_db());
+        let shared = Arc::new(db.clone());
+        let mut engine = ShardedEngine::from_horizontal(&shared, 3, &EngineKind::Auto);
+        assert_eq!(engine.epoch(), 0);
+        // Three appends: a plain batch, a universe-growing batch, an
+        // empty batch. After each the engine answers like a fresh build.
+        let batches: Vec<Vec<Vec<u32>>> = vec![
+            (0..40u32).map(|t| vec![t % 7, 7 + t % 5]).collect(),
+            vec![vec![2, 13], vec![0, 1, 2]],
+            vec![],
+        ];
+        for (i, batch) in batches.into_iter().enumerate() {
+            let info = db.append_rows(batch).unwrap();
+            let grown = Arc::new(db.clone());
+            let delta = TxDelta::new(grown.clone(), info);
+            engine.apply_delta(&delta).unwrap();
+            assert_eq!(engine.epoch(), info.epoch);
+            let reference = DenseEngine::from_horizontal(&grown);
+            assert_engines_agree(&engine, &reference, &format!("batch {i}"));
+        }
+        // Out-of-order deltas are rejected.
+        let info = db.append_rows(vec![vec![1]]).unwrap();
+        let _skipped = TxDelta::new(Arc::new(db.clone()), info);
+        let info2 = db.append_rows(vec![vec![2]]).unwrap();
+        let stale = TxDelta::new(Arc::new(db.clone()), info2);
+        assert_eq!(
+            engine.apply_delta(&stale),
+            Err(DeltaError::EpochMismatch {
+                engine: 3,
+                delta: 4
+            })
+        );
+    }
+
+    #[test]
+    fn tail_spills_past_the_64_row_budget_on_aligned_boundaries() {
+        let mut db = TransactionDb::from_rows((0..64u32).map(|t| vec![t % 5]).collect());
+        let shared = Arc::new(db.clone());
+        let mut engine = ShardedEngine::from_horizontal(&shared, 1, &EngineKind::Auto);
+        assert_eq!(engine.n_shards(), 1);
+        // +60 rows: tail 124 > 64 → spill seals rows 0..64, tail = 60.
+        let info = db
+            .append_rows((0..60u32).map(|t| vec![t % 5, 5]).collect())
+            .unwrap();
+        let grown = Arc::new(db.clone());
+        engine
+            .apply_delta(&TxDelta::new(grown.clone(), info))
+            .unwrap();
+        assert_eq!(engine.n_shards(), 2);
+        // Interior boundaries stay 64-aligned.
+        for &offset in &engine.offsets[1..engine.offsets.len() - 1] {
+            assert_eq!(offset % 64, 0, "boundary {offset} unaligned");
+        }
+        assert_engines_agree(
+            &engine,
+            &DenseEngine::from_horizontal(&grown),
+            "after spill",
+        );
+        // A big batch seals one large aligned prefix in a single spill.
+        let info = db
+            .append_rows((0..200u32).map(|t| vec![t % 5]).collect())
+            .unwrap();
+        let grown = Arc::new(db.clone());
+        engine
+            .apply_delta(&TxDelta::new(grown.clone(), info))
+            .unwrap();
+        assert_eq!(engine.n_shards(), 3);
+        let tail_len = engine.offsets[3] - engine.offsets[2];
+        assert!(
+            tail_len <= SHARD_SPILL_BUDGET,
+            "tail {tail_len} over budget"
+        );
+        for &offset in &engine.offsets[1..engine.offsets.len() - 1] {
+            assert_eq!(offset % 64, 0, "boundary {offset} unaligned");
+        }
+        assert_engines_agree(
+            &engine,
+            &DenseEngine::from_horizontal(&grown),
+            "after second spill",
+        );
+    }
+
+    #[test]
+    fn tail_density_flip_is_reevaluated_at_the_exact_boundary() {
+        // Head: 64 mid-density rows. Tail: 32 rows at density exactly
+        // 0.60 over the 5-item universe — the Auto rule is *strictly*
+        // above 0.60, so the tail resolves dense.
+        let rows: Vec<Vec<u32>> = (0..96u32)
+            .map(|t| {
+                if t < 64 {
+                    vec![t % 5, (t + 2) % 5]
+                } else {
+                    vec![t % 5, (t + 1) % 5, (t + 2) % 5]
+                }
+            })
+            .collect();
+        let mut db = TransactionDb::from_rows(rows);
+        let shared = Arc::new(db.clone());
+        let mut engine = ShardedEngine::from_horizontal(&shared, 2, &EngineKind::Auto);
+        assert_eq!(engine.shard_names(), vec!["dense", "dense"]);
+
+        // Appending rows of exactly 3 items keeps the tail at density
+        // 0.60 — at the boundary, not across it: no flip.
+        let info = db
+            .append_rows(
+                (0..8u32)
+                    .map(|t| vec![t % 5, (t + 1) % 5, (t + 2) % 5])
+                    .collect(),
+            )
+            .unwrap();
+        engine
+            .apply_delta(&TxDelta::new(Arc::new(db.clone()), info))
+            .unwrap();
+        assert_eq!(engine.shard_names(), vec!["dense", "dense"], "at boundary");
+
+        // Appending full rows pushes the tail strictly past 0.60: the
+        // batch flips the shard and apply_delta re-resolves it.
+        let info = db
+            .append_rows((0..8u32).map(|_| vec![0, 1, 2, 3, 4]).collect())
+            .unwrap();
+        let grown = Arc::new(db.clone());
+        engine
+            .apply_delta(&TxDelta::new(grown.clone(), info))
+            .unwrap();
+        assert_eq!(
+            engine.shard_names(),
+            vec!["dense", "diffset"],
+            "past boundary"
+        );
+        assert_eq!(
+            engine.resolved_kind(),
+            EngineKind::Sharded {
+                shards: 2,
+                inner: Box::new(EngineKind::Auto),
+            }
+        );
+        // And still answers like a fresh dense build.
+        assert_engines_agree(&engine, &DenseEngine::from_horizontal(&grown), "after flip");
+
+        // An explicit (non-Auto) inner kind never flips.
+        let mut db2 = TransactionDb::from_rows((0..96u32).map(|t| vec![t % 5]).collect());
+        let mut pinned =
+            ShardedEngine::from_horizontal(&Arc::new(db2.clone()), 2, &EngineKind::TidList);
+        let info = db2
+            .append_rows((0..8u32).map(|_| vec![0, 1, 2, 3, 4]).collect())
+            .unwrap();
+        pinned
+            .apply_delta(&TxDelta::new(Arc::new(db2), info))
+            .unwrap();
+        assert_eq!(pinned.shard_names(), vec!["tid-list", "tid-list"]);
     }
 
     #[test]

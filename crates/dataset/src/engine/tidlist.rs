@@ -1,7 +1,8 @@
 //! The sparse tid-list backend (absorbs the former
 //! `rulebases_mining::tidlist::TidListDb`).
 
-use super::{intent_of, SupportEngine};
+use super::delta::{check_epoch, DeltaError, DeltaSupportEngine, TxDelta};
+use super::{intent_of, EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
@@ -54,11 +55,15 @@ pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
 /// Intersection cost scales with the cover sizes rather than with
 /// `|O|/64` words, so this backend wins when covers are tiny relative to
 /// the object count — very sparse basket data over many transactions.
+///
+/// Append batches are sorted tail appends: every new transaction id is
+/// larger than everything already listed, so extending a cover is a push.
 #[derive(Clone, Debug)]
 pub struct TidListEngine {
     covers: Vec<TidList>,
     n_objects: usize,
     horizontal: Arc<TransactionDb>,
+    epoch: u64,
 }
 
 impl TidListEngine {
@@ -75,6 +80,7 @@ impl TidListEngine {
             covers,
             n_objects: db.n_transactions(),
             horizontal: Arc::clone(db),
+            epoch: db.epoch(),
         }
     }
 
@@ -107,9 +113,40 @@ impl TidListEngine {
     }
 }
 
+impl DeltaSupportEngine for TidListEngine {
+    fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
+        check_epoch(self.epoch, delta)?;
+        let db = delta.db();
+        self.covers.resize_with(db.n_items(), Vec::new);
+        for t in delta.start()..delta.end() {
+            for &item in db.transaction(t) {
+                // t exceeds every listed id, so the push keeps the list
+                // sorted.
+                self.covers[item.index()].push(t as u32);
+            }
+        }
+        self.n_objects = db.n_transactions();
+        self.horizontal = Arc::clone(delta.db_arc());
+        self.epoch = delta.epoch();
+        Ok(())
+    }
+}
+
 impl SupportEngine for TidListEngine {
     fn name(&self) -> &'static str {
         "tid-list"
+    }
+
+    fn resolved_kind(&self) -> EngineKind {
+        EngineKind::TidList
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn as_delta_mut(&mut self) -> Option<&mut dyn DeltaSupportEngine> {
+        Some(self)
     }
 
     fn n_objects(&self) -> usize {

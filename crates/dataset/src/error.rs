@@ -14,6 +14,17 @@ pub enum DatasetError {
         /// What went wrong.
         message: String,
     },
+    /// An appended transaction carries an item id outside a universe that
+    /// a label dictionary has pinned (see
+    /// [`TransactionDb::append_rows`](crate::TransactionDb::append_rows)).
+    UniversePinned {
+        /// The offending item id.
+        item: u32,
+        /// The pinned universe size (the dictionary's label count).
+        universe: usize,
+        /// Index the offending row would have had.
+        row: usize,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -23,6 +34,17 @@ impl fmt::Display for DatasetError {
             DatasetError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            DatasetError::UniversePinned {
+                item,
+                universe,
+                row,
+            } => {
+                write!(
+                    f,
+                    "appended row {row} carries item {item} outside the \
+                     dictionary-pinned universe of {universe} items"
+                )
+            }
         }
     }
 }
@@ -31,7 +53,7 @@ impl std::error::Error for DatasetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DatasetError::Io(e) => Some(e),
-            DatasetError::Parse { .. } => None,
+            DatasetError::Parse { .. } | DatasetError::UniversePinned { .. } => None,
         }
     }
 }

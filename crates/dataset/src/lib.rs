@@ -62,14 +62,17 @@ pub mod vertical;
 
 pub use bitset::BitSet;
 pub use context::MiningContext;
-pub use engine::{CacheStats, CachedEngine, EngineKind, ShardedEngine, SupportEngine};
+pub use engine::{
+    CacheStats, CachedEngine, DeltaError, DeltaSupportEngine, EngineKind, ShardedEngine,
+    SupportEngine, TxDelta,
+};
 pub use error::DatasetError;
 pub use item::{Item, ItemDictionary};
 pub use itemset::Itemset;
 pub use pool::Parallelism;
 pub use stats::DatasetStats;
 pub use support::{MinSupport, Support};
-pub use transaction::{TransactionDb, TransactionDbBuilder};
+pub use transaction::{AppendInfo, TransactionDb, TransactionDbBuilder};
 pub use vertical::VerticalDb;
 
 /// The five-object running example used throughout the paper family

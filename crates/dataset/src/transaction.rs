@@ -6,15 +6,20 @@
 //! scanned by levelwise algorithms (Apriori, Close) and by the closure
 //! operator when it intersects transactions.
 
+use crate::error::DatasetError;
 use crate::item::{Item, ItemDictionary};
 use crate::itemset::Itemset;
 use crate::support::Support;
 use serde::{Deserialize, Serialize};
 
-/// An immutable horizontal transaction database (CSR layout).
+/// An append-only horizontal transaction database (CSR layout).
 ///
 /// Build one with [`TransactionDbBuilder`] or the `From` impls, which sort
-/// and deduplicate each transaction.
+/// and deduplicate each transaction. Existing rows are immutable, but the
+/// database can *grow*: [`TransactionDb::append_rows`] extends the CSR in
+/// place and stamps a monotone [`TransactionDb::epoch`], which the
+/// delta-aware engines use to keep derived structures in sync (see
+/// [`crate::engine::TxDelta`]).
 ///
 /// # Examples
 ///
@@ -41,6 +46,25 @@ pub struct TransactionDb {
     n_items: usize,
     /// Optional label dictionary.
     dict: Option<ItemDictionary>,
+    /// Monotone append counter: 0 at construction, +1 per
+    /// [`TransactionDb::append_rows`] call. Row slices inherit the parent
+    /// epoch so per-shard views stay comparable with the whole.
+    epoch: u64,
+}
+
+/// What one [`TransactionDb::append_rows`] call did — everything a
+/// [`TxDelta`](crate::engine::TxDelta) needs to describe the append to a
+/// delta-aware engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendInfo {
+    /// Index of the first appended row (= the row count before the append).
+    pub start: usize,
+    /// The database epoch before the append.
+    pub base_epoch: u64,
+    /// The database epoch after the append (`base_epoch + 1`).
+    pub epoch: u64,
+    /// Universe size before the append (the append may have grown it).
+    pub prior_items: usize,
 }
 
 impl TransactionDb {
@@ -82,7 +106,9 @@ impl TransactionDb {
     }
 
     /// Forces the universe size to `n_items` (useful when some items never
-    /// occur in the data but exist conceptually).
+    /// occur in the data but exist conceptually). This sets a *floor*, not
+    /// a pin: a later [`TransactionDb::append_rows`] carrying an item id
+    /// `≥ n_items` still grows the universe (only a dictionary pins it).
     ///
     /// # Panics
     ///
@@ -100,6 +126,64 @@ impl TransactionDb {
     /// The label dictionary, if any.
     pub fn dictionary(&self) -> Option<&ItemDictionary> {
         self.dict.as_ref()
+    }
+
+    /// The append epoch: 0 at construction, incremented by every
+    /// [`TransactionDb::append_rows`] call. Slices and shards inherit the
+    /// epoch of the database they were cut from.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Appends a batch of transactions to the end of the database, growing
+    /// the CSR in place, and advances the epoch (even for an empty batch —
+    /// every call is one epoch).
+    ///
+    /// Rows are sorted and deduplicated exactly like
+    /// [`TransactionDb::from_rows`]. An item id at or beyond the current
+    /// universe **grows the universe** — unless a dictionary is attached,
+    /// in which case the universe is pinned to the labels and the append
+    /// fails deterministically with [`DatasetError::UniversePinned`]
+    /// *before* mutating anything (the database is unchanged on error).
+    ///
+    /// Returns the [`AppendInfo`] describing the append, from which a
+    /// [`TxDelta`](crate::engine::TxDelta) is built for the delta-aware
+    /// engines.
+    pub fn append_rows(&mut self, rows: Vec<Vec<u32>>) -> Result<AppendInfo, DatasetError> {
+        // Validate the whole batch up front: an error must leave the
+        // database untouched.
+        if let Some(dict) = &self.dict {
+            for (offset, row) in rows.iter().enumerate() {
+                if let Some(&bad) = row.iter().find(|&&id| id as usize >= dict.len()) {
+                    return Err(DatasetError::UniversePinned {
+                        item: bad,
+                        universe: dict.len(),
+                        row: self.n_transactions() + offset,
+                    });
+                }
+            }
+        }
+        let info = AppendInfo {
+            start: self.n_transactions(),
+            base_epoch: self.epoch,
+            epoch: self.epoch + 1,
+            prior_items: self.n_items,
+        };
+        let mut scratch: Vec<Item> = Vec::new();
+        for row in rows {
+            scratch.clear();
+            scratch.extend(row.into_iter().map(Item::new));
+            scratch.sort_unstable();
+            scratch.dedup();
+            if let Some(last) = scratch.last() {
+                self.n_items = self.n_items.max(last.index() + 1);
+            }
+            self.items.extend_from_slice(&scratch);
+            self.offsets.push(self.items.len());
+        }
+        self.epoch += 1;
+        Ok(info)
     }
 
     /// Number of transactions `|O|`.
@@ -204,8 +288,13 @@ impl TransactionDb {
     }
 
     /// A copy of rows `start..end` as a standalone database sharing the
-    /// universe and dictionary.
-    fn slice_rows(&self, start: usize, end: usize) -> TransactionDb {
+    /// universe, dictionary, and epoch — how the sharded engine cuts its
+    /// per-shard views (and re-cuts the tail shard after an append).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > n_transactions()`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> TransactionDb {
         let lo = self.offsets[start];
         let hi = self.offsets[end];
         TransactionDb {
@@ -213,16 +302,25 @@ impl TransactionDb {
             offsets: self.offsets[start..=end].iter().map(|o| o - lo).collect(),
             n_items: self.n_items,
             dict: self.dict.clone(),
+            epoch: self.epoch,
         }
     }
 
     /// Density of the relation: `n_entries / (|O| · |I|)`.
     pub fn density(&self) -> f64 {
-        let cells = self.n_transactions() * self.n_items;
+        self.rows_density(0, self.n_transactions())
+    }
+
+    /// Density of the row range `start..end` against the full universe —
+    /// what [`TransactionDb::slice_rows`]`(start, end).density()` would
+    /// report, without materializing the slice. The sharded engine uses it
+    /// to re-resolve a shard's backend after an append.
+    pub fn rows_density(&self, start: usize, end: usize) -> f64 {
+        let cells = (end - start) * self.n_items;
         if cells == 0 {
             return 0.0;
         }
-        self.items.len() as f64 / cells as f64
+        (self.offsets[end] - self.offsets[start]) as f64 / cells as f64
     }
 }
 
@@ -336,6 +434,7 @@ impl TransactionDbBuilder {
             offsets: self.offsets,
             n_items: self.max_item.map_or(0, |m| m as usize + 1),
             dict: None,
+            epoch: 0,
         }
     }
 }
@@ -503,6 +602,92 @@ mod tests {
     #[should_panic(expected = "0 shards")]
     fn partition_zero_panics() {
         let _ = paper_db().partition(0);
+    }
+
+    #[test]
+    fn append_rows_grows_csr_and_epoch() {
+        let mut db = paper_db();
+        assert_eq!(db.epoch(), 0);
+        let info = db.append_rows(vec![vec![4, 2, 4, 1], vec![]]).unwrap();
+        assert_eq!(
+            info,
+            AppendInfo {
+                start: 5,
+                base_epoch: 0,
+                epoch: 1,
+                prior_items: 6
+            }
+        );
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.n_transactions(), 7);
+        // Appended rows are sorted + deduplicated like from_rows.
+        assert_eq!(db.transaction(5), &[Item(1), Item(2), Item(4)]);
+        assert!(db.transaction(6).is_empty());
+        // Supports see the new rows.
+        assert_eq!(db.support(&Itemset::from_ids([1, 2])), 3);
+        // An empty batch is still one epoch.
+        let info = db.append_rows(vec![]).unwrap();
+        assert_eq!((info.start, info.epoch), (7, 2));
+        assert_eq!(db.n_transactions(), 7);
+    }
+
+    #[test]
+    fn append_beyond_universe_grows_it() {
+        // Regression: an appended id ≥ n_items() must grow the universe,
+        // not index out of range downstream.
+        let mut db = TransactionDb::from_rows(vec![vec![1, 2]]).with_universe(10);
+        assert_eq!(db.n_items(), 10);
+        let info = db.append_rows(vec![vec![12]]).unwrap();
+        assert_eq!(info.prior_items, 10);
+        assert_eq!(db.n_items(), 13);
+        assert_eq!(db.support(&Itemset::from_ids([12])), 1);
+        // Ids below the with_universe floor keep the floor.
+        db.append_rows(vec![vec![3]]).unwrap();
+        assert_eq!(db.n_items(), 13);
+    }
+
+    #[test]
+    fn append_beyond_dictionary_errors_deterministically() {
+        // Regression: a dictionary pins the universe — the append must
+        // fail without mutating the database.
+        let dict = ItemDictionary::from_labels(["a", "b", "c"]);
+        let mut db = TransactionDb::from_rows(vec![vec![0, 2]]).with_dictionary(dict);
+        let err = db
+            .append_rows(vec![vec![1], vec![0, 3]])
+            .expect_err("id 3 outside the 3-label dictionary");
+        match err {
+            DatasetError::UniversePinned {
+                item,
+                universe,
+                row,
+            } => {
+                assert_eq!((item, universe, row), (3, 3, 2));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Nothing changed — not even the first (valid) row of the batch.
+        assert_eq!(db.n_transactions(), 1);
+        assert_eq!(db.n_items(), 3);
+        assert_eq!(db.epoch(), 0);
+        // In-dictionary appends still work.
+        db.append_rows(vec![vec![1]]).unwrap();
+        assert_eq!(db.n_transactions(), 2);
+        assert_eq!(db.epoch(), 1);
+    }
+
+    #[test]
+    fn slices_inherit_epoch_and_rows_density_matches() {
+        let mut db = TransactionDb::from_rows((0..130u32).map(|t| vec![t % 7]).collect());
+        db.append_rows(vec![vec![1, 2, 3], vec![0]]).unwrap();
+        let slice = db.slice_rows(64, 132);
+        assert_eq!(slice.epoch(), db.epoch());
+        assert_eq!(slice.n_transactions(), 68);
+        let direct = slice.density();
+        assert!((db.rows_density(64, 132) - direct).abs() < 1e-12);
+        for shard in db.partition(3) {
+            assert_eq!(shard.epoch(), db.epoch());
+        }
+        assert_eq!(db.rows_density(5, 5), 0.0);
     }
 
     #[test]

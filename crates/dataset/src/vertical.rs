@@ -31,6 +31,26 @@ impl VerticalDb {
         VerticalDb { covers, n_objects }
     }
 
+    /// Extends the covers with the rows `start..` of a grown horizontal
+    /// database: existing covers widen to the new object count
+    /// ([`BitSet::grow`]), items the append introduced get fresh covers,
+    /// and the appended rows' bits are set. After the call the vertical
+    /// view equals `VerticalDb::from_horizontal(db)` — at the cost of the
+    /// delta only.
+    pub fn extend_from(&mut self, db: &TransactionDb, start: usize) {
+        let n = db.n_transactions();
+        for cover in &mut self.covers {
+            cover.grow(n);
+        }
+        self.covers.resize_with(db.n_items(), || BitSet::new(n));
+        for t in start..n {
+            for &item in db.transaction(t) {
+                self.covers[item.index()].insert(t);
+            }
+        }
+        self.n_objects = n;
+    }
+
     /// Number of objects `|O|`.
     #[inline]
     pub fn n_objects(&self) -> usize {
@@ -174,6 +194,23 @@ mod tests {
         let db = paper_db();
         let v = VerticalDb::from_horizontal(&db);
         assert_eq!(v.item_supports(), db.item_supports());
+    }
+
+    #[test]
+    fn extend_from_matches_fresh_transpose() {
+        let mut db = paper_db();
+        let mut v = VerticalDb::from_horizontal(&db);
+        // Append rows that both reuse and grow the universe.
+        let info = db
+            .append_rows(vec![vec![2, 7], vec![], vec![1, 5]])
+            .unwrap();
+        v.extend_from(&db, info.start);
+        let fresh = VerticalDb::from_horizontal(&db);
+        assert_eq!(v.n_objects(), fresh.n_objects());
+        assert_eq!(v.n_items(), fresh.n_items());
+        for i in 0..fresh.n_items() as u32 {
+            assert_eq!(v.cover(Item(i)), fresh.cover(Item(i)), "item {i}");
+        }
     }
 
     #[test]

@@ -4,10 +4,11 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use rulebases_dataset::engine::{DenseEngine, DiffsetEngine, TidListEngine};
 use rulebases_dataset::io::{read_dat, write_dat};
 use rulebases_dataset::{
-    BitSet, CachedEngine, EngineKind, Itemset, MiningContext, Parallelism, ShardedEngine,
-    SupportEngine, TransactionDb,
+    BitSet, CachedEngine, DeltaSupportEngine, EngineKind, Itemset, MiningContext, Parallelism,
+    ShardedEngine, SupportEngine, TransactionDb, TxDelta,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -359,5 +360,70 @@ proptest! {
 
         // Support equals extent size.
         prop_assert_eq!(ctx.support(&x), gx.count() as u64);
+    }
+
+    // ---- Streaming deltas -----------------------------------------------
+
+    #[test]
+    fn delta_application_matches_fresh_build(
+        base in vec(vec(0u32..12, 0..7), 0..60),
+        batches in vec(vec(vec(0u32..14, 0..7), 0..40), 1..4),
+        probes in vec(vec(0u32..16, 0..5), 1..6),
+        shards in 1usize..=4,
+    ) {
+        // Applying append deltas in place must be indistinguishable from
+        // rebuilding the engine on the grown database — for every
+        // backend, for a sharded configuration (which routes the delta to
+        // its tail shard and may spill), and for the cached wrapper
+        // (which must invalidate exactly the stale closure classes).
+        // Batch ids range past the base universe so appends grow it.
+        let mut db = TransactionDb::from_rows(base);
+        let shared = Arc::new(db.clone());
+        let mut engines: Vec<Box<dyn DeltaSupportEngine>> = vec![
+            Box::new(DenseEngine::from_horizontal(&shared)),
+            Box::new(TidListEngine::from_horizontal(&shared)),
+            Box::new(DiffsetEngine::from_horizontal(&shared)),
+            Box::new(ShardedEngine::from_horizontal(&shared, shards, &EngineKind::Auto)),
+            Box::new(CachedEngine::new(
+                EngineKind::Auto.select_flat(&shared).build(&shared),
+            )),
+        ];
+        // Warm the cached engine so stale entries exist to invalidate.
+        for ids in &probes {
+            let _ = engines[4].closure(&Itemset::from_ids(ids.iter().copied()));
+        }
+        for batch in batches {
+            let info = db.append_rows(batch).unwrap();
+            let grown = Arc::new(db.clone());
+            let delta = TxDelta::new(grown.clone(), info);
+            let reference = DenseEngine::from_horizontal(&grown);
+            for engine in &mut engines {
+                engine.apply_delta(&delta).unwrap();
+                prop_assert_eq!(engine.epoch(), info.epoch, "{} epoch", engine.name());
+                prop_assert_eq!(engine.n_objects(), reference.n_objects());
+                prop_assert_eq!(engine.n_items(), reference.n_items(), "{}", engine.name());
+                prop_assert_eq!(
+                    engine.item_supports(),
+                    reference.item_supports(),
+                    "{} item supports after delta", engine.name()
+                );
+                for ids in &probes {
+                    let probe = Itemset::from_ids(ids.iter().copied());
+                    prop_assert_eq!(
+                        engine.support(&probe), reference.support(&probe),
+                        "{} support of {:?} after delta", engine.name(), probe
+                    );
+                    prop_assert_eq!(
+                        engine.tidset_of(&probe), reference.tidset_of(&probe),
+                        "{} tidset of {:?} after delta", engine.name(), probe
+                    );
+                    prop_assert_eq!(
+                        engine.closure_and_support(&probe),
+                        reference.closure_and_support(&probe),
+                        "{} closure of {:?} after delta", engine.name(), probe
+                    );
+                }
+            }
+        }
     }
 }

@@ -23,10 +23,36 @@
 //! minimality as a byproduct, and downstream constructions (the generic
 //! and informative bases) want generators per closure class without a
 //! separate mining pass.
+//!
+//! # Streaming: object insertion
+//!
+//! Closed-set insertion grows the diagram one *intent* at a time, for a
+//! fixed object set. [`IncrementalLattice::insert_object`] grows it one
+//! *transaction* at a time — the GALICIA-style maintenance step that
+//! makes the lattice a live structure under appends. Adding an object
+//! with itemset `R` changes the closure system in exactly two ways:
+//!
+//! * every closed set `A ⊆ R` gains the new object — its support bumps
+//!   by one and it stays closed;
+//! * the new intents are precisely `{A ∩ R : A an old intent} ∪ {R}`,
+//!   each entering with support `supp(h_old(A ∩ R)) + 1` — so the whole
+//!   update is set algebra over the maintained nodes, with **zero**
+//!   support-engine queries.
+//!
+//! When a class splits (a new intent `Y = A ∩ R` interposes below its
+//! old closure), the minimal-generator tags of every node whose lower
+//! covers changed are recomputed from the diagram itself: the minimal
+//! generators of a closed set `Z` are exactly the minimal transversals of
+//! `{Z ∖ C : C a lower cover of Z}` (a set generates `Z` iff it escapes
+//! every maximal proper closed subset), so retagging needs no mining
+//! pass either. This characterization assumes the diagram holds *all*
+//! closed sets of the context — which is exactly what repeated
+//! `insert_object` maintains; iceberg views at a support threshold are
+//! cut afterwards with [`IncrementalLattice::snapshot`].
 
 use crate::lattice::IcebergLattice;
 use rulebases_dataset::{Itemset, Support};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A Hasse diagram over closed itemsets, maintained insertion by
 /// insertion. Nodes are kept in arrival order internally;
@@ -144,6 +170,89 @@ impl IncrementalLattice {
         id
     }
 
+    /// Inserts one *object* (transaction) with itemset `row`, maintaining
+    /// the full closure system online — the GALICIA-style streaming step
+    /// (see the module docs). In one pass of set algebra, with no engine
+    /// queries:
+    ///
+    /// * every node `A ⊆ row` gains the object (`support += 1`);
+    /// * the intents the object creates — `{A ∩ row}` over the existing
+    ///   nodes, plus `row` itself, minus those already present — are
+    ///   inserted with support `supp_old(h_old(X)) + 1` and wired into
+    ///   the covering relation ([`IncrementalLattice::insert`]'s
+    ///   interposition machinery);
+    /// * the minimal-generator tags of every node whose lower covers
+    ///   changed are recomputed as the minimal transversals of its
+    ///   lower-cover complements.
+    ///
+    /// Returns the number of closure classes the object created.
+    ///
+    /// This maintains the **unthresholded** lattice: a support floor
+    /// cannot be applied during maintenance, because an infrequent class
+    /// may become frequent under later appends; cut iceberg views with
+    /// [`IncrementalLattice::snapshot`]. Do not mix with miner-tagged
+    /// [`IncrementalLattice::insert`] calls on the same instance — the
+    /// transversal retagging assumes every closed set of the context is a
+    /// node.
+    pub fn insert_object(&mut self, row: &Itemset) -> usize {
+        // New intents, each mapped to its pre-insertion support: supports
+        // are antitone in ⊆, so supp_old(X) = supp(h_old(X)) is the max
+        // support over the nodes containing X (0 when none does).
+        let mut fresh: HashMap<Itemset, Support> = HashMap::new();
+        if !self.index.contains_key(row) {
+            fresh.insert(row.clone(), 0);
+        }
+        for (node, _) in &self.nodes {
+            let meet = node.intersection(row);
+            if !self.index.contains_key(&meet) {
+                fresh.entry(meet).or_insert(0);
+            }
+        }
+        for (meet, base) in fresh.iter_mut() {
+            for (node, support) in &self.nodes {
+                if meet.is_subset_of(node) {
+                    *base = (*base).max(*support);
+                }
+            }
+        }
+        // The object joins the extent of every closed subset of its row.
+        for (node, support) in &mut self.nodes {
+            if node.is_subset_of(row) {
+                *support += 1;
+            }
+        }
+        // Insert the new classes; collect every node whose lower covers
+        // change (each new node, and the nodes it ends up covered by —
+        // interposition rewires exactly those) for retagging once the
+        // structure settles.
+        let created = fresh.len();
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
+        for (meet, base) in fresh {
+            let id = self.insert(&meet, base + 1, None);
+            dirty.insert(id);
+            dirty.extend(self.upper[id].iter().copied());
+        }
+        for id in dirty {
+            self.generators[id] = self.minimal_generators_of(id);
+        }
+        created
+    }
+
+    /// The minimal generators of node `id`, read off the diagram: a set
+    /// `G ⊆ Z` generates `Z` iff it is contained in no maximal proper
+    /// closed subset of `Z`, i.e. iff it hits every complement `Z ∖ C`
+    /// over the lower covers `C` — so the minimal generators are the
+    /// minimal transversals of those complements. (Requires the diagram
+    /// to hold all closed sets, which `insert_object` maintains.)
+    fn minimal_generators_of(&self, id: usize) -> Vec<Itemset> {
+        let node = &self.nodes[id].0;
+        let complements: Vec<Itemset> = self.lower[id]
+            .iter()
+            .map(|&c| node.difference(&self.nodes[c].0))
+            .collect();
+        minimal_transversals(&complements)
+    }
+
     /// Records a generator tag for a node, keeping the tag list minimal:
     /// a tag subsumed by (superset of) an existing tag is dropped, and
     /// tags subsumed by the new one are removed.
@@ -159,15 +268,25 @@ impl IncrementalLattice {
         tags.push(g.clone());
     }
 
-    /// Finalizes into a canonical-order [`IcebergLattice`] plus, aligned
-    /// with its node order, the minimal-generator tags collected per
-    /// closed set (empty for nodes the miner never tagged).
-    pub fn finish(self) -> (IcebergLattice, Vec<Vec<Itemset>>) {
+    /// Cuts the iceberg view at a support threshold, without consuming
+    /// the builder: the nodes with `support ≥ min_count` in canonical
+    /// order, their covering relation, and their generator tags.
+    ///
+    /// Frequency is downward closed over closed sets (a subset supports
+    /// at least as much), so the kept nodes are a down-set of the order
+    /// and the induced covering relation *is* the restriction of the full
+    /// one — an edge survives iff both endpoints do, and no skipped-level
+    /// edges can appear. This is what lets one maintained lattice serve
+    /// iceberg views at any (even shifting) threshold, the streaming
+    /// miner's per-batch read.
+    pub fn snapshot(&self, min_count: Support) -> (IcebergLattice, Vec<Vec<Itemset>>) {
         // Canonical order (size, then lexicographic) is what every
         // consumer of IcebergLattice assumes; insertion order is not it.
-        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        let mut order: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].1 >= min_count)
+            .collect();
         order.sort_by(|&a, &b| self.nodes[a].0.cmp(&self.nodes[b].0));
-        let mut rank = vec![0usize; order.len()];
+        let mut rank = vec![usize::MAX; self.nodes.len()];
         for (new, &old) in order.iter().enumerate() {
             rank[old] = new;
         }
@@ -176,7 +295,11 @@ impl IncrementalLattice {
         let mut generators = vec![Vec::new(); order.len()];
         for &old in &order {
             nodes.push(self.nodes[old].clone());
-            let mut covers: Vec<usize> = self.upper[old].iter().map(|&u| rank[u]).collect();
+            let mut covers: Vec<usize> = self.upper[old]
+                .iter()
+                .filter(|&&u| rank[u] != usize::MAX)
+                .map(|&u| rank[u])
+                .collect();
             covers.sort_unstable();
             upper[rank[old]] = covers;
             let mut tags = self.generators[old].clone();
@@ -186,11 +309,47 @@ impl IncrementalLattice {
         (IcebergLattice::assemble(nodes, upper), generators)
     }
 
+    /// Finalizes into a canonical-order [`IcebergLattice`] plus, aligned
+    /// with its node order, the minimal-generator tags collected per
+    /// closed set (empty for nodes the miner never tagged) — the
+    /// unthresholded [`IncrementalLattice::snapshot`].
+    pub fn finish(self) -> (IcebergLattice, Vec<Vec<Itemset>>) {
+        self.snapshot(0)
+    }
+
     /// Finalizes into the canonical [`IcebergLattice`], discarding the
     /// generator tags.
     pub fn into_lattice(self) -> IcebergLattice {
         self.finish().0
     }
+}
+
+/// The minimal transversals (minimal hitting sets) of a family of
+/// itemsets, by Berge's sequential algorithm. The transversals of the
+/// empty family are `{∅}`. Starting from a minimal antichain, each step
+/// keeps the transversals that already hit the next set and extends the
+/// rest by one hitting item, discarding dominated candidates — an
+/// extension can never strictly subsume a kept transversal, so the
+/// one-way subset check preserves exact minimality.
+fn minimal_transversals(family: &[Itemset]) -> Vec<Itemset> {
+    let mut transversals = vec![Itemset::empty()];
+    for d in family {
+        let (hit, miss): (Vec<Itemset>, Vec<Itemset>) = transversals
+            .into_iter()
+            .partition(|g| !g.is_disjoint_from(d));
+        transversals = hit;
+        for g in miss {
+            for item in d.iter() {
+                let mut extended = g.clone();
+                extended.insert(item);
+                if transversals.iter().all(|t| !t.is_subset_of(&extended)) {
+                    transversals.push(extended);
+                }
+            }
+        }
+    }
+    transversals.sort();
+    transversals
 }
 
 #[cfg(test)]
@@ -294,6 +453,130 @@ mod tests {
         let mut inc = IncrementalLattice::new();
         inc.insert(&set(&[1]), 3, None);
         inc.insert(&set(&[1]), 2, None);
+    }
+
+    /// Replays the paper example object by object.
+    fn replayed() -> IncrementalLattice {
+        let db = paper_example();
+        let mut inc = IncrementalLattice::new();
+        for t in 0..db.n_transactions() {
+            inc.insert_object(&Itemset::from_sorted(db.transaction(t).to_vec()));
+        }
+        inc
+    }
+
+    #[test]
+    fn insert_object_replays_to_the_mined_lattice() {
+        let inc = replayed();
+        let ctx = MiningContext::new(paper_example());
+        // At every threshold, the snapshot equals the batch-mined iceberg
+        // lattice — nodes, supports, and Hasse edges.
+        for min_count in 1..=5u64 {
+            let fc = Close::new().mine_closed(&ctx, MinSupport::Count(min_count));
+            let reference = IcebergLattice::from_closed(&fc);
+            let (snapshot, tags) = inc.snapshot(min_count);
+            assert_eq!(snapshot.n_nodes(), reference.n_nodes(), "t={min_count}");
+            for i in 0..snapshot.n_nodes() {
+                assert_eq!(snapshot.node(i), reference.node(i), "t={min_count}");
+            }
+            assert_eq!(
+                snapshot.edges().collect::<Vec<_>>(),
+                reference.edges().collect::<Vec<_>>(),
+                "t={min_count}"
+            );
+            assert_eq!(tags.len(), snapshot.n_nodes());
+        }
+    }
+
+    #[test]
+    fn insert_object_counts_created_classes_and_dedups() {
+        let mut inc = IncrementalLattice::new();
+        // First object creates its own intent.
+        assert_eq!(inc.insert_object(&set(&[1, 3, 4])), 1);
+        // A repeated row creates nothing, only bumps.
+        assert_eq!(inc.insert_object(&set(&[1, 3, 4])), 0);
+        let (lattice, _) = inc.snapshot(1);
+        assert_eq!(lattice.n_nodes(), 1);
+        assert_eq!(lattice.node(0), (&set(&[1, 3, 4]), 2));
+        // A partially overlapping row creates itself and the meet.
+        assert_eq!(inc.insert_object(&set(&[1, 2])), 2);
+        let (lattice, _) = inc.snapshot(1);
+        assert_eq!(lattice.n_nodes(), 3);
+        assert_eq!(lattice.node(0), (&set(&[1]), 3)); // bottom = meet
+                                                      // Empty rows make ∅ a class supported by everything.
+        let mut with_empty = IncrementalLattice::new();
+        with_empty.insert_object(&Itemset::empty());
+        with_empty.insert_object(&set(&[2]));
+        let (lattice, _) = with_empty.snapshot(1);
+        assert_eq!(lattice.node(lattice.bottom()), (&Itemset::empty(), 2));
+    }
+
+    #[test]
+    fn object_insertion_tags_are_exact_minimal_generators() {
+        use rulebases_mining::mine_generators;
+        let inc = replayed();
+        let ctx = MiningContext::new(paper_example());
+        let (lattice, tags) = inc.snapshot(1);
+        // Semantic check: every tag closes to its node and is minimal.
+        for (node, generators) in tags.iter().enumerate() {
+            let (closure, support) = lattice.node(node);
+            assert!(!generators.is_empty(), "node {node} untagged");
+            for g in generators {
+                assert_eq!(&ctx.closure(g), closure, "{g:?}");
+                for facet in g.facets() {
+                    assert!(ctx.support(&facet) > support, "{g:?} not minimal");
+                }
+            }
+        }
+        // Completeness: the tags are exactly the mined generator set.
+        let mined = mine_generators(&ctx, 1);
+        let mut expected = 0;
+        for (g, _) in mined.iter() {
+            let node = lattice.position(&ctx.closure(g)).unwrap();
+            assert!(tags[node].contains(g), "missing generator {g:?}");
+            expected += 1;
+        }
+        assert_eq!(tags.iter().map(Vec::len).sum::<usize>(), expected);
+    }
+
+    #[test]
+    fn generator_births_are_caught_when_a_class_splits() {
+        // Old context: every a-row has b, so {a} generates {a,b} and
+        // {a,b} is not minimal. Appending a bare {a} row splits the
+        // class: {a} becomes its own closure and {a,b}'s generator set
+        // must be recomputed ({b} alone occurs elsewhere, so the new
+        // minimal generator of {a,b} is the pair itself).
+        let mut inc = IncrementalLattice::new();
+        inc.insert_object(&set(&[1, 2])); // a b
+        inc.insert_object(&set(&[1, 2]));
+        inc.insert_object(&set(&[2])); // b alone
+        let (lattice, tags) = inc.snapshot(1);
+        let ab = lattice.position(&set(&[1, 2])).unwrap();
+        assert_eq!(tags[ab], vec![set(&[1])]);
+
+        inc_split_check(&mut inc.clone());
+    }
+
+    fn inc_split_check(inc: &mut IncrementalLattice) {
+        inc.insert_object(&set(&[1])); // a alone — the split
+        let (lattice, tags) = inc.snapshot(1);
+        let a = lattice.position(&set(&[1])).unwrap();
+        let ab = lattice.position(&set(&[1, 2])).unwrap();
+        assert_eq!(lattice.node(a).1, 3);
+        assert_eq!(lattice.node(ab).1, 2);
+        assert_eq!(tags[a], vec![set(&[1])]);
+        // The born generator: {a,b}, minimal now that {a} escaped.
+        assert_eq!(tags[ab], vec![set(&[1, 2])]);
+    }
+
+    #[test]
+    fn minimal_transversals_basics() {
+        assert_eq!(minimal_transversals(&[]), vec![Itemset::empty()]);
+        let family = [set(&[1, 2]), set(&[2, 3])];
+        assert_eq!(minimal_transversals(&family), vec![set(&[2]), set(&[1, 3])]);
+        // A singleton set forces its element into every transversal.
+        let family = [set(&[5]), set(&[1, 5])];
+        assert_eq!(minimal_transversals(&family), vec![set(&[5])]);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use rulebases_dataset::{Itemset, MinSupport, MiningContext, TransactionDb};
 use rulebases_lattice::hasse::verify_covers;
 use rulebases_lattice::{
     frequent_pseudo_closed, next_closed, stem_base, AllClosed, ClosureOperator, IcebergLattice,
-    Implication, ImplicationSet,
+    Implication, ImplicationSet, IncrementalLattice,
 };
 use rulebases_mining::brute::{brute_closed, brute_frequent};
 
@@ -185,5 +185,50 @@ proptest! {
         if let Some(last) = all.last() {
             prop_assert_eq!(next_closed(&ctx, last), None);
         }
+    }
+
+    #[test]
+    fn object_replay_matches_batch_lattice(db in contexts(), min_count in 1u64..4) {
+        // Replaying a context transaction by transaction through the
+        // GALICIA-style insert_object must reproduce the batch-mined
+        // iceberg lattice at any threshold cut — nodes, supports, edges —
+        // and the covers must verify as a transitive reduction.
+        let mut inc = IncrementalLattice::new();
+        for t in 0..db.n_transactions() {
+            inc.insert_object(&Itemset::from_sorted(db.transaction(t).to_vec()));
+        }
+        let ctx = MiningContext::new(db);
+        let fc = brute_closed(&ctx, MinSupport::Count(min_count));
+        let reference = IcebergLattice::from_closed(&fc);
+        let (snapshot, tags) = inc.snapshot(min_count);
+        prop_assert_eq!(snapshot.n_nodes(), reference.n_nodes());
+        for i in 0..snapshot.n_nodes() {
+            prop_assert_eq!(snapshot.node(i), reference.node(i));
+        }
+        prop_assert_eq!(
+            snapshot.edges().collect::<Vec<_>>(),
+            reference.edges().collect::<Vec<_>>()
+        );
+        // Tags are genuine minimal generators of their class.
+        for (node, generators) in tags.iter().enumerate() {
+            let (closure, support) = snapshot.node(node);
+            prop_assert!(!generators.is_empty(), "node {} untagged", node);
+            for g in generators {
+                prop_assert_eq!(&ctx.closure(g), closure);
+                for facet in g.facets() {
+                    prop_assert!(ctx.support(&facet) > support, "{:?} not minimal", g);
+                }
+            }
+        }
+        let nodes: Vec<_> = (0..snapshot.n_nodes())
+            .map(|i| {
+                let (s, sup) = snapshot.node(i);
+                (s.clone(), sup)
+            })
+            .collect();
+        let upper: Vec<Vec<usize>> = (0..snapshot.n_nodes())
+            .map(|i| snapshot.upper_covers(i).to_vec())
+            .collect();
+        prop_assert!(verify_covers(&nodes, &upper).is_ok());
     }
 }

@@ -41,6 +41,17 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable overrides the configured count when set (mirroring real
+    /// proptest's env knob), which lets a time-boxed suite cap every
+    /// property test at once. Unparsable values are ignored.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {
@@ -345,8 +356,9 @@ macro_rules! proptest {
         $(#[$meta])+
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
             let mut rng = $crate::TestRng::from_name(stringify!($name));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
                     $body
@@ -354,7 +366,7 @@ macro_rules! proptest {
                 })();
                 if let ::std::result::Result::Err(e) = result {
                     panic!("proptest {} failed at case {}/{}: {}",
-                        stringify!($name), case + 1, config.cases, e);
+                        stringify!($name), case + 1, cases, e);
                 }
             }
         }

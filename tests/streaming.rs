@@ -1,0 +1,174 @@
+//! Streaming-vs-batch equivalence and the streaming cost pin.
+//!
+//! The contract of `RuleMiner::streaming`: replaying a context in *any*
+//! batch schedule, over *any* engine backend, lands in exactly the state
+//! the one-shot fused pipeline computes on the full context — closed
+//! sets, Hasse edges, the DG basis, and both Luxenburger bases. And it
+//! must get there cheaper: `push_batch` patches the maintained lattice
+//! with set algebra, so a whole replay performs strictly fewer engine
+//! calls than re-mining the grown context from scratch once per batch
+//! (the `bases-stream` bench pins the same invariant at bench scale).
+//!
+//! Case counts respect the `PROPTEST_CASES` environment variable so the
+//! 1-CPU suite stays inside its budget.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rulebases::{MinedBases, PipelineKind, RuleMiner};
+use rulebases_dataset::{EngineKind, MinSupport, MiningContext, TransactionDb};
+
+/// The batch schedules the issue calls out: row-at-a-time, a ragged
+/// prime, the 64-aligned shard quantum, and the whole database at once.
+const BATCH_SIZES: [usize; 4] = [1, 7, 64, usize::MAX];
+
+/// Deterministic correlated rows over 14 items: four attribute groups, so
+/// the closed-set lattice stays compact while still having structure
+/// (splits, interpositions, generator births) at every prefix.
+fn census_rows(n: usize) -> Vec<Vec<u32>> {
+    (0..n as u32)
+        .map(|t| vec![t % 4, 4 + t % 3, 7 + t % 2, 9 + (t / 7) % 5])
+        .collect()
+}
+
+fn assert_stream_matches_oracle(streamed: &MinedBases, oracle: &MinedBases, label: &str) {
+    assert_eq!(
+        streamed.closed.clone().into_sorted_vec(),
+        oracle.closed.clone().into_sorted_vec(),
+        "{label}: closed sets"
+    );
+    assert_eq!(
+        streamed.lattice.edges().collect::<Vec<_>>(),
+        oracle.lattice.edges().collect::<Vec<_>>(),
+        "{label}: Hasse edges"
+    );
+    assert_eq!(streamed.dg.rules(), oracle.dg.rules(), "{label}: DG basis");
+    assert_eq!(
+        streamed.lux_full.rules(),
+        oracle.lux_full.rules(),
+        "{label}: full Luxenburger basis"
+    );
+    assert_eq!(
+        streamed.lux_reduced.rules(),
+        oracle.lux_reduced.rules(),
+        "{label}: reduced Luxenburger basis"
+    );
+    assert_eq!(streamed.min_count, oracle.min_count, "{label}: min_count");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_replay_matches_one_shot_fused(
+        rows in vec(vec(0u32..9, 0..6), 1..70),
+        min_count in 1u64..4,
+        minconf_idx in 0usize..3,
+        batch_idx in 0usize..4,
+        shards in 1usize..=4,
+    ) {
+        let minconf = [0.0, 0.5, 1.0][minconf_idx];
+        let batch = BATCH_SIZES[batch_idx];
+        let mut grid: Vec<EngineKind> = EngineKind::BACKENDS.to_vec();
+        grid.push(EngineKind::Sharded {
+            shards,
+            inner: Box::new(EngineKind::Auto),
+        });
+        for kind in grid {
+            let miner = RuleMiner::new(MinSupport::Count(min_count))
+                .min_confidence(minconf)
+                .engine(kind.clone());
+            let oracle = miner
+                .clone()
+                .pipeline(PipelineKind::Fused)
+                .mine(TransactionDb::from_rows(rows.clone()));
+            let mut stream = miner.streaming(TransactionDb::from_rows(vec![]));
+            for chunk in rows.chunks(batch.min(rows.len())) {
+                stream.push_batch(chunk.to_vec()).unwrap();
+            }
+            assert_stream_matches_oracle(
+                stream.bases(),
+                &oracle,
+                &format!("{kind} / batch {batch}"),
+            );
+            // The derived frequent sets ride along.
+            prop_assert_eq!(stream.bases().frequent.len(), oracle.frequent.len());
+        }
+    }
+
+    #[test]
+    fn streaming_with_fractional_threshold_tracks_rescaling(
+        rows in vec(vec(0u32..8, 0..5), 2..50),
+        batch_idx in 0usize..4,
+    ) {
+        // A fractional threshold changes its absolute value as rows
+        // arrive; after the replay the state must equal the oracle on the
+        // final context — including the rescaled min_count.
+        let batch = BATCH_SIZES[batch_idx];
+        let miner = RuleMiner::new(MinSupport::Fraction(0.3)).min_confidence(0.6);
+        let oracle = miner
+            .clone()
+            .pipeline(PipelineKind::Fused)
+            .mine(TransactionDb::from_rows(rows.clone()));
+        let mut stream = miner.streaming(TransactionDb::from_rows(vec![]));
+        for chunk in rows.chunks(batch.min(rows.len())) {
+            stream.push_batch(chunk.to_vec()).unwrap();
+        }
+        assert_stream_matches_oracle(stream.bases(), &oracle, &format!("batch {batch}"));
+    }
+}
+
+/// The acceptance pin: maintaining the bases over a batched replay costs
+/// strictly fewer engine calls than re-mining the grown context from
+/// scratch at every batch — the `push_batch` path answers out of the
+/// maintained lattice, not the engine.
+#[test]
+fn streaming_uses_strictly_fewer_engine_calls_than_remining() {
+    let rows = census_rows(256);
+    let miner = RuleMiner::new(MinSupport::Fraction(0.1)).min_confidence(0.6);
+
+    let mut stream = miner.streaming(TransactionDb::from_rows(vec![]));
+    let mut streaming_calls = 0u64;
+    let mut remining_calls = 0u64;
+    let mut seen = 0;
+    for chunk in rows.chunks(64) {
+        let before = stream.context().closure_cache_stats().engine_calls();
+        stream.push_batch(chunk.to_vec()).unwrap();
+        streaming_calls += stream.context().closure_cache_stats().engine_calls() - before;
+        seen += chunk.len();
+
+        // The alternative: re-mine the grown prefix from scratch.
+        let ctx = MiningContext::new(TransactionDb::from_rows(rows[..seen].to_vec()));
+        let remined = miner
+            .clone()
+            .pipeline(PipelineKind::Fused)
+            .mine_context(&ctx);
+        remining_calls += ctx.closure_cache_stats().engine_calls();
+
+        // Same answer at every batch boundary.
+        assert_stream_matches_oracle(stream.bases(), &remined, &format!("prefix {seen}"));
+    }
+    assert!(
+        streaming_calls < remining_calls,
+        "streaming must perform strictly fewer engine calls: \
+         streaming {streaming_calls} !< re-mining {remining_calls}"
+    );
+}
+
+/// `EngineKind::Auto` resolves once, at engine construction, and the
+/// resolved backend is observable through the context.
+#[test]
+fn auto_resolution_is_exposed_and_stable_across_batches() {
+    let miner = RuleMiner::new(MinSupport::Count(2));
+    let mut stream = miner.streaming(TransactionDb::from_rows(census_rows(32)));
+    assert_eq!(stream.context().resolved_kind(), EngineKind::Dense);
+    stream.push_batch(census_rows(16)).unwrap();
+    // A flat engine never re-resolves mid-stream (only the sharded
+    // backend re-evaluates its tail shard, tested in the dataset crate).
+    assert_eq!(stream.context().resolved_kind(), EngineKind::Dense);
+    assert_eq!(stream.context().epoch(), 1);
+
+    let explicit = RuleMiner::new(MinSupport::Count(2))
+        .engine(EngineKind::TidList)
+        .streaming(TransactionDb::from_rows(census_rows(8)));
+    assert_eq!(explicit.context().resolved_kind(), EngineKind::TidList);
+}
