@@ -12,11 +12,31 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rulebases::{MinSupport, PipelineKind, RuleMiner};
-use rulebases_bench::{Scale, StandIn};
+use rulebases_bench::{write_bench_artifact, Scale, StandIn};
 use rulebases_dataset::{EngineKind, MiningContext};
+use serde::Serialize;
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// One pipeline's tally in the `BENCH_fused.json` artifact.
+#[derive(Serialize)]
+struct PipelineTally {
+    pipeline: String,
+    wall_us: f64,
+    engine_calls: u64,
+    closure_lookups: u64,
+    extents: u64,
+    supports: u64,
+    intents: u64,
+}
+
+/// The machine-readable record `BENCH_fused.json` holds.
+#[derive(Serialize)]
+struct FusedBenchRecord {
+    dataset: String,
+    pipelines: Vec<PipelineTally>,
+}
 
 fn bench_bases_fused(c: &mut Criterion) {
     let mut group = c.benchmark_group("bases-fused");
@@ -50,15 +70,20 @@ fn bench_bases_fused(c: &mut Criterion) {
     // Engine-traffic tally — one clean run per pipeline on a cold cache.
     let tally = |pipeline: PipelineKind| {
         let ctx = MiningContext::with_engine_arc(db.clone(), EngineKind::Auto);
+        let start = Instant::now();
         let _ = RuleMiner::new(minsup)
             .min_confidence(0.7)
             .pipeline(pipeline)
             .mine_context(&ctx);
-        ctx.closure_cache_stats()
+        (ctx.closure_cache_stats(), start.elapsed())
     };
-    let staged = tally(PipelineKind::Staged);
-    let fused = tally(PipelineKind::Fused);
-    for (name, stats) in [("staged", staged), ("fused", fused)] {
+    let (staged, staged_wall) = tally(PipelineKind::Staged);
+    let (fused, fused_wall) = tally(PipelineKind::Fused);
+    let mut pipelines = Vec::new();
+    for (name, stats, wall) in [
+        ("staged", staged, staged_wall),
+        ("fused", fused, fused_wall),
+    ] {
         println!(
             "{}/{name}: {} engine calls ({} closure lookups, {} extents, \
              {} supports, {} intents)",
@@ -69,7 +94,23 @@ fn bench_bases_fused(c: &mut Criterion) {
             stats.supports,
             stats.intents
         );
+        pipelines.push(PipelineTally {
+            pipeline: name.to_owned(),
+            wall_us: wall.as_secs_f64() * 1e6,
+            engine_calls: stats.engine_calls(),
+            closure_lookups: stats.lookups(),
+            extents: stats.extents,
+            supports: stats.supports,
+            intents: stats.intents,
+        });
     }
+    write_bench_artifact(
+        "fused",
+        &FusedBenchRecord {
+            dataset: dataset.name().to_owned(),
+            pipelines,
+        },
+    );
     assert!(
         fused.engine_calls() < staged.engine_calls(),
         "fused pipeline must perform strictly fewer engine calls: \

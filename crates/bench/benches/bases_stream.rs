@@ -1,27 +1,35 @@
-//! Streaming vs re-mining ablation.
+//! Streaming vs re-mining ablation, plus the delta-cost probes.
 //!
 //! Replays a correlated stand-in in 64-row batches two ways: maintaining
 //! the bases online (`StreamingMiner::push_batch` — engine delta, GALICIA
-//! lattice insertion, bases re-read from the maintained order) versus
-//! re-running the one-shot fused pipeline on the grown prefix at every
-//! batch. Besides timing both, it tallies the engine traffic of one full
-//! replay per mode and **asserts** the streaming invariant: incremental
-//! maintenance answers every batch with strictly fewer engine calls than
-//! re-mining from scratch — running the bench doubles as the acceptance
-//! check (the CI-run twin lives in `tests/streaming.rs`).
+//! lattice insertion, bases patched from the lattice's touched-class
+//! report) versus re-running the one-shot fused pipeline on the grown
+//! prefix at every batch. Besides timing both, it tallies the engine
+//! traffic of one full replay per mode and **asserts** the streaming
+//! invariants: incremental maintenance answers every batch with strictly
+//! fewer engine calls than re-mining from scratch, and a fixed-size batch
+//! costs the same copied bytes against a 512-row prefix as against a
+//! 4096-row one (the zero-copy append contract) — running the bench
+//! doubles as the acceptance check (the CI-run twins live in
+//! `tests/streaming.rs`).
 //!
-//! Read the two numbers the way the `counting-sharded` bench reads its
+//! The headline numbers are also written to `BENCH_stream.json` at the
+//! workspace root, so the perf trajectory is recorded run over run.
+//!
+//! Read the timing numbers the way the `counting-sharded` bench reads its
 //! thread ablation on a 1-CPU box: at this toy scale the whole context is
 //! cache-resident and mining it is almost free, so the wall clock can
-//! favor re-mining — the engine-call tally is the number that scales,
-//! because every avoided call is an avoided pass over data that in a real
-//! deployment no longer fits where it is cheap.
+//! favor re-mining — the engine-call and byte tallies are the numbers
+//! that scale, because every avoided call or copy is an avoided pass over
+//! data that in a real deployment no longer fits where it is cheap.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rulebases::{MinSupport, PipelineKind, RuleMiner};
+use rulebases_bench::write_bench_artifact;
 use rulebases_dataset::{MiningContext, TransactionDb};
+use serde::Serialize;
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const BATCH: usize = 64;
 const ROWS: usize = 512;
@@ -38,14 +46,15 @@ fn miner() -> RuleMiner {
     RuleMiner::new(MinSupport::Fraction(0.1)).min_confidence(0.6)
 }
 
-/// One full streamed replay; returns the engine calls it performed.
-fn replay_streaming(rows: &[Vec<u32>]) -> u64 {
+/// One full streamed replay; returns (engine calls, bytes copied).
+fn replay_streaming(rows: &[Vec<u32>]) -> (u64, u64) {
     let mut stream = miner().streaming(TransactionDb::from_rows(vec![]));
     for chunk in rows.chunks(BATCH) {
         stream.push_batch(chunk.to_vec()).unwrap();
         black_box(stream.bases().dg.len());
     }
-    stream.context().closure_cache_stats().engine_calls()
+    let stats = stream.context().closure_cache_stats();
+    (stats.engine_calls(), stats.bytes_copied)
 }
 
 /// One full re-mining replay (fused pipeline per prefix); returns its
@@ -61,6 +70,51 @@ fn replay_remining(rows: &[Vec<u32>]) -> u64 {
         calls += ctx.closure_cache_stats().engine_calls();
     }
     calls
+}
+
+/// One fixed-shape batch pushed against a pre-seeded prefix: the probe
+/// behind the prefix-independence claim. Identical batch rows for every
+/// prefix, so the byte tallies are directly comparable.
+#[derive(Serialize)]
+struct PrefixProbe {
+    prefix_rows: usize,
+    batch_rows: usize,
+    push_wall_us: f64,
+    bytes_copied: u64,
+    engine_calls: u64,
+    segments_before: usize,
+    segments_after: usize,
+}
+
+fn probe_prefix(prefix: usize) -> PrefixProbe {
+    let mut stream = miner().streaming(TransactionDb::from_rows(census_rows(prefix)));
+    let batch: Vec<Vec<u32>> = census_rows(BATCH);
+    let before = stream.context().closure_cache_stats();
+    let segments_before = stream.db().n_segments();
+    let start = Instant::now();
+    stream.push_batch(batch).unwrap();
+    let push_wall_us = start.elapsed().as_secs_f64() * 1e6;
+    let after = stream.context().closure_cache_stats();
+    PrefixProbe {
+        prefix_rows: prefix,
+        batch_rows: BATCH,
+        push_wall_us,
+        bytes_copied: after.bytes_copied - before.bytes_copied,
+        engine_calls: after.engine_calls() - before.engine_calls(),
+        segments_before,
+        segments_after: stream.db().n_segments(),
+    }
+}
+
+/// The machine-readable record `BENCH_stream.json` holds.
+#[derive(Serialize)]
+struct StreamBenchRecord {
+    rows: usize,
+    batch: usize,
+    streaming_engine_calls: u64,
+    streaming_bytes_copied: u64,
+    remining_engine_calls: u64,
+    prefix_probes: Vec<PrefixProbe>,
 }
 
 fn bench_bases_stream(c: &mut Criterion) {
@@ -79,11 +133,11 @@ fn bench_bases_stream(c: &mut Criterion) {
     group.finish();
 
     // Engine-traffic tally — one clean replay per mode.
-    let streaming = replay_streaming(&rows);
+    let (streaming, streaming_bytes) = replay_streaming(&rows);
     let remining = replay_remining(&rows);
     println!(
         "bases-stream: {ROWS} rows in {BATCH}-row batches — streaming {streaming} \
-         engine calls vs re-mining {remining}"
+         engine calls / {streaming_bytes} bytes copied vs re-mining {remining} calls"
     );
     assert!(
         streaming < remining,
@@ -94,6 +148,34 @@ fn bench_bases_stream(c: &mut Criterion) {
         "streaming saves {} engine calls ({:.1}% of re-mining)",
         remining - streaming,
         100.0 * (remining - streaming) as f64 / remining.max(1) as f64
+    );
+
+    // Prefix-independence: the same 64-row batch against a 512- and a
+    // 4096-row prefix. Copied bytes must match exactly (the engines read
+    // the batch, never the prefix); wall clock is recorded for the
+    // artifact but not asserted — this box's timer noise outranks it.
+    let probes = vec![probe_prefix(512), probe_prefix(4096)];
+    assert_eq!(
+        probes[0].bytes_copied, probes[1].bytes_copied,
+        "per-batch copied bytes must be independent of the prefix length"
+    );
+    for p in &probes {
+        println!(
+            "push {} rows onto {} prefix: {:.1} µs, {} bytes copied, {} engine calls",
+            p.batch_rows, p.prefix_rows, p.push_wall_us, p.bytes_copied, p.engine_calls
+        );
+    }
+
+    write_bench_artifact(
+        "stream",
+        &StreamBenchRecord {
+            rows: ROWS,
+            batch: BATCH,
+            streaming_engine_calls: streaming,
+            streaming_bytes_copied: streaming_bytes,
+            remining_engine_calls: remining,
+            prefix_probes: probes,
+        },
     );
 }
 

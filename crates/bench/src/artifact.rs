@@ -1,0 +1,65 @@
+//! Machine-readable bench artifacts.
+//!
+//! The Criterion benches historically printed their tallies and threw
+//! them away; the perf trajectory of the project lived in commit messages
+//! only. Each bench now also serializes its headline numbers —
+//! wall-clock, engine calls, bytes copied — as a small JSON file at the
+//! workspace root (`BENCH_<name>.json`), so runs are diffable across
+//! commits and CI can smoke the invariants cheaply.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// The workspace root, resolved from this crate's manifest directory —
+/// bench binaries run with the *package* root as their working
+/// directory, and the artifacts belong next to `Cargo.lock`, not inside
+/// `crates/bench`.
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Serializes `record` as JSON into `BENCH_<name>.json` at the workspace
+/// root and returns the path written.
+///
+/// # Panics
+///
+/// Panics when serialization or the write fails — a bench that cannot
+/// record its result should fail loudly, not silently regress the
+/// artifact trail.
+pub fn write_bench_artifact<T: Serialize>(name: &str, record: &T) -> PathBuf {
+    let path = workspace_root().join(format!("BENCH_{name}.json"));
+    let json = serde_json::to_string(record).expect("bench record serializes");
+    std::fs::write(&path, json.as_bytes())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("bench artifact: {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Probe {
+        label: String,
+        calls: u64,
+    }
+
+    #[test]
+    fn artifact_round_trips_through_disk() {
+        let path = write_bench_artifact(
+            "selftest",
+            &Probe {
+                label: "probe".to_owned(),
+                calls: 42,
+            },
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = serde_json::parse(&text).unwrap();
+        let fields = value.as_object().unwrap();
+        assert!(fields.iter().any(|(k, _)| k == "calls"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

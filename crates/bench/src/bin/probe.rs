@@ -148,11 +148,11 @@ fn main() {
                 + delta.lux_reduced.removed.len();
         }
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let n_replayed = session.n_objects();
         let bases = session.bases();
         println!(
-            "replayed {} rows in {batches} batches of ≤{batch} ({elapsed:.1} ms): \
+            "replayed {n_replayed} rows in {batches} batches of ≤{batch} ({elapsed:.1} ms): \
              |FC| = {} ({} Hasse edges, DG {} rules, Lux reduced {} rules at minconf {minconf})",
-            session.n_objects(),
             bases.n_closed_nonempty(),
             bases.lattice.n_edges(),
             bases.dg.len(),

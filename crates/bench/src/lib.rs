@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod datasets;
 pub mod tables;
 pub mod timing;
@@ -21,5 +22,6 @@ pub mod timing;
 /// `rulebases_dataset::pool` under this crate's historical module name.
 pub use rulebases_dataset::pool as parallel;
 
+pub use artifact::write_bench_artifact;
 pub use datasets::{engine_from_env, pipeline_from_env, Scale, StandIn};
 pub use parallel::{parallel_map, Parallelism};

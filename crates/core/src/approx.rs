@@ -139,6 +139,18 @@ impl LuxenburgerBasis {
         }
     }
 
+    /// Wraps an already-derived rule list (canonical order) as a basis —
+    /// the constructor the streaming maintenance uses, where the rules
+    /// come from an incrementally patched map rather than a lattice walk.
+    pub(crate) fn from_sorted_rules(rules: Vec<Rule>, min_confidence: f64, reduced: bool) -> Self {
+        debug_assert!(rules.windows(2).all(|w| w[0] <= w[1]), "rules not sorted");
+        LuxenburgerBasis {
+            rules,
+            min_confidence,
+            reduced,
+        }
+    }
+
     /// Number of basis rules.
     pub fn len(&self) -> usize {
         self.rules.len()

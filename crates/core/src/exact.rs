@@ -75,7 +75,16 @@ impl DuquenneGuiguesBasis {
     /// itemsets of the same context at the same threshold: one rule
     /// `P → h(P) ∖ P` per frequent pseudo-closed `P`.
     pub fn build(frequent: &FrequentItemsets, fc: &ClosedItemsets, n_items: usize) -> Self {
-        let pseudo_closed = frequent_pseudo_closed(frequent, fc);
+        Self::from_pseudo_closed(frequent_pseudo_closed(frequent, fc), n_items)
+    }
+
+    /// Builds the basis from an already-computed list of frequent
+    /// pseudo-closed itemsets (canonical order) — the constructor the
+    /// streaming maintenance uses, where `FP` comes straight off the
+    /// maintained lattice family
+    /// ([`pseudo_closed_of_family`](rulebases_lattice::pseudo_closed_of_family))
+    /// instead of a frequent-itemset walk.
+    pub fn from_pseudo_closed(pseudo_closed: Vec<PseudoClosed>, n_items: usize) -> Self {
         let mut rules = Vec::with_capacity(pseudo_closed.len());
         let mut implications = ImplicationSet::new(n_items);
         for p in &pseudo_closed {

@@ -196,7 +196,7 @@ impl ClosedSink for LatticeSink {
 /// Exponential in the widest closed set, exactly like materializing `F`
 /// by mining is; the (practically unreachable) fallback keeps itemsets
 /// wider than the subset-enumeration limit correct rather than fast.
-fn derive_frequent(
+pub(crate) fn derive_frequent(
     closed: &ClosedItemsets,
     miner: &RuleMiner,
     ctx: &MiningContext,

@@ -5,29 +5,39 @@
 //! it owns an appendable [`TransactionDb`], a delta-aware engine (see
 //! [`rulebases_dataset::engine::delta`]), and the full incremental closed
 //! lattice, and [`StreamingMiner::push_batch`] threads one append through
-//! all three layers:
+//! all the layers at **delta cost**:
 //!
-//! 1. the rows join the CSR in place
-//!    ([`TransactionDb::append_rows`]) under a new epoch;
+//! 1. the rows land in one fresh storage segment
+//!    ([`TransactionDb::append_rows`]) under a new epoch — the snapshot
+//!    the engines pin keeps sharing every pre-append segment, so the
+//!    append copies O(batch) bytes, never O(database) (the engines'
+//!    [`CacheStats::bytes_copied`](rulebases_dataset::CacheStats)
+//!    counter pins this);
 //! 2. the engine absorbs the [`TxDelta`] incrementally — covers extend,
 //!    the closure cache drops only the classes the batch can change
 //!    ([`MiningContext::apply_delta`]);
 //! 3. each appended transaction is inserted into the lattice GALICIA-style
-//!    ([`IncrementalLattice::insert_object`]): supports bump, split
+//!    ([`IncrementalLattice::insert_object_delta`]): supports bump, split
 //!    closure classes appear, covers rewire, minimal generators retag —
-//!    all by set algebra over the maintained nodes, with **zero**
-//!    support-engine queries;
-//! 4. the iceberg view is re-cut at the support threshold *rescaled to
-//!    the new row count*, and the Duquenne-Guigues and both Luxenburger
-//!    bases are refreshed from the maintained lattice — no re-mining.
+//!    all by set algebra with **zero** support-engine queries — and the
+//!    insertion reports exactly which classes it touched as a
+//!    [`LatticeDelta`];
+//! 4. the maintained bases are **patched from that touched-class set**:
+//!    only a rule whose antecedent/consequent closure classes were
+//!    touched (or crossed the rescaled support threshold) can move, so
+//!    the Duquenne-Guigues and both Luxenburger bases update — and the
+//!    returned [`BasesDelta`] is computed — without materializing and
+//!    diffing full rule snapshots. (The snapshot-diff formulation
+//!    survives as [`BasesDelta::between`], the test oracle.)
 //!
 //! The returned [`BasesDelta`] says exactly what changed: closed sets
 //! that entered or left the iceberg, and rules added to / removed from /
 //! restated in each basis. The batch pipelines are the degenerate case —
 //! pushing the whole database as one batch yields bit-for-bit the
-//! [`PipelineKind::Fused`](crate::PipelineKind::Fused) result (the
+//! [`PipelineKind::Fused`] result (the
 //! equivalence is property-tested in `tests/streaming.rs` over every
-//! engine backend and batch-size schedule).
+//! engine backend and batch-size schedule, and the per-batch deltas are
+//! property-tested against the snapshot-diff oracle).
 //!
 //! # Example
 //!
@@ -53,16 +63,20 @@
 //!
 //! [`TransactionDb::append_rows`]: rulebases_dataset::TransactionDb::append_rows
 //! [`MiningContext::apply_delta`]: rulebases_dataset::MiningContext::apply_delta
-//! [`IncrementalLattice::insert_object`]: rulebases_lattice::IncrementalLattice::insert_object
+//! [`IncrementalLattice::insert_object_delta`]: rulebases_lattice::IncrementalLattice::insert_object_delta
+//! [`LatticeDelta`]: rulebases_lattice::LatticeDelta
 
-use crate::fused::{assemble_bases, min_count_for};
+use crate::approx::LuxenburgerBasis;
+use crate::exact::DuquenneGuiguesBasis;
+use crate::fused::{derive_frequent, min_count_for, PipelineKind};
 use crate::miner::{MinedBases, RuleMiner};
 use crate::rule::Rule;
 use rulebases_dataset::{
     DatasetError, DeltaError, Itemset, MiningContext, Support, TransactionDb, TxDelta,
 };
-use rulebases_lattice::IncrementalLattice;
-use std::collections::{HashMap, HashSet};
+use rulebases_lattice::{pseudo_closed_of_family, IncrementalLattice, LatticeDelta, PseudoClosed};
+use rulebases_mining::ClosedItemsets;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -123,7 +137,10 @@ pub struct RuleSetDelta {
 }
 
 impl RuleSetDelta {
-    fn between(old: &[Rule], new: &[Rule]) -> Self {
+    /// Snapshot-diff of two full rule lists — the **test oracle** for the
+    /// lattice-level patching [`StreamingMiner::push_batch`] performs
+    /// (the production path never materializes two full rule sets).
+    pub fn between(old: &[Rule], new: &[Rule]) -> Self {
         let key = |r: &Rule| (r.antecedent.clone(), r.consequent.clone());
         let old_by_key: HashMap<_, &Rule> = old.iter().map(|r| (key(r), r)).collect();
         let mut delta = RuleSetDelta::default();
@@ -179,7 +196,27 @@ pub struct BasesDelta {
 }
 
 impl BasesDelta {
-    fn between(old: &MinedBases, new: &MinedBases, epoch: u64, appended: usize) -> Self {
+    /// A delta that reports no movement — what an empty batch returns.
+    pub fn empty(epoch: u64, n_objects: usize, min_count: Support) -> Self {
+        BasesDelta {
+            epoch,
+            appended: 0,
+            n_objects,
+            min_count,
+            closed_added: Vec::new(),
+            closed_removed: Vec::new(),
+            dg: RuleSetDelta::default(),
+            lux_full: RuleSetDelta::default(),
+            lux_reduced: RuleSetDelta::default(),
+        }
+    }
+
+    /// Snapshot-diff of two fully materialized base bundles — the **test
+    /// oracle** the per-batch lattice-level patching is property-tested
+    /// against. The production [`StreamingMiner::push_batch`] computes
+    /// its delta directly from the touched-class set instead of calling
+    /// this.
+    pub fn between(old: &MinedBases, new: &MinedBases, epoch: u64, appended: usize) -> Self {
         let old_sets: HashSet<&Itemset> = old.closed.iter().map(|(s, _)| s).collect();
         let new_sets: HashSet<&Itemset> = new.closed.iter().map(|(s, _)| s).collect();
         BasesDelta {
@@ -217,6 +254,185 @@ impl BasesDelta {
     }
 }
 
+/// A rule's identity in the maintained maps: `(X ∪ Z, X)` — exactly
+/// [`Rule::sort_key`], so iterating a map in key order yields the
+/// canonical sorted rule list.
+type RuleKey = (Itemset, Itemset);
+
+/// The incrementally maintained products of a streaming session: iceberg
+/// membership per lattice node, the two Luxenburger rule maps, and the
+/// Duquenne-Guigues premises. [`StreamingMiner::push_batch`] patches this
+/// in place from each batch's [`LatticeDelta`]; materializing a
+/// [`MinedBases`] bundle just reads it out.
+#[derive(Debug, Default)]
+struct MaintainedBases {
+    /// Absolute support threshold at the current row count.
+    min_count: Support,
+    /// `in_iceberg[id]` ⇔ lattice node `id` has `support ≥ min_count`.
+    in_iceberg: Vec<bool>,
+    /// The reduced Luxenburger basis (iceberg Hasse edges, bottom edges
+    /// kept — reporting filters them), keyed canonically.
+    lux_reduced: BTreeMap<RuleKey, Rule>,
+    /// The full Luxenburger basis (comparable iceberg pairs), keyed
+    /// canonically.
+    lux_full: BTreeMap<RuleKey, Rule>,
+    /// The frequent pseudo-closed sets (canonical order) and, aligned,
+    /// the lattice node id of each closure (for O(1) support refresh).
+    dg: Vec<PseudoClosed>,
+    dg_nodes: Vec<usize>,
+}
+
+/// The reduced-basis rule of lattice edge `i → j`, if it qualifies: both
+/// endpoints frequent, the edge present in the maintained diagram, and
+/// the edge confidence at threshold. (Bottom edges are kept — the
+/// derivation engines need them; reporting filters.)
+fn reduced_rule(
+    lattice: &IncrementalLattice,
+    in_iceberg: &[bool],
+    minconf: f64,
+    i: usize,
+    j: usize,
+) -> Option<Rule> {
+    if !in_iceberg[i] || !in_iceberg[j] || !lattice.upper_covers(i).contains(&j) {
+        return None;
+    }
+    let (c1, s1) = lattice.node(i);
+    let (c2, s2) = lattice.node(j);
+    if (s2 as f64) < minconf * s1 as f64 {
+        return None;
+    }
+    Some(Rule::new(c1.clone(), c2.difference(c1), s2, s1))
+}
+
+/// The full-basis rule of the comparable pair `(i, j)` (`c_i ⊂ c_j`), if
+/// it qualifies: both endpoints frequent, confidence at threshold, and
+/// the antecedent non-empty unless configured otherwise.
+fn full_rule(
+    lattice: &IncrementalLattice,
+    in_iceberg: &[bool],
+    minconf: f64,
+    include_empty_antecedent: bool,
+    i: usize,
+    j: usize,
+) -> Option<Rule> {
+    if !in_iceberg[i] || !in_iceberg[j] {
+        return None;
+    }
+    let (c1, s1) = lattice.node(i);
+    let (c2, s2) = lattice.node(j);
+    if c1.is_empty() && !include_empty_antecedent {
+        return None;
+    }
+    if !c1.is_proper_subset_of(c2) || (s2 as f64) < minconf * s1 as f64 {
+        return None;
+    }
+    Some(Rule::new(c1.clone(), c2.difference(c1), s2, s1))
+}
+
+/// The map key of the rule between nodes `i ⊂ j` — derivable without
+/// building the rule, so disqualified candidates can still look up (and
+/// retire) their old entry.
+fn pair_key(lattice: &IncrementalLattice, i: usize, j: usize) -> RuleKey {
+    let (c1, _) = lattice.node(i);
+    let (c2, _) = lattice.node(j);
+    (c2.clone(), c1.clone())
+}
+
+/// Reconciles one candidate rule slot against the maintained map,
+/// recording the movement: absent→present is an addition, present→absent
+/// a removal, a changed value a restatement.
+fn reconcile(
+    map: &mut BTreeMap<RuleKey, Rule>,
+    key: RuleKey,
+    new: Option<Rule>,
+    delta: &mut RuleSetDelta,
+) {
+    match (map.get(&key), new) {
+        (None, Some(rule)) => {
+            delta.added.push(rule.clone());
+            map.insert(key, rule);
+        }
+        (Some(old), None) => {
+            delta.removed.push(old.clone());
+            map.remove(&key);
+        }
+        (Some(old), Some(rule)) => {
+            if *old != rule {
+                delta.restated += 1;
+                map.insert(key, rule);
+            }
+        }
+        (None, None) => {}
+    }
+}
+
+/// The DG rule of one pseudo-closed entry.
+fn dg_rule(p: &PseudoClosed) -> Rule {
+    Rule::new(
+        p.set.clone(),
+        p.closure.difference(&p.set),
+        p.support,
+        p.support,
+    )
+}
+
+impl MaintainedBases {
+    /// Rebuilds the whole maintained state from scratch against the
+    /// current lattice — the seed-time construction (per-batch updates
+    /// go through [`StreamingMiner::patch_bases`] instead).
+    fn rebuild(config: &RuleMiner, ctx: &MiningContext, lattice: &IncrementalLattice) -> Self {
+        let minconf = config.min_confidence_config();
+        let include_empty = config.include_empty_antecedent_config();
+        let min_count = min_count_for(config.min_support_config(), ctx.n_objects());
+        let n = lattice.n_nodes();
+        let in_iceberg: Vec<bool> = (0..n).map(|i| lattice.node(i).1 >= min_count).collect();
+        let mut state = MaintainedBases {
+            min_count,
+            in_iceberg,
+            ..MaintainedBases::default()
+        };
+        for i in 0..n {
+            for &j in lattice.upper_covers(i) {
+                if let Some(rule) = reduced_rule(lattice, &state.in_iceberg, minconf, i, j) {
+                    state.lux_reduced.insert(pair_key(lattice, i, j), rule);
+                }
+            }
+            for j in 0..n {
+                if let Some(rule) =
+                    full_rule(lattice, &state.in_iceberg, minconf, include_empty, i, j)
+                {
+                    state.lux_full.insert(pair_key(lattice, i, j), rule);
+                }
+            }
+        }
+        state.rebuild_dg(ctx.n_items(), lattice);
+        state
+    }
+
+    /// Recomputes the frequent pseudo-closed sets from the maintained
+    /// iceberg family (no frequent-itemset walk — see
+    /// [`pseudo_closed_of_family`]).
+    fn rebuild_dg(&mut self, n_items: usize, lattice: &IncrementalLattice) {
+        let family: Vec<(Itemset, Support)> = (0..lattice.n_nodes())
+            .filter(|&i| self.in_iceberg[i])
+            .map(|i| {
+                let (set, support) = lattice.node(i);
+                (set.clone(), support)
+            })
+            .collect();
+        self.dg = pseudo_closed_of_family(&family, n_items);
+        self.dg_nodes = self
+            .dg
+            .iter()
+            .map(|p| {
+                lattice
+                    .position(&p.closure)
+                    .expect("pseudo-closure is a lattice node")
+            })
+            .collect();
+    }
+}
+
 /// A live bases-mining session over a growing database — built with
 /// [`RuleMiner::streaming`], driven with [`StreamingMiner::push_batch`],
 /// read with [`StreamingMiner::bases`] (see the [module docs](self) for
@@ -227,7 +443,10 @@ pub struct StreamingMiner {
     db: Arc<TransactionDb>,
     ctx: MiningContext,
     lattice: IncrementalLattice,
-    bases: MinedBases,
+    state: MaintainedBases,
+    /// The last materialized bundle; invalidated by every push and
+    /// rebuilt on demand by [`StreamingMiner::bases`].
+    cached: Option<MinedBases>,
 }
 
 impl StreamingMiner {
@@ -242,67 +461,265 @@ impl StreamingMiner {
         for t in 0..db.n_transactions() {
             lattice.insert_object(&Itemset::from_sorted(db.transaction(t).to_vec()));
         }
-        let min_count = min_count_for(config.min_support_config(), ctx.n_objects());
-        let (snapshot, tags) = lattice.snapshot(min_count);
-        let bases = assemble_bases(&config, &ctx, snapshot, tags, min_count);
+        let state = MaintainedBases::rebuild(&config, &ctx, &lattice);
         StreamingMiner {
             config,
             db,
             ctx,
             lattice,
-            bases,
+            state,
+            cached: None,
         }
     }
 
     /// Appends one batch of transactions and patches everything the
     /// session maintains — engine, lattice, and all three bases — without
-    /// re-mining. Thresholds rescale to the grown row count (a fractional
-    /// minimum support rises in absolute terms as rows arrive). Returns
-    /// what changed; on error nothing changed.
+    /// re-mining and at delta cost: the append allocates one storage
+    /// segment, the engine absorbs the delta in place, and the bases are
+    /// patched from the lattice's touched-class report (only rules whose
+    /// antecedent/consequent closure class was touched, or whose class
+    /// crossed the rescaled threshold, are reconsidered). Thresholds
+    /// rescale to the grown row count (a fractional minimum support rises
+    /// in absolute terms as rows arrive). Returns what changed; on error
+    /// nothing changed.
     ///
     /// An empty batch is a no-op: it returns an empty delta without
     /// advancing the epoch or touching any layer.
     pub fn push_batch(&mut self, rows: Vec<Vec<u32>>) -> Result<BasesDelta, StreamError> {
         if rows.is_empty() {
-            return Ok(BasesDelta {
-                epoch: self.db.epoch(),
-                appended: 0,
-                n_objects: self.n_objects(),
-                min_count: self.bases.min_count,
-                closed_added: Vec::new(),
-                closed_removed: Vec::new(),
-                dg: RuleSetDelta::default(),
-                lux_full: RuleSetDelta::default(),
-                lux_reduced: RuleSetDelta::default(),
-            });
+            return Ok(BasesDelta::empty(
+                self.db.epoch(),
+                self.n_objects(),
+                self.state.min_count,
+            ));
         }
-        // The engines hold the previous snapshot and swap to the grown
-        // one during apply_delta, so this clone is the one O(|db|) cost
-        // of a push (everything downstream is delta-sized); an
-        // append-in-place snapshot scheme is a ROADMAP open item.
+        // Cloning the view is O(#segments): the segments themselves are
+        // Arc-shared with the engines' pinned snapshot, and append_rows
+        // only allocates the batch's own segment.
         let mut grown = TransactionDb::clone(&self.db);
         let info = grown.append_rows(rows)?;
         let grown = Arc::new(grown);
         let delta = TxDelta::new(Arc::clone(&grown), info);
         self.ctx.apply_delta(&delta)?;
+        let mut touched = LatticeDelta::default();
         for t in delta.start()..delta.end() {
-            self.lattice
-                .insert_object(&Itemset::from_sorted(grown.transaction(t).to_vec()));
+            touched.absorb(
+                self.lattice
+                    .insert_object_delta(&Itemset::from_sorted(grown.transaction(t).to_vec())),
+            );
         }
         self.db = grown;
-        let min_count = min_count_for(self.config.min_support_config(), self.ctx.n_objects());
-        let (snapshot, tags) = self.lattice.snapshot(min_count);
-        let bases = assemble_bases(&self.config, &self.ctx, snapshot, tags, min_count);
-        let report = BasesDelta::between(&self.bases, &bases, delta.epoch(), delta.n_appended());
-        self.bases = bases;
+        let report = self.patch_bases(&touched, delta.epoch(), delta.n_appended());
+        self.cached = None;
         Ok(report)
     }
 
+    /// Patches the maintained bases from one batch's accumulated
+    /// [`LatticeDelta`], computing the [`BasesDelta`] directly: the only
+    /// rule slots reconsidered are those incident to a touched class, to
+    /// a class whose iceberg membership flipped under the rescaled
+    /// threshold, or to a covering edge interposition removed.
+    fn patch_bases(&mut self, touched: &LatticeDelta, epoch: u64, appended: usize) -> BasesDelta {
+        let lattice = &self.lattice;
+        let state = &mut self.state;
+        let minconf = self.config.min_confidence_config();
+        let include_empty = self.config.include_empty_antecedent_config();
+        let n_nodes = lattice.n_nodes();
+        let old_min = state.min_count;
+        let new_min = min_count_for(self.config.min_support_config(), self.ctx.n_objects());
+        state.in_iceberg.resize(n_nodes, false);
+
+        // Per-node bump counts — how supports looked before the batch.
+        let mut bumps: HashMap<usize, Support> = HashMap::new();
+        for &id in &touched.bumped {
+            *bumps.entry(id).or_insert(0) += 1;
+        }
+
+        // Membership flips: only touched nodes can flip while the
+        // threshold stands still; when it moves, every node is a
+        // candidate (an O(classes) flag scan, independent of row count).
+        let mut affected: BTreeSet<usize> = touched.touched().into_iter().collect();
+        let flip_candidates: Vec<usize> = if new_min != old_min {
+            (0..n_nodes).collect()
+        } else {
+            affected.iter().copied().collect()
+        };
+        let mut entered: Vec<usize> = Vec::new();
+        let mut left: Vec<usize> = Vec::new();
+        for id in flip_candidates {
+            let now_in = lattice.node(id).1 >= new_min;
+            if now_in != state.in_iceberg[id] {
+                if now_in {
+                    entered.push(id);
+                } else {
+                    left.push(id);
+                }
+                state.in_iceberg[id] = now_in;
+                affected.insert(id);
+            }
+        }
+        state.min_count = new_min;
+
+        // Reduced basis: reconsider every edge incident to an affected
+        // node, plus the edges interposition removed.
+        let mut candidate_edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for &a in &affected {
+            for &u in lattice.upper_covers(a) {
+                candidate_edges.insert((a, u));
+            }
+            for &l in lattice.lower_covers(a) {
+                candidate_edges.insert((l, a));
+            }
+        }
+        candidate_edges.extend(touched.removed_edges.iter().copied());
+        let mut lux_reduced = RuleSetDelta::default();
+        for (i, j) in candidate_edges {
+            let new = reduced_rule(lattice, &state.in_iceberg, minconf, i, j);
+            reconcile(
+                &mut state.lux_reduced,
+                pair_key(lattice, i, j),
+                new,
+                &mut lux_reduced,
+            );
+        }
+
+        // Full basis: reconsider every comparable pair with an affected
+        // endpoint.
+        let mut candidate_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for &a in &affected {
+            let (ca, _) = lattice.node(a);
+            for b in 0..n_nodes {
+                if b == a {
+                    continue;
+                }
+                let (cb, _) = lattice.node(b);
+                if ca.is_proper_subset_of(cb) {
+                    candidate_pairs.insert((a, b));
+                } else if cb.is_proper_subset_of(ca) {
+                    candidate_pairs.insert((b, a));
+                }
+            }
+        }
+        let mut lux_full = RuleSetDelta::default();
+        for (i, j) in candidate_pairs {
+            let new = full_rule(lattice, &state.in_iceberg, minconf, include_empty, i, j);
+            reconcile(
+                &mut state.lux_full,
+                pair_key(lattice, i, j),
+                new,
+                &mut lux_full,
+            );
+        }
+        lux_reduced.added.sort();
+        lux_reduced.removed.sort();
+        lux_full.added.sort();
+        lux_full.removed.sort();
+
+        // DG basis. The premises depend only on the iceberg *family* of
+        // intents: while no class entered or left, the batch can only
+        // restate supports (a pseudo-closed set's support is its closure
+        // class's). When the family moved, recompute the premises from
+        // the maintained family and diff the two DG-sized lists.
+        let dg = if entered.is_empty() && left.is_empty() {
+            let mut restated = 0;
+            for (p, node) in state.dg.iter_mut().zip(&state.dg_nodes) {
+                if let Some(&b) = bumps.get(node) {
+                    p.support += b;
+                    restated += 1;
+                }
+            }
+            RuleSetDelta {
+                restated,
+                ..RuleSetDelta::default()
+            }
+        } else {
+            let old_rules: Vec<Rule> = state.dg.iter().map(dg_rule).collect();
+            state.rebuild_dg(self.ctx.n_items(), lattice);
+            let new_rules: Vec<Rule> = state.dg.iter().map(dg_rule).collect();
+            // Both lists are DG-sized (the smallest basis), canonically
+            // ordered by premise: diffing them IS the delta-sized
+            // computation here, so the oracle formulation serves as is.
+            RuleSetDelta::between(&old_rules, &new_rules)
+        };
+
+        let mut closed_added: Vec<Itemset> = entered
+            .iter()
+            .map(|&id| lattice.node(id).0.clone())
+            .collect();
+        let mut closed_removed: Vec<Itemset> =
+            left.iter().map(|&id| lattice.node(id).0.clone()).collect();
+        closed_added.sort();
+        closed_removed.sort();
+
+        BasesDelta {
+            epoch,
+            appended,
+            n_objects: self.ctx.n_objects(),
+            min_count: new_min,
+            closed_added,
+            closed_removed,
+            dg,
+            lux_full,
+            lux_reduced,
+        }
+    }
+
+    /// Materializes the maintained state as a [`MinedBases`] bundle.
+    fn materialize(&self) -> MinedBases {
+        let min_count = self.state.min_count;
+        let (lattice, minimal_generators) = self.lattice.snapshot(min_count);
+        let n = self.ctx.n_objects();
+        let closed = ClosedItemsets::from_pairs(
+            (0..lattice.n_nodes())
+                .map(|i| {
+                    let (s, sup) = lattice.node(i);
+                    (s.clone(), sup)
+                })
+                .collect(),
+            min_count,
+            n,
+        );
+        let frequent = derive_frequent(&closed, &self.config, &self.ctx);
+        let dg =
+            DuquenneGuiguesBasis::from_pseudo_closed(self.state.dg.clone(), self.ctx.n_items());
+        let lux_full = LuxenburgerBasis::from_sorted_rules(
+            self.state.lux_full.values().cloned().collect(),
+            self.config.min_confidence_config(),
+            false,
+        );
+        let lux_reduced = LuxenburgerBasis::from_sorted_rules(
+            self.state.lux_reduced.values().cloned().collect(),
+            self.config.min_confidence_config(),
+            true,
+        );
+        MinedBases {
+            min_count,
+            n_objects: n,
+            min_support: self.config.min_support_config(),
+            min_confidence: self.config.min_confidence_config(),
+            include_empty_antecedent: self.config.include_empty_antecedent_config(),
+            pipeline: PipelineKind::Fused,
+            frequent,
+            closed,
+            lattice,
+            minimal_generators: Some(minimal_generators),
+            dg,
+            lux_full,
+            lux_reduced,
+        }
+    }
+
     /// The current bases — the same bundle a one-shot
-    /// [`PipelineKind::Fused`](crate::PipelineKind::Fused) run over the
-    /// grown database would produce.
-    pub fn bases(&self) -> &MinedBases {
-        &self.bases
+    /// [`PipelineKind::Fused`] run over the
+    /// grown database would produce. Materialized from the maintained
+    /// state on first call after a batch, then cached (which is why this
+    /// takes `&mut self`); [`StreamingMiner::push_batch`] itself never
+    /// pays for materialization.
+    pub fn bases(&mut self) -> &MinedBases {
+        if self.cached.is_none() {
+            self.cached = Some(self.materialize());
+        }
+        self.cached.as_ref().expect("just materialized")
     }
 
     /// The live mining context (delta-maintained engine included).
@@ -314,7 +731,8 @@ impl StreamingMiner {
         &self.ctx
     }
 
-    /// The grown database.
+    /// The grown database (a cheap view over the session's shared
+    /// storage segments).
     pub fn db(&self) -> &TransactionDb {
         &self.db
     }
@@ -389,7 +807,7 @@ mod tests {
         assert_eq!(delta.appended, 5);
         assert_same_bases(stream.bases(), &fused, "one batch");
         // And seeding the session with the full db gives the same state.
-        let seeded = miner.streaming(paper_example());
+        let mut seeded = miner.streaming(paper_example());
         assert_same_bases(seeded.bases(), &fused, "seeded");
     }
 
@@ -406,6 +824,62 @@ mod tests {
                 .mine(TransactionDb::from_rows(rows[..end].to_vec()));
             assert_same_bases(stream.bases(), &oracle, &format!("prefix {end}"));
             assert_eq!(stream.epoch(), end as u64);
+        }
+    }
+
+    #[test]
+    fn per_batch_deltas_match_the_snapshot_diff_oracle() {
+        // The direct (lattice-level) BasesDelta equals the PR 4
+        // formulation: diff the fully materialized before/after bundles.
+        let miner = RuleMiner::new(MinSupport::Fraction(0.3)).min_confidence(0.5);
+        let rows: Vec<Vec<u32>> = (0..30u32)
+            .map(|t| vec![t % 4, 4 + t % 3, 7 + (t / 5) % 2])
+            .collect();
+        let mut stream = miner.streaming(TransactionDb::from_rows(vec![]));
+        let mut seen = 0;
+        for chunk in rows.chunks(3) {
+            let before = miner
+                .clone()
+                .pipeline(PipelineKind::Fused)
+                .mine(TransactionDb::from_rows(rows[..seen].to_vec()));
+            seen += chunk.len();
+            let after = miner
+                .clone()
+                .pipeline(PipelineKind::Fused)
+                .mine(TransactionDb::from_rows(rows[..seen].to_vec()));
+            let direct = stream.push_batch(chunk.to_vec()).unwrap();
+            let oracle = BasesDelta::between(&before, &after, direct.epoch, chunk.len());
+            assert_delta_eq(&direct, &oracle, &format!("prefix {seen}"));
+        }
+    }
+
+    pub(crate) fn assert_delta_eq(direct: &BasesDelta, oracle: &BasesDelta, label: &str) {
+        assert_eq!(direct.n_objects, oracle.n_objects, "{label}: n_objects");
+        assert_eq!(direct.min_count, oracle.min_count, "{label}: min_count");
+        assert_eq!(
+            direct.closed_added, oracle.closed_added,
+            "{label}: closed_added"
+        );
+        assert_eq!(
+            direct.closed_removed, oracle.closed_removed,
+            "{label}: closed_removed"
+        );
+        for (name, d, o) in [
+            ("dg", &direct.dg, &oracle.dg),
+            ("lux_full", &direct.lux_full, &oracle.lux_full),
+            ("lux_reduced", &direct.lux_reduced, &oracle.lux_reduced),
+        ] {
+            let mut da = d.added.clone();
+            let mut oa = o.added.clone();
+            da.sort();
+            oa.sort();
+            assert_eq!(da, oa, "{label}: {name} added");
+            let mut dr = d.removed.clone();
+            let mut or = o.removed.clone();
+            dr.sort();
+            or.sort();
+            assert_eq!(dr, or, "{label}: {name} removed");
+            assert_eq!(d.restated, o.restated, "{label}: {name} restated");
         }
     }
 
@@ -507,5 +981,25 @@ mod tests {
             .removed
             .iter()
             .any(|r| r.antecedent == Itemset::from_ids([1])));
+    }
+
+    #[test]
+    fn push_batch_shares_storage_with_the_engine_snapshot() {
+        // The zero-copy invariant at the session level: a push allocates
+        // one new segment, leaves every prefix segment shared, and the
+        // engine copies O(batch) bytes.
+        let mut stream = RuleMiner::new(MinSupport::Count(2)).streaming(paper_example());
+        let before_addrs = stream.db().segment_addrs();
+        let before_bytes = stream.context().closure_cache_stats().bytes_copied;
+        stream.push_batch(vec![vec![1, 3]]).unwrap();
+        let after_addrs = stream.db().segment_addrs();
+        assert_eq!(after_addrs.len(), before_addrs.len() + 1);
+        assert_eq!(&after_addrs[..before_addrs.len()], &before_addrs[..]);
+        let copied = stream.context().closure_cache_stats().bytes_copied - before_bytes;
+        assert!(copied > 0, "delta application reads the appended rows");
+        assert!(
+            copied < 128,
+            "1-row append must copy O(row) bytes: {copied}"
+        );
     }
 }

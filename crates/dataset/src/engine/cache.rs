@@ -38,6 +38,14 @@ pub struct CacheStats {
     /// — the closure primitive the levelwise miners drive directly from
     /// an extent they already hold).
     pub intents: u64,
+    /// Bytes of horizontal row storage (CSR items + offsets) this engine
+    /// stack copied into engine structures while absorbing append deltas
+    /// ([`DeltaSupportEngine::apply_delta`]). Flat backends charge the
+    /// appended rows only; the sharded backend additionally charges every
+    /// shard it rebuilds (spills, density flips). The streaming
+    /// acceptance pins read this counter: a delta-sized pipeline charges
+    /// O(batch) here, never O(database).
+    pub bytes_copied: u64,
 }
 
 impl CacheStats {
@@ -52,6 +60,7 @@ impl CacheStats {
             extents: self.extents + other.extents,
             supports: self.supports + other.supports,
             intents: self.intents + other.intents,
+            bytes_copied: self.bytes_copied + other.bytes_copied,
         }
     }
 
@@ -278,6 +287,10 @@ impl SupportEngine for CachedEngine {
     /// a sharded backend report through
     /// [`CachedEngine::backend_stats`], never merged in here (merging
     /// would double-count a single closure query as one miss per layer).
+    /// The one exception is `bytes_copied`: the cache layer itself never
+    /// copies row storage, so the backend's delta-copy tally passes
+    /// through — one read shows the whole stack's copies, still counted
+    /// exactly once.
     fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -286,6 +299,7 @@ impl SupportEngine for CachedEngine {
             extents: self.extents.load(Ordering::Relaxed),
             supports: self.supports.load(Ordering::Relaxed),
             intents: self.intents.load(Ordering::Relaxed),
+            bytes_copied: self.inner.cache_stats().bytes_copied,
         }
     }
 }
@@ -396,6 +410,7 @@ mod tests {
             extents: 7,
             supports: 11,
             intents: 2,
+            bytes_copied: 100,
         };
         let b = CacheStats {
             hits: 10,
@@ -404,6 +419,7 @@ mod tests {
             extents: 1,
             supports: 4,
             intents: 3,
+            bytes_copied: 28,
         };
         let merged = a.merge(b);
         assert_eq!(merged.hits, 13);
@@ -412,6 +428,7 @@ mod tests {
         assert_eq!(merged.extents, 8);
         assert_eq!(merged.supports, 15);
         assert_eq!(merged.intents, 5);
+        assert_eq!(merged.bytes_copied, 128);
         assert_eq!(merged.lookups(), 20);
         assert_eq!(merged.engine_calls(), 48);
         // Identity and commutativity.

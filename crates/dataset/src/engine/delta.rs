@@ -123,6 +123,23 @@ impl TxDelta {
     pub fn grew_universe(&self) -> bool {
         self.db.n_items() > self.info.prior_items
     }
+
+    /// Number of `(object, item)` entries across the appended rows.
+    pub fn appended_entries(&self) -> usize {
+        self.db.entries_in_rows(self.start(), self.end())
+    }
+
+    /// Bytes of CSR row storage the appended rows occupy (see
+    /// [`row_storage_bytes`](crate::storage::row_storage_bytes)) — what a
+    /// delta-aware backend charges to
+    /// [`CacheStats::bytes_copied`](super::CacheStats) when it ingests
+    /// this batch. Zero for an empty batch.
+    pub fn appended_bytes(&self) -> u64 {
+        if self.n_appended() == 0 {
+            return 0;
+        }
+        crate::storage::row_storage_bytes(self.n_appended(), self.appended_entries()) as u64
+    }
 }
 
 /// Why a delta could not be applied.

@@ -1,7 +1,7 @@
 //! The dense bitset backend.
 
 use super::delta::{check_epoch, DeltaError, DeltaSupportEngine, TxDelta};
-use super::{intent_of, EngineKind, SupportEngine};
+use super::{intent_of, CacheStats, EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
@@ -25,6 +25,9 @@ pub struct DenseEngine {
     vertical: VerticalDb,
     horizontal: Arc<TransactionDb>,
     epoch: u64,
+    /// Row-storage bytes ingested by delta applications (delta-sized by
+    /// construction: only the appended rows are read).
+    bytes_copied: u64,
 }
 
 impl DenseEngine {
@@ -34,6 +37,7 @@ impl DenseEngine {
             vertical: VerticalDb::from_horizontal(db),
             horizontal: Arc::clone(db),
             epoch: db.epoch(),
+            bytes_copied: 0,
         }
     }
 
@@ -49,6 +53,7 @@ impl DeltaSupportEngine for DenseEngine {
         self.vertical.extend_from(delta.db(), delta.start());
         self.horizontal = Arc::clone(delta.db_arc());
         self.epoch = delta.epoch();
+        self.bytes_copied += delta.appended_bytes();
         Ok(())
     }
 }
@@ -106,6 +111,13 @@ impl SupportEngine for DenseEngine {
 
     fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
         intent_of(&self.horizontal, tidset)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            bytes_copied: self.bytes_copied,
+            ..CacheStats::default()
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! The diffset backend (dEclat-style complements).
 
 use super::delta::{check_epoch, DeltaError, DeltaSupportEngine, TxDelta};
-use super::{intent_of, EngineKind, SupportEngine};
+use super::{intent_of, CacheStats, EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
@@ -30,6 +30,8 @@ pub struct DiffsetEngine {
     n_objects: usize,
     horizontal: Arc<TransactionDb>,
     epoch: u64,
+    /// Row-storage bytes ingested by delta applications.
+    bytes_copied: u64,
 }
 
 impl DiffsetEngine {
@@ -54,6 +56,7 @@ impl DiffsetEngine {
             n_objects,
             horizontal: Arc::clone(db),
             epoch: db.epoch(),
+            bytes_copied: 0,
         }
     }
 
@@ -89,6 +92,7 @@ impl DeltaSupportEngine for DiffsetEngine {
         self.n_objects = db.n_transactions();
         self.horizontal = Arc::clone(delta.db_arc());
         self.epoch = delta.epoch();
+        self.bytes_copied += delta.appended_bytes();
         Ok(())
     }
 }
@@ -193,6 +197,13 @@ impl SupportEngine for DiffsetEngine {
 
     fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
         intent_of(&self.horizontal, tidset)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            bytes_copied: self.bytes_copied,
+            ..CacheStats::default()
+        }
     }
 }
 

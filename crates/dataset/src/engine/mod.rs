@@ -195,7 +195,9 @@ pub trait SupportEngine: fmt::Debug + Send + Sync {
     }
 
     /// Closure-cache statistics, when the engine carries a cache (see
-    /// [`CachedEngine`]). Plain backends report zeros.
+    /// [`CachedEngine`]). Plain backends report zeros everywhere except
+    /// [`CacheStats::bytes_copied`], the delta-copy tally every
+    /// delta-aware backend maintains.
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }

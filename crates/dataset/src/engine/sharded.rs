@@ -83,6 +83,12 @@ pub struct ShardedEngine {
     cached: bool,
     /// Append epoch of the data the shards reflect.
     epoch: u64,
+    /// Row-storage bytes this engine read into rebuilt shard backends
+    /// during delta applications (spills and density flips — the slices
+    /// themselves are zero-copy views since the segmented store). Folded
+    /// into [`SupportEngine::cache_stats`] alongside the per-shard
+    /// counters.
+    bytes_copied: u64,
 }
 
 impl ShardedEngine {
@@ -126,6 +132,7 @@ impl ShardedEngine {
             inner_kind: inner.clone(),
             cached,
             epoch: db.epoch(),
+            bytes_copied: 0,
         }
     }
 
@@ -224,8 +231,17 @@ impl ShardedEngine {
 
     /// Rebuilds shard `s` as rows `lo..hi` of `db` with a backend
     /// re-resolved by the slice's own density — how a spilled or
-    /// density-flipped tail gets its representation.
-    fn rebuild_shard(&self, db: &TransactionDb, lo: usize, hi: usize) -> Arc<dyn SupportEngine> {
+    /// density-flipped tail gets its representation. The slice is a
+    /// zero-copy view; the rows it covers are charged to the engine's
+    /// `bytes_copied` tally because the new backend reads them all.
+    fn rebuild_shard(
+        &mut self,
+        db: &TransactionDb,
+        lo: usize,
+        hi: usize,
+    ) -> Arc<dyn SupportEngine> {
+        self.bytes_copied +=
+            crate::storage::row_storage_bytes(hi - lo, db.entries_in_rows(lo, hi)) as u64;
         shard_backend(
             Arc::new(db.slice_rows(lo, hi)),
             &self.inner_kind,
@@ -273,7 +289,9 @@ impl DeltaSupportEngine for ShardedEngine {
     /// * when the batch grew the item universe, the non-tail shards are
     ///   refreshed with empty local deltas so their universes agree —
     ///   without this, the intent of an empty extent would meet at the
-    ///   *old* universe;
+    ///   *old* universe. Since the segmented store, the refreshed shard
+    ///   views are zero-copy windows (`n_items` lives on the view), so
+    ///   this touches no row storage;
     /// * when the configured inner kind is `Auto` and the batch flipped
     ///   the tail across a density threshold
     ///   ([`EngineKind::select_by_density`]), the tail backend is rebuilt
@@ -307,6 +325,11 @@ impl DeltaSupportEngine for ShardedEngine {
             // snapshot beats delta-applying a tail that is about to be
             // re-cut anyway.
             let split = lo + (tail_len - 1) / 64 * 64;
+            // The replaced tail's own delta-copy tally must survive the
+            // swap (the fold in cache_stats reads live shards only), or
+            // the merged bytes_copied counter would run backwards across
+            // a spill and underflow windowed before/after readings.
+            self.bytes_copied += self.shards[tail].cache_stats().bytes_copied;
             let sealed = self.rebuild_shard(delta.db(), lo, split);
             let new_tail = self.rebuild_shard(delta.db(), split, n_new);
             self.shards[tail] = sealed;
@@ -322,6 +345,8 @@ impl DeltaSupportEngine for ShardedEngine {
                     .inner_kind
                     .select_by_density(delta.db().rows_density(lo, n_new), tail_len);
                 if want != self.shards[tail].resolved_kind() {
+                    // Same monotonicity guard as the spill path above.
+                    self.bytes_copied += self.shards[tail].cache_stats().bytes_copied;
                     let flipped = self.rebuild_shard(delta.db(), lo, n_new);
                     self.shards[tail] = flipped;
                 }
@@ -431,11 +456,13 @@ impl SupportEngine for ShardedEngine {
     }
 
     fn cache_stats(&self) -> CacheStats {
+        let own = CacheStats {
+            bytes_copied: self.bytes_copied,
+            ..CacheStats::default()
+        };
         self.shards
             .iter()
-            .fold(CacheStats::default(), |acc, shard| {
-                acc.merge(shard.cache_stats())
-            })
+            .fold(own, |acc, shard| acc.merge(shard.cache_stats()))
     }
 }
 
@@ -774,6 +801,35 @@ mod tests {
             .apply_delta(&TxDelta::new(Arc::new(db2), info))
             .unwrap();
         assert_eq!(pinned.shard_names(), vec!["tid-list", "tid-list"]);
+    }
+
+    #[test]
+    fn bytes_copied_is_monotone_across_spills_and_flips() {
+        // Regression: replacing the tail shard (spill or density flip)
+        // must not drop that shard's accumulated delta-copy tally — the
+        // merged counter is read in before/after windows and must never
+        // run backwards.
+        let mut db = TransactionDb::from_rows((0..64u32).map(|t| vec![t % 5]).collect());
+        let mut engine =
+            ShardedEngine::from_horizontal(&Arc::new(db.clone()), 1, &EngineKind::Auto);
+        let mut last = 0u64;
+        // 70 single-row appends cross the 64-row spill budget (and flip
+        // densities as full rows arrive).
+        for i in 0..70u32 {
+            let row = if i % 3 == 0 {
+                vec![0, 1, 2, 3, 4]
+            } else {
+                vec![i % 5]
+            };
+            let info = db.append_rows(vec![row]).unwrap();
+            engine
+                .apply_delta(&TxDelta::new(Arc::new(db.clone()), info))
+                .unwrap();
+            let now = engine.cache_stats().bytes_copied;
+            assert!(now >= last, "bytes_copied ran backwards: {last} -> {now}");
+            last = now;
+        }
+        assert!(engine.n_shards() >= 2, "the stream must have spilled");
     }
 
     #[test]

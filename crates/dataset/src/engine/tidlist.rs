@@ -2,7 +2,7 @@
 //! `rulebases_mining::tidlist::TidListDb`).
 
 use super::delta::{check_epoch, DeltaError, DeltaSupportEngine, TxDelta};
-use super::{intent_of, EngineKind, SupportEngine};
+use super::{intent_of, CacheStats, EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
@@ -64,6 +64,8 @@ pub struct TidListEngine {
     n_objects: usize,
     horizontal: Arc<TransactionDb>,
     epoch: u64,
+    /// Row-storage bytes ingested by delta applications.
+    bytes_copied: u64,
 }
 
 impl TidListEngine {
@@ -81,6 +83,7 @@ impl TidListEngine {
             n_objects: db.n_transactions(),
             horizontal: Arc::clone(db),
             epoch: db.epoch(),
+            bytes_copied: 0,
         }
     }
 
@@ -128,6 +131,7 @@ impl DeltaSupportEngine for TidListEngine {
         self.n_objects = db.n_transactions();
         self.horizontal = Arc::clone(delta.db_arc());
         self.epoch = delta.epoch();
+        self.bytes_copied += delta.appended_bytes();
         Ok(())
     }
 }
@@ -189,6 +193,13 @@ impl SupportEngine for TidListEngine {
 
     fn closure_of_tidset(&self, tidset: &BitSet) -> Itemset {
         intent_of(&self.horizontal, tidset)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            bytes_copied: self.bytes_copied,
+            ..CacheStats::default()
+        }
     }
 }
 

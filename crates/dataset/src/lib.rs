@@ -56,6 +56,7 @@ pub mod itemset;
 pub mod pool;
 pub mod sampling;
 pub mod stats;
+pub mod storage;
 pub mod support;
 pub mod transaction;
 pub mod vertical;
@@ -71,6 +72,7 @@ pub use item::{Item, ItemDictionary};
 pub use itemset::Itemset;
 pub use pool::Parallelism;
 pub use stats::DatasetStats;
+pub use storage::{row_storage_bytes, Segment};
 pub use support::{MinSupport, Support};
 pub use transaction::{AppendInfo, TransactionDb, TransactionDbBuilder};
 pub use vertical::VerticalDb;

@@ -1,25 +1,58 @@
 //! Horizontal transaction database.
 //!
-//! [`TransactionDb`] stores the binary relation `R ⊆ O × I` of a data-mining
-//! context row by row: each object (transaction) is a sorted run of items in
-//! one shared, contiguous buffer (CSR layout). This is the representation
-//! scanned by levelwise algorithms (Apriori, Close) and by the closure
-//! operator when it intersects transactions.
+//! [`TransactionDb`] presents the binary relation `R ⊆ O × I` of a
+//! data-mining context row by row: each object (transaction) is a sorted
+//! run of items in CSR layout. Since PR 5 the rows live in **append-only
+//! shared segments** (see [`crate::storage`]): a `TransactionDb` value is
+//! a cheap epoch-versioned *view* over `Arc`-shared [`Segment`]s, so
+//! cloning a snapshot, slicing a shard, or appending a batch never copies
+//! existing row data.
 
 use crate::error::DatasetError;
 use crate::item::{Item, ItemDictionary};
 use crate::itemset::Itemset;
+use crate::storage::Segment;
 use crate::support::Support;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// An append-only horizontal transaction database (CSR layout).
+/// One window into a shared segment: rows `lo..hi` of `seg`.
+#[derive(Clone, Debug)]
+struct SegmentSlice {
+    seg: Arc<Segment>,
+    lo: usize,
+    hi: usize,
+}
+
+impl SegmentSlice {
+    #[inline]
+    fn n_rows(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    #[inline]
+    fn entries(&self) -> usize {
+        self.seg.entries_in(self.lo, self.hi)
+    }
+}
+
+/// An append-only horizontal transaction database (CSR layout over shared
+/// segments).
 ///
 /// Build one with [`TransactionDbBuilder`] or the `From` impls, which sort
 /// and deduplicate each transaction. Existing rows are immutable, but the
-/// database can *grow*: [`TransactionDb::append_rows`] extends the CSR in
-/// place and stamps a monotone [`TransactionDb::epoch`], which the
-/// delta-aware engines use to keep derived structures in sync (see
-/// [`crate::engine::TxDelta`]).
+/// database can *grow*: [`TransactionDb::append_rows`] allocates **one new
+/// segment** for the batch and stamps a monotone
+/// [`TransactionDb::epoch`], which the delta-aware engines use to keep
+/// derived structures in sync (see [`crate::engine::TxDelta`]).
+///
+/// A `TransactionDb` is a *view*: cloning shares the segments (`Arc`s),
+/// [`TransactionDb::slice_rows`] and [`TransactionDb::partition`] cut
+/// zero-copy windows, and the universe size (`n_items`) lives on the view
+/// — growing it never rewrites storage. Snapshots pinned by engines
+/// across an append therefore share every pre-append segment with the
+/// grown view ([`TransactionDb::segment_addrs`] makes the sharing
+/// observable).
 ///
 /// # Examples
 ///
@@ -35,17 +68,19 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(db.n_transactions(), 4);
 /// assert_eq!(db.support(&Itemset::from_ids([2, 5])), 3);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TransactionDb {
-    /// Concatenated sorted transactions.
-    items: Vec<Item>,
-    /// `offsets[t]..offsets[t+1]` delimits transaction `t`; length is
-    /// `n_transactions + 1`.
-    offsets: Vec<usize>,
+    /// Ordered, row-disjoint segment windows.
+    slices: Vec<SegmentSlice>,
+    /// `starts[i]` is the view-global index of slice `i`'s first row;
+    /// the final entry is the total row count.
+    starts: Vec<usize>,
+    /// Total `(object, item)` entries across the view.
+    n_entries: usize,
     /// Size of the item universe: all item ids are `< n_items`.
     n_items: usize,
-    /// Optional label dictionary.
-    dict: Option<ItemDictionary>,
+    /// Optional label dictionary (shared — views and snapshots alias it).
+    dict: Option<Arc<ItemDictionary>>,
     /// Monotone append counter: 0 at construction, +1 per
     /// [`TransactionDb::append_rows`] call. Row slices inherit the parent
     /// epoch so per-shard views stay comparable with the whole.
@@ -67,16 +102,35 @@ pub struct AppendInfo {
     pub prior_items: usize,
 }
 
+/// Normalizes raw id rows into one CSR segment (each row sorted and
+/// deduplicated), returning the segment and the largest item id seen.
+fn segment_from_rows(rows: Vec<Vec<u32>>) -> (Segment, Option<u32>) {
+    let mut items: Vec<Item> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::with_capacity(rows.len() + 1);
+    offsets.push(0);
+    let mut max_item: Option<u32> = None;
+    let mut scratch: Vec<Item> = Vec::new();
+    for row in rows {
+        scratch.clear();
+        scratch.extend(row.into_iter().map(Item::new));
+        scratch.sort_unstable();
+        scratch.dedup();
+        if let Some(last) = scratch.last() {
+            max_item = Some(max_item.map_or(last.id(), |m| m.max(last.id())));
+        }
+        items.extend_from_slice(&scratch);
+        offsets.push(items.len());
+    }
+    (Segment::from_parts(items, offsets), max_item)
+}
+
 impl TransactionDb {
     /// Builds a database from raw id rows. Rows are sorted and deduplicated;
     /// the universe is sized by the largest id seen. Empty rows are kept
     /// (they are legitimate objects related to no item).
     pub fn from_rows(rows: Vec<Vec<u32>>) -> Self {
-        let mut builder = TransactionDbBuilder::new();
-        for row in rows {
-            builder.push_ids(row);
-        }
-        builder.build()
+        let (segment, max_item) = segment_from_rows(rows);
+        Self::from_segment(segment, max_item.map_or(0, |m| m as usize + 1))
     }
 
     /// Builds a database from itemsets.
@@ -86,6 +140,32 @@ impl TransactionDb {
             builder.push_itemset(&row);
         }
         builder.build()
+    }
+
+    /// Wraps one freshly built segment as a whole-database view.
+    fn from_segment(segment: Segment, n_items: usize) -> Self {
+        let n_rows = segment.n_rows();
+        let n_entries = segment.entries_in(0, n_rows);
+        let (slices, starts) = if n_rows == 0 {
+            (Vec::new(), vec![0])
+        } else {
+            (
+                vec![SegmentSlice {
+                    seg: Arc::new(segment),
+                    lo: 0,
+                    hi: n_rows,
+                }],
+                vec![0, n_rows],
+            )
+        };
+        TransactionDb {
+            slices,
+            starts,
+            n_entries,
+            n_items,
+            dict: None,
+            epoch: 0,
+        }
     }
 
     /// Attaches a label dictionary (consuming `self`).
@@ -101,7 +181,7 @@ impl TransactionDb {
             self.n_items
         );
         self.n_items = self.n_items.max(dict.len());
-        self.dict = Some(dict);
+        self.dict = Some(Arc::new(dict));
         self
     }
 
@@ -109,12 +189,18 @@ impl TransactionDb {
     /// occur in the data but exist conceptually). This sets a *floor*, not
     /// a pin: a later [`TransactionDb::append_rows`] carrying an item id
     /// `≥ n_items` still grows the universe (only a dictionary pins it).
+    /// The universe lives on the view, so this touches no row storage.
     ///
     /// # Panics
     ///
     /// Panics if `n_items` is smaller than the largest id present.
     pub fn with_universe(mut self, n_items: usize) -> Self {
-        let max_seen = self.items.iter().map(|i| i.index() + 1).max().unwrap_or(0);
+        let max_seen = self
+            .iter()
+            .filter_map(|row| row.last())
+            .map(|i| i.index() + 1)
+            .max()
+            .unwrap_or(0);
         assert!(
             n_items >= max_seen,
             "universe {n_items} smaller than max item id + 1 = {max_seen}"
@@ -125,7 +211,7 @@ impl TransactionDb {
 
     /// The label dictionary, if any.
     pub fn dictionary(&self) -> Option<&ItemDictionary> {
-        self.dict.as_ref()
+        self.dict.as_deref()
     }
 
     /// The append epoch: 0 at construction, incremented by every
@@ -136,16 +222,19 @@ impl TransactionDb {
         self.epoch
     }
 
-    /// Appends a batch of transactions to the end of the database, growing
-    /// the CSR in place, and advances the epoch (even for an empty batch —
-    /// every call is one epoch).
+    /// Appends a batch of transactions to the end of the database and
+    /// advances the epoch (even for an empty batch — every call is one
+    /// epoch). The batch lands in **one new segment**: nothing already
+    /// stored is copied or moved, so snapshots of the pre-append state
+    /// (cheap clones of this view) keep sharing every earlier segment.
     ///
     /// Rows are sorted and deduplicated exactly like
     /// [`TransactionDb::from_rows`]. An item id at or beyond the current
-    /// universe **grows the universe** — unless a dictionary is attached,
-    /// in which case the universe is pinned to the labels and the append
-    /// fails deterministically with [`DatasetError::UniversePinned`]
-    /// *before* mutating anything (the database is unchanged on error).
+    /// universe **grows the universe** — a view-local field, so growth
+    /// rewrites no storage — unless a dictionary is attached, in which
+    /// case the universe is pinned to the labels and the append fails
+    /// deterministically with [`DatasetError::UniversePinned`] *before*
+    /// mutating anything (the database is unchanged on error).
     ///
     /// Returns the [`AppendInfo`] describing the append, from which a
     /// [`TxDelta`](crate::engine::TxDelta) is built for the delta-aware
@@ -170,26 +259,29 @@ impl TransactionDb {
             epoch: self.epoch + 1,
             prior_items: self.n_items,
         };
-        let mut scratch: Vec<Item> = Vec::new();
-        for row in rows {
-            scratch.clear();
-            scratch.extend(row.into_iter().map(Item::new));
-            scratch.sort_unstable();
-            scratch.dedup();
-            if let Some(last) = scratch.last() {
-                self.n_items = self.n_items.max(last.index() + 1);
-            }
-            self.items.extend_from_slice(&scratch);
-            self.offsets.push(self.items.len());
-        }
         self.epoch += 1;
+        if rows.is_empty() {
+            return Ok(info);
+        }
+        let (segment, max_item) = segment_from_rows(rows);
+        if let Some(m) = max_item {
+            self.n_items = self.n_items.max(m as usize + 1);
+        }
+        let n_rows = segment.n_rows();
+        self.n_entries += segment.entries_in(0, n_rows);
+        self.starts.push(info.start + n_rows);
+        self.slices.push(SegmentSlice {
+            seg: Arc::new(segment),
+            lo: 0,
+            hi: n_rows,
+        });
         Ok(info)
     }
 
     /// Number of transactions `|O|`.
     #[inline]
     pub fn n_transactions(&self) -> usize {
-        self.offsets.len() - 1
+        *self.starts.last().expect("starts never empty")
     }
 
     /// Size of the item universe `|I|` (max id + 1, or dictionary size).
@@ -201,7 +293,18 @@ impl TransactionDb {
     /// Total number of `(object, item)` pairs in the relation.
     #[inline]
     pub fn n_entries(&self) -> usize {
-        self.items.len()
+        self.n_entries
+    }
+
+    /// Locates view row `t`: the slice index and the row's offset within
+    /// that slice's window.
+    #[inline]
+    fn locate(&self, t: usize) -> (usize, usize) {
+        if self.slices.len() == 1 {
+            return (0, t);
+        }
+        let i = self.starts.partition_point(|&s| s <= t) - 1;
+        (i, t - self.starts[i])
     }
 
     /// The `t`-th transaction as a sorted item slice.
@@ -211,12 +314,22 @@ impl TransactionDb {
     /// Panics if `t >= n_transactions()`.
     #[inline]
     pub fn transaction(&self, t: usize) -> &[Item] {
-        &self.items[self.offsets[t]..self.offsets[t + 1]]
+        assert!(
+            t < self.n_transactions(),
+            "transaction {t} out of range (n = {})",
+            self.n_transactions()
+        );
+        let (i, local) = self.locate(t);
+        let slice = &self.slices[i];
+        slice.seg.row(slice.lo + local)
     }
 
-    /// Iterates over all transactions in object order.
+    /// Iterates over all transactions in object order (streaming straight
+    /// through the segments — no per-row lookup).
     pub fn iter(&self) -> impl Iterator<Item = &[Item]> + '_ {
-        (0..self.n_transactions()).map(move |t| self.transaction(t))
+        self.slices
+            .iter()
+            .flat_map(|slice| (slice.lo..slice.hi).map(move |r| slice.seg.row(r)))
     }
 
     /// Whether transaction `t` contains every item of `query`.
@@ -248,8 +361,10 @@ impl TransactionDb {
     /// item `i`.
     pub fn item_supports(&self) -> Vec<Support> {
         let mut counts = vec![0; self.n_items];
-        for &item in &self.items {
-            counts[item.index()] += 1;
+        for row in self.iter() {
+            for &item in row {
+                counts[item.index()] += 1;
+            }
         }
         counts
     }
@@ -259,7 +374,7 @@ impl TransactionDb {
         if self.n_transactions() == 0 {
             return 0.0;
         }
-        self.items.len() as f64 / self.n_transactions() as f64
+        self.n_entries as f64 / self.n_transactions() as f64
     }
 
     /// Splits the database row-wise into `k` contiguous shards.
@@ -267,9 +382,10 @@ impl TransactionDb {
     /// Every shard keeps the full item universe and the label dictionary,
     /// so an itemset query means the same thing against any shard and the
     /// global answer is the shard answers stitched back together (supports
-    /// add, extents concatenate, intents intersect). Interior shard
-    /// boundaries are aligned to multiples of 64 rows so per-shard tidsets
-    /// splice into global tidsets with whole-word copies
+    /// add, extents concatenate, intents intersect). Shards are zero-copy
+    /// views sharing this database's segments. Interior shard boundaries
+    /// are aligned to multiples of 64 rows so per-shard tidsets splice
+    /// into global tidsets with whole-word copies
     /// ([`BitSet::splice_block`]); consequently shards are only
     /// approximately balanced and may be empty when `64·k` exceeds the row
     /// count — an empty shard is a legitimate (if useless) context.
@@ -287,28 +403,88 @@ impl TransactionDb {
             .collect()
     }
 
-    /// A copy of rows `start..end` as a standalone database sharing the
-    /// universe, dictionary, and epoch — how the sharded engine cuts its
-    /// per-shard views (and re-cuts the tail shard after an append).
+    /// Rows `start..end` as a standalone **view** sharing this database's
+    /// segments, universe, dictionary, and epoch — how the sharded engine
+    /// cuts its per-shard views (and re-cuts the tail shard after an
+    /// append). No row data is copied.
     ///
     /// # Panics
     ///
     /// Panics if `start > end` or `end > n_transactions()`.
     pub fn slice_rows(&self, start: usize, end: usize) -> TransactionDb {
-        let lo = self.offsets[start];
-        let hi = self.offsets[end];
+        let mut slices = Vec::new();
+        let mut starts = vec![0];
+        let mut n_entries = 0;
+        for (slice, lo, hi) in self.clamped_windows(start, end) {
+            let window = SegmentSlice {
+                seg: Arc::clone(&slice.seg),
+                lo,
+                hi,
+            };
+            starts.push(starts.last().unwrap() + window.n_rows());
+            n_entries += window.entries();
+            slices.push(window);
+        }
         TransactionDb {
-            items: self.items[lo..hi].to_vec(),
-            offsets: self.offsets[start..=end].iter().map(|o| o - lo).collect(),
+            slices,
+            starts,
+            n_entries,
             n_items: self.n_items,
             dict: self.dict.clone(),
             epoch: self.epoch,
         }
     }
 
+    /// The non-empty per-segment windows covering view rows
+    /// `start..end`: each yielded triple is a slice plus the clamped
+    /// segment-local row range within it — the one place the
+    /// range-to-segment arithmetic lives
+    /// ([`TransactionDb::slice_rows`] and
+    /// [`TransactionDb::entries_in_rows`] both consume it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > n_transactions()`.
+    fn clamped_windows(
+        &self,
+        start: usize,
+        end: usize,
+    ) -> impl Iterator<Item = (&SegmentSlice, usize, usize)> + '_ {
+        assert!(
+            start <= end && end <= self.n_transactions(),
+            "invalid row range {start}..{end} of {}",
+            self.n_transactions()
+        );
+        self.slices
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slice)| {
+                let g_lo = self.starts[i];
+                let g_hi = self.starts[i + 1];
+                if g_hi <= start || g_lo >= end {
+                    return None;
+                }
+                let lo = slice.lo + start.max(g_lo) - g_lo;
+                let hi = slice.lo + end.min(g_hi) - g_lo;
+                (lo < hi).then_some((slice, lo, hi))
+            })
+    }
+
     /// Density of the relation: `n_entries / (|O| · |I|)`.
     pub fn density(&self) -> f64 {
         self.rows_density(0, self.n_transactions())
+    }
+
+    /// Number of `(object, item)` entries in rows `start..end`, read off
+    /// the segment offsets without touching row data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > n_transactions()`.
+    pub fn entries_in_rows(&self, start: usize, end: usize) -> usize {
+        self.clamped_windows(start, end)
+            .map(|(slice, lo, hi)| slice.seg.entries_in(lo, hi))
+            .sum()
     }
 
     /// Density of the row range `start..end` against the full universe —
@@ -320,7 +496,114 @@ impl TransactionDb {
         if cells == 0 {
             return 0.0;
         }
-        (self.offsets[end] - self.offsets[start]) as f64 / cells as f64
+        self.entries_in_rows(start, end) as f64 / cells as f64
+    }
+
+    /// Number of storage segments behind this view: 1 after a fresh build,
+    /// +1 per non-empty [`TransactionDb::append_rows`] (until
+    /// [`TransactionDb::compact`] folds them).
+    pub fn n_segments(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The identity of each segment behind this view, in row order — two
+    /// views returning the same address at some position share that
+    /// segment's storage. This is how the zero-copy invariants are pinned
+    /// in tests: after an append, the grown view must report exactly the
+    /// old addresses plus one new one.
+    pub fn segment_addrs(&self) -> Vec<usize> {
+        self.slices
+            .iter()
+            .map(|s| Arc::as_ptr(&s.seg) as usize)
+            .collect()
+    }
+
+    /// Bytes of row storage (items + offsets) held by the segments behind
+    /// this view.
+    pub fn storage_bytes(&self) -> usize {
+        self.slices.iter().map(|s| s.seg.storage_bytes()).sum()
+    }
+
+    /// Folds the view's segments into a single freshly-owned segment — one
+    /// linear pass that trades a copy now for flat row lookups afterwards.
+    /// Contents, universe, dictionary, and epoch are unchanged (other
+    /// views sharing the old segments are unaffected). A view already
+    /// backed by one whole segment is left alone.
+    pub fn compact(&mut self) {
+        if self.slices.len() == 1 {
+            let slice = &self.slices[0];
+            if slice.lo == 0 && slice.hi == slice.seg.n_rows() {
+                return;
+            }
+        }
+        if self.slices.is_empty() {
+            return;
+        }
+        let mut items: Vec<Item> = Vec::with_capacity(self.n_entries);
+        let mut offsets: Vec<usize> = Vec::with_capacity(self.n_transactions() + 1);
+        offsets.push(0);
+        for row in self.iter() {
+            items.extend_from_slice(row);
+            offsets.push(items.len());
+        }
+        let n_rows = offsets.len() - 1;
+        self.slices = vec![SegmentSlice {
+            seg: Arc::new(Segment::from_parts(items, offsets)),
+            lo: 0,
+            hi: n_rows,
+        }];
+        self.starts = vec![0, n_rows];
+    }
+}
+
+/// The on-wire shape of a [`TransactionDb`]: the flattened CSR the
+/// pre-segmented representation serialized, kept stable so snapshots
+/// round-trip across the storage refactor. (The segment structure is a
+/// sharing optimization, not data — deserialization lands in one
+/// segment.)
+#[derive(Serialize, Deserialize)]
+struct TransactionDbWire {
+    items: Vec<Item>,
+    offsets: Vec<usize>,
+    n_items: usize,
+    dict: Option<ItemDictionary>,
+    epoch: u64,
+}
+
+impl Serialize for TransactionDb {
+    fn to_value(&self) -> serde::Value {
+        let mut items = Vec::with_capacity(self.n_entries);
+        let mut offsets = Vec::with_capacity(self.n_transactions() + 1);
+        offsets.push(0);
+        for row in self.iter() {
+            items.extend_from_slice(row);
+            offsets.push(items.len());
+        }
+        TransactionDbWire {
+            items,
+            offsets,
+            n_items: self.n_items,
+            dict: self.dict.as_deref().cloned(),
+            epoch: self.epoch,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for TransactionDb {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let wire = TransactionDbWire::from_value(v)?;
+        if wire.offsets.first() != Some(&0)
+            || wire.offsets.last() != Some(&wire.items.len())
+            || wire.offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(serde::Error::custom("inconsistent transaction offsets"));
+        }
+        let segment = Segment::from_parts(wire.items, wire.offsets);
+        let mut db = TransactionDb::from_segment(segment, wire.n_items);
+        db.dict = wire.dict.map(Arc::new);
+        db.epoch = wire.epoch;
+        Ok(db)
     }
 }
 
@@ -427,15 +710,10 @@ impl TransactionDbBuilder {
         self.len() == 0
     }
 
-    /// Finalizes the database.
+    /// Finalizes the database (one segment).
     pub fn build(self) -> TransactionDb {
-        TransactionDb {
-            items: self.items,
-            offsets: self.offsets,
-            n_items: self.max_item.map_or(0, |m| m as usize + 1),
-            dict: None,
-            epoch: 0,
-        }
+        let segment = Segment::from_parts(self.items, self.offsets);
+        TransactionDb::from_segment(segment, self.max_item.map_or(0, |m| m as usize + 1))
     }
 }
 
@@ -492,6 +770,7 @@ mod tests {
         assert_eq!(db.n_items(), 0);
         assert_eq!(db.frequency(&Itemset::empty()), 0.0);
         assert_eq!(db.density(), 0.0);
+        assert_eq!(db.n_segments(), 0);
     }
 
     #[test]
@@ -605,7 +884,7 @@ mod tests {
     }
 
     #[test]
-    fn append_rows_grows_csr_and_epoch() {
+    fn append_rows_grows_view_and_epoch() {
         let mut db = paper_db();
         assert_eq!(db.epoch(), 0);
         let info = db.append_rows(vec![vec![4, 2, 4, 1], vec![]]).unwrap();
@@ -620,15 +899,92 @@ mod tests {
         );
         assert_eq!(db.epoch(), 1);
         assert_eq!(db.n_transactions(), 7);
+        assert_eq!(db.n_entries(), 16 + 3);
         // Appended rows are sorted + deduplicated like from_rows.
         assert_eq!(db.transaction(5), &[Item(1), Item(2), Item(4)]);
         assert!(db.transaction(6).is_empty());
         // Supports see the new rows.
         assert_eq!(db.support(&Itemset::from_ids([1, 2])), 3);
-        // An empty batch is still one epoch.
+        // An empty batch is still one epoch — but allocates no segment.
+        let segments = db.n_segments();
         let info = db.append_rows(vec![]).unwrap();
         assert_eq!((info.start, info.epoch), (7, 2));
         assert_eq!(db.n_transactions(), 7);
+        assert_eq!(db.n_segments(), segments);
+    }
+
+    #[test]
+    fn append_allocates_one_segment_and_shares_the_prefix() {
+        let mut db = paper_db();
+        let before = db.segment_addrs();
+        assert_eq!(before.len(), 1);
+        let snapshot = db.clone();
+        db.append_rows(vec![vec![1, 2], vec![3]]).unwrap();
+        let after = db.segment_addrs();
+        // The grown view = every old segment (shared, not copied) + 1 new.
+        assert_eq!(after.len(), before.len() + 1);
+        assert_eq!(&after[..before.len()], &before[..]);
+        // The pinned snapshot still reads the old state.
+        assert_eq!(snapshot.n_transactions(), 5);
+        assert_eq!(snapshot.epoch(), 0);
+        assert_eq!(snapshot.segment_addrs(), before);
+        // And a universe-growing append rewrites nothing either.
+        let before = db.segment_addrs();
+        db.append_rows(vec![vec![77]]).unwrap();
+        assert_eq!(db.n_items(), 78);
+        assert_eq!(&db.segment_addrs()[..before.len()], &before[..]);
+        assert_eq!(snapshot.n_items(), 6);
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let mut db = TransactionDb::from_rows((0..130u32).map(|t| vec![t % 7]).collect());
+        db.append_rows(vec![vec![1, 2, 3], vec![0]]).unwrap();
+        let slice = db.slice_rows(64, 132);
+        // The slice shares the parent's segments: its addresses are a
+        // subsequence of the parent's.
+        for addr in slice.segment_addrs() {
+            assert!(db.segment_addrs().contains(&addr));
+        }
+        assert_eq!(slice.n_transactions(), 68);
+        for t in 0..slice.n_transactions() {
+            assert_eq!(slice.transaction(t), db.transaction(64 + t));
+        }
+        assert_eq!(slice.n_entries(), db.entries_in_rows(64, 132));
+        // Interior slice of a single segment.
+        let inner = db.slice_rows(3, 10);
+        assert_eq!(inner.n_segments(), 1);
+        assert_eq!(inner.transaction(0), db.transaction(3));
+        // Empty slice.
+        let empty = db.slice_rows(5, 5);
+        assert_eq!(empty.n_transactions(), 0);
+        assert_eq!(empty.n_segments(), 0);
+    }
+
+    #[test]
+    fn compact_folds_segments_without_changing_contents() {
+        let mut db = paper_db();
+        db.append_rows(vec![vec![1, 2]]).unwrap();
+        db.append_rows(vec![vec![3], vec![]]).unwrap();
+        assert_eq!(db.n_segments(), 3);
+        let rows: Vec<Vec<Item>> = db.iter().map(<[Item]>::to_vec).collect();
+        let epoch = db.epoch();
+        db.compact();
+        assert_eq!(db.n_segments(), 1);
+        assert_eq!(db.epoch(), epoch);
+        assert_eq!(db.n_transactions(), rows.len());
+        let after: Vec<Vec<Item>> = db.iter().map(<[Item]>::to_vec).collect();
+        assert_eq!(after, rows);
+        // Compacting a fresh single-segment view is a no-op.
+        let mut fresh = paper_db();
+        let addr = fresh.segment_addrs();
+        fresh.compact();
+        assert_eq!(fresh.segment_addrs(), addr);
+        // Compacting a partial view materializes just that window.
+        let mut window = db.slice_rows(2, 6);
+        window.compact();
+        assert_eq!(window.n_transactions(), 4);
+        assert_eq!(window.transaction(0), db.transaction(2));
     }
 
     #[test]
@@ -697,5 +1053,22 @@ mod tests {
         let back: TransactionDb = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n_transactions(), 5);
         assert_eq!(back.support(&Itemset::from_ids([2, 5])), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip_of_grown_multi_segment_view() {
+        let mut db = paper_db();
+        db.append_rows(vec![vec![0, 5], vec![2]]).unwrap();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: TransactionDb = serde_json::from_str(&json).unwrap();
+        // The wire format flattens: one segment on the way back, same
+        // rows, universe, and epoch.
+        assert_eq!(back.n_segments(), 1);
+        assert_eq!(back.epoch(), db.epoch());
+        assert_eq!(back.n_items(), db.n_items());
+        assert_eq!(back.n_transactions(), db.n_transactions());
+        for t in 0..db.n_transactions() {
+            assert_eq!(back.transaction(t), db.transaction(t));
+        }
     }
 }

@@ -54,6 +54,61 @@ use crate::lattice::IcebergLattice;
 use rulebases_dataset::{Itemset, Support};
 use std::collections::{BTreeSet, HashMap};
 
+/// What one [`IncrementalLattice::insert_object`] insertion changed —
+/// the per-insertion *touched-class set* the streaming layer diffs the
+/// rule bases against, instead of re-materializing them. Node ids refer
+/// to the maintained diagram (ids are stable: nodes are never removed or
+/// renumbered, and a node's intent never changes once inserted — only
+/// supports, covers, and generator tags move).
+///
+/// Every closure class the insertion can affect appears in at least one
+/// of the three id lists: a rule whose antecedent/consequent classes are
+/// all untouched is bit-for-bit unchanged, which is the invariant that
+/// makes lattice-level base diffing sound.
+#[derive(Clone, Debug, Default)]
+pub struct LatticeDelta {
+    /// Nodes this insertion created (split classes `A ∩ R` plus `R`
+    /// itself when new), in insertion order.
+    pub created: Vec<usize>,
+    /// Pre-existing nodes whose support the object bumped (`A ⊆ R`), in
+    /// node-id order.
+    pub bumped: Vec<usize>,
+    /// Nodes whose minimal-generator tags were recomputed because their
+    /// lower covers changed (the created nodes and everything
+    /// interposition rewired above them), in node-id order.
+    pub retagged: Vec<usize>,
+    /// Covering edges `(lower, upper)` that interposition removed — they
+    /// existed before the insertion (or earlier within it) and are no
+    /// longer edges of the diagram.
+    pub removed_edges: Vec<(usize, usize)>,
+}
+
+impl LatticeDelta {
+    /// Every node id the insertion touched (created, bumped, or
+    /// retagged), deduplicated and sorted.
+    pub fn touched(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .created
+            .iter()
+            .chain(&self.bumped)
+            .chain(&self.retagged)
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Folds another insertion's delta into this one (batch
+    /// accumulation): id lists union, removed edges concatenate.
+    pub fn absorb(&mut self, other: LatticeDelta) {
+        self.created.extend(other.created);
+        self.bumped.extend(other.bumped);
+        self.retagged.extend(other.retagged);
+        self.removed_edges.extend(other.removed_edges);
+    }
+}
+
 /// A Hasse diagram over closed itemsets, maintained insertion by
 /// insertion. Nodes are kept in arrival order internally;
 /// [`IncrementalLattice::finish`] re-sorts canonically and hands back an
@@ -97,6 +152,19 @@ impl IncrementalLattice {
         set: &Itemset,
         support: Support,
         generator: Option<&Itemset>,
+    ) -> usize {
+        self.insert_reporting(set, support, generator, &mut Vec::new())
+    }
+
+    /// [`IncrementalLattice::insert`], additionally appending every
+    /// covering edge the interposition removed to `removed_edges` — the
+    /// bookkeeping [`IncrementalLattice::insert_object_delta`] surfaces.
+    fn insert_reporting(
+        &mut self,
+        set: &Itemset,
+        support: Support,
+        generator: Option<&Itemset>,
+        removed_edges: &mut Vec<(usize, usize)>,
     ) -> usize {
         if let Some(&id) = self.index.get(set) {
             assert_eq!(
@@ -151,6 +219,7 @@ impl IncrementalLattice {
                         .position(|&l| l == p)
                         .expect("cover lists out of sync");
                     self.lower[s].swap_remove(back);
+                    removed_edges.push((p, s));
                 }
             }
         }
@@ -185,7 +254,9 @@ impl IncrementalLattice {
     ///   changed are recomputed as the minimal transversals of its
     ///   lower-cover complements.
     ///
-    /// Returns the number of closure classes the object created.
+    /// Returns the number of closure classes the object created; use
+    /// [`IncrementalLattice::insert_object_delta`] when the caller needs
+    /// the full touched-class report.
     ///
     /// This maintains the **unthresholded** lattice: a support floor
     /// cannot be applied during maintenance, because an infrequent class
@@ -195,6 +266,17 @@ impl IncrementalLattice {
     /// transversal retagging assumes every closed set of the context is a
     /// node.
     pub fn insert_object(&mut self, row: &Itemset) -> usize {
+        self.insert_object_delta(row).created.len()
+    }
+
+    /// [`IncrementalLattice::insert_object`], reporting exactly what the
+    /// insertion touched as a [`LatticeDelta`] — the created classes,
+    /// the support bumps, the retagged nodes, and the covering edges
+    /// interposition removed. The streaming base maintenance patches the
+    /// rule bases from this report alone: a rule between untouched
+    /// classes cannot have moved.
+    pub fn insert_object_delta(&mut self, row: &Itemset) -> LatticeDelta {
+        let mut delta = LatticeDelta::default();
         // New intents, each mapped to its pre-insertion support: supports
         // are antitone in ⊆, so supp_old(X) = supp(h_old(X)) is the max
         // support over the nodes containing X (0 when none does).
@@ -216,26 +298,61 @@ impl IncrementalLattice {
             }
         }
         // The object joins the extent of every closed subset of its row.
-        for (node, support) in &mut self.nodes {
+        for (id, (node, support)) in self.nodes.iter_mut().enumerate() {
             if node.is_subset_of(row) {
                 *support += 1;
+                delta.bumped.push(id);
             }
         }
         // Insert the new classes; collect every node whose lower covers
         // change (each new node, and the nodes it ends up covered by —
         // interposition rewires exactly those) for retagging once the
         // structure settles.
-        let created = fresh.len();
         let mut dirty: BTreeSet<usize> = BTreeSet::new();
         for (meet, base) in fresh {
-            let id = self.insert(&meet, base + 1, None);
+            let id = self.insert_reporting(&meet, base + 1, None, &mut delta.removed_edges);
+            delta.created.push(id);
             dirty.insert(id);
             dirty.extend(self.upper[id].iter().copied());
         }
         for id in dirty {
             self.generators[id] = self.minimal_generators_of(id);
+            delta.retagged.push(id);
         }
-        created
+        delta
+    }
+
+    /// The `id`-th closure class: its intent and current support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n_nodes()`.
+    pub fn node(&self, id: usize) -> (&Itemset, Support) {
+        let (set, support) = &self.nodes[id];
+        (set, *support)
+    }
+
+    /// Internal id of an intent, if present.
+    pub fn position(&self, set: &Itemset) -> Option<usize> {
+        self.index.get(set).copied()
+    }
+
+    /// Upper covers (immediate successors) of node `id`, in no particular
+    /// order.
+    pub fn upper_covers(&self, id: usize) -> &[usize] {
+        &self.upper[id]
+    }
+
+    /// Lower covers (immediate predecessors) of node `id`, in no
+    /// particular order.
+    pub fn lower_covers(&self, id: usize) -> &[usize] {
+        &self.lower[id]
+    }
+
+    /// The minimal-generator tags currently recorded for node `id`
+    /// (exact minimal generators under `insert_object` maintenance).
+    pub fn generator_tags(&self, id: usize) -> &[Itemset] {
+        &self.generators[id]
     }
 
     /// The minimal generators of node `id`, read off the diagram: a set
@@ -567,6 +684,62 @@ mod tests {
         assert_eq!(tags[a], vec![set(&[1])]);
         // The born generator: {a,b}, minimal now that {a} escaped.
         assert_eq!(tags[ab], vec![set(&[1, 2])]);
+    }
+
+    #[test]
+    fn insert_object_delta_reports_touched_classes() {
+        let mut inc = IncrementalLattice::new();
+        // First object: only its own intent is created, nothing bumped.
+        let d = inc.insert_object_delta(&set(&[1, 3, 4]));
+        assert_eq!(d.created.len(), 1);
+        assert!(d.bumped.is_empty());
+        assert_eq!(d.retagged, d.created);
+        assert!(d.removed_edges.is_empty());
+        let acd = d.created[0];
+        // Repeat row: pure bump, nothing created or retagged.
+        let d = inc.insert_object_delta(&set(&[1, 3, 4]));
+        assert!(d.created.is_empty());
+        assert_eq!(d.bumped, vec![acd]);
+        assert!(d.retagged.is_empty());
+        assert_eq!(inc.node(acd), (&set(&[1, 3, 4]), 2));
+        // Overlapping row: creates itself + the meet, bumps nothing
+        // pre-existing (ACD ⊄ {1,2}) and retags the rewired nodes.
+        let d = inc.insert_object_delta(&set(&[1, 2]));
+        assert_eq!(d.created.len(), 2);
+        assert!(d.bumped.is_empty());
+        let a = inc.position(&set(&[1])).unwrap();
+        assert!(d.created.contains(&a));
+        assert!(d.touched().contains(&acd), "ACD's covers changed");
+        // The meet {1} sits below both ACD and {1,2}.
+        assert_eq!(inc.lower_covers(acd), &[a]);
+        assert_eq!(inc.upper_covers(a).len(), 2);
+        // {1} is the bottom class here (every row contains item 1), so
+        // its minimal generator is ∅.
+        assert_eq!(inc.generator_tags(a), &[Itemset::empty()]);
+    }
+
+    #[test]
+    fn insert_object_delta_reports_removed_edges() {
+        // Build ∅ < C < ABCE via objects, then interpose AC: the C→ABCE
+        // edge must be reported removed.
+        let mut inc = IncrementalLattice::new();
+        inc.insert_object(&set(&[1, 2, 3, 5])); // ABCE
+        inc.insert_object(&set(&[3])); // meet C (and ∅? no: C ∩ ABCE = C ⊆ both)
+        let c = inc.position(&set(&[3])).unwrap();
+        let abce = inc.position(&set(&[1, 2, 3, 5])).unwrap();
+        assert_eq!(inc.upper_covers(c), &[abce]);
+        let d = inc.insert_object_delta(&set(&[1, 3])); // AC interposes
+        let ac = inc.position(&set(&[1, 3])).unwrap();
+        assert!(d.created.contains(&ac));
+        assert!(d.removed_edges.contains(&(c, abce)));
+        assert_eq!(inc.upper_covers(c), &[ac]);
+        // Batch accumulation concatenates.
+        let mut total = LatticeDelta::default();
+        total.absorb(d);
+        total.absorb(inc.insert_object_delta(&set(&[1, 3])));
+        assert!(total.removed_edges.contains(&(c, abce)));
+        assert!(total.bumped.contains(&ac));
+        assert!(total.touched().contains(&c));
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub mod pseudo;
 pub use closure_op::ClosureOperator;
 pub use dot::to_dot;
 pub use implications::{Implication, ImplicationSet};
-pub use incremental::IncrementalLattice;
+pub use incremental::{IncrementalLattice, LatticeDelta};
 pub use lattice::IcebergLattice;
 pub use lattice_stats::LatticeStats;
 pub use next_closure::{next_closed, stem_base, AllClosed, StemBase};
-pub use pseudo::{frequent_pseudo_closed, PseudoClosed};
+pub use pseudo::{frequent_pseudo_closed, pseudo_closed_of_family, PseudoClosed};

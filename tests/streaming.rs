@@ -14,6 +14,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use rulebases::stream::{BasesDelta, RuleSetDelta};
 use rulebases::{MinedBases, PipelineKind, RuleMiner};
 use rulebases_dataset::{EngineKind, MinSupport, MiningContext, TransactionDb};
 
@@ -53,6 +54,107 @@ fn assert_stream_matches_oracle(streamed: &MinedBases, oracle: &MinedBases, labe
         "{label}: reduced Luxenburger basis"
     );
     assert_eq!(streamed.min_count, oracle.min_count, "{label}: min_count");
+}
+
+/// Order-insensitive equality of a direct (lattice-level) rule delta and
+/// the snapshot-diff oracle's.
+fn assert_rule_delta_eq(direct: &RuleSetDelta, oracle: &RuleSetDelta, label: &str) {
+    let sorted = |rules: &[rulebases::Rule]| {
+        let mut v = rules.to_vec();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        sorted(&direct.added),
+        sorted(&oracle.added),
+        "{label}: added"
+    );
+    assert_eq!(
+        sorted(&direct.removed),
+        sorted(&oracle.removed),
+        "{label}: removed"
+    );
+    assert_eq!(direct.restated, oracle.restated, "{label}: restated");
+}
+
+fn assert_delta_matches_oracle(direct: &BasesDelta, oracle: &BasesDelta, label: &str) {
+    assert_eq!(direct.n_objects, oracle.n_objects, "{label}: n_objects");
+    assert_eq!(direct.min_count, oracle.min_count, "{label}: min_count");
+    assert_eq!(
+        direct.closed_added, oracle.closed_added,
+        "{label}: closed_added"
+    );
+    assert_eq!(
+        direct.closed_removed, oracle.closed_removed,
+        "{label}: closed_removed"
+    );
+    assert_rule_delta_eq(&direct.dg, &oracle.dg, &format!("{label}: dg"));
+    assert_rule_delta_eq(
+        &direct.lux_full,
+        &oracle.lux_full,
+        &format!("{label}: lux_full"),
+    );
+    assert_rule_delta_eq(
+        &direct.lux_reduced,
+        &oracle.lux_reduced,
+        &format!("{label}: lux_reduced"),
+    );
+}
+
+// The delta-vs-oracle property mines two fused oracles per batch, so its
+// case count is set explicitly (and capped by `PROPTEST_CASES`) to keep
+// the 1-CPU suite inside its budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn per_batch_deltas_match_the_snapshot_diff_oracle(
+        rows in vec(vec(0u32..9, 0..6), 1..40),
+        min_count in 1u64..3,
+        fractional in 0usize..2,
+        minconf_idx in 0usize..3,
+        batch_idx in 0usize..4,
+        shards in 1usize..=3,
+    ) {
+        // PR 4 computed each BasesDelta by materializing the full bases
+        // before and after the batch and set-diffing them; that
+        // formulation survives as BasesDelta::between, the oracle. The
+        // production path must report exactly the same movement from the
+        // lattice's touched-class set alone — over every backend and
+        // batch schedule, for both absolute and rescaling thresholds.
+        let minsup = if fractional == 1 {
+            MinSupport::Fraction(0.25)
+        } else {
+            MinSupport::Count(min_count)
+        };
+        let minconf = [0.0, 0.5, 1.0][minconf_idx];
+        let batch = BATCH_SIZES[batch_idx];
+        let mut grid: Vec<EngineKind> = EngineKind::BACKENDS.to_vec();
+        grid.push(EngineKind::Sharded {
+            shards,
+            inner: Box::new(EngineKind::Auto),
+        });
+        for kind in grid {
+            let miner = RuleMiner::new(minsup)
+                .min_confidence(minconf)
+                .engine(kind.clone());
+            let fused = miner.clone().pipeline(PipelineKind::Fused);
+            let mut stream = miner.streaming(TransactionDb::from_rows(vec![]));
+            let mut seen = 0;
+            for chunk in rows.chunks(batch.min(rows.len())) {
+                let before = fused.mine(TransactionDb::from_rows(rows[..seen].to_vec()));
+                seen += chunk.len();
+                let after = fused.mine(TransactionDb::from_rows(rows[..seen].to_vec()));
+                let direct = stream.push_batch(chunk.to_vec()).unwrap();
+                let oracle = BasesDelta::between(&before, &after, direct.epoch, chunk.len());
+                assert_delta_matches_oracle(
+                    &direct,
+                    &oracle,
+                    &format!("{kind} / batch {batch} / prefix {seen}"),
+                );
+            }
+        }
+    }
 }
 
 proptest! {
@@ -152,6 +254,47 @@ fn streaming_uses_strictly_fewer_engine_calls_than_remining() {
         "streaming must perform strictly fewer engine calls: \
          streaming {streaming_calls} !< re-mining {remining_calls}"
     );
+}
+
+/// The zero-copy acceptance pin at the session level: `push_batch`
+/// performs no full-CSR clone and no full-shard refresh — a 1-row append
+/// against a 4096-row prefix copies a constant-bounded number of row
+/// bytes (the same number a 512-row prefix pays), every pre-append
+/// storage segment survives by identity, and a universe-growing append
+/// rewrites none of them.
+#[test]
+fn push_batch_copies_batch_sized_bytes_regardless_of_prefix() {
+    let miner = RuleMiner::new(MinSupport::Fraction(0.1)).min_confidence(0.6);
+    let mut copied_per_prefix = Vec::new();
+    for prefix in [512usize, 4096] {
+        let mut stream = miner.streaming(TransactionDb::from_rows(census_rows(prefix)));
+        let addrs_before = stream.db().segment_addrs();
+        let bytes_before = stream.context().closure_cache_stats().bytes_copied;
+        stream.push_batch(vec![vec![0, 4, 7, 9]]).unwrap();
+        let copied = stream.context().closure_cache_stats().bytes_copied - bytes_before;
+        assert!(copied > 0, "the engine reads the appended row");
+        assert!(
+            copied < 128,
+            "1-row push against a {prefix}-row prefix copied {copied} bytes"
+        );
+        // One new segment; every prefix segment shared, not copied.
+        let addrs_after = stream.db().segment_addrs();
+        assert_eq!(addrs_after.len(), addrs_before.len() + 1, "prefix {prefix}");
+        assert_eq!(&addrs_after[..addrs_before.len()], &addrs_before[..]);
+        copied_per_prefix.push(copied);
+    }
+    assert_eq!(
+        copied_per_prefix[0], copied_per_prefix[1],
+        "per-batch bytes must be independent of the prefix length"
+    );
+
+    // Universe growth: new item id 20 widens the view; no segment moves.
+    let mut stream = miner.streaming(TransactionDb::from_rows(census_rows(512)));
+    let addrs_before = stream.db().segment_addrs();
+    stream.push_batch(vec![vec![0, 20]]).unwrap();
+    assert_eq!(stream.db().n_items(), 21);
+    let addrs_after = stream.db().segment_addrs();
+    assert_eq!(&addrs_after[..addrs_before.len()], &addrs_before[..]);
 }
 
 /// `EngineKind::Auto` resolves once, at engine construction, and the
