@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rulebases::{MinSupport, PipelineKind, RuleMiner};
-use rulebases_bench::{write_bench_artifact, Scale, StandIn};
+use rulebases_bench::{append_bench_history, write_bench_artifact, Scale, StandIn};
 use rulebases_dataset::{EngineKind, MiningContext};
 use serde::Serialize;
 use std::hint::black_box;
@@ -104,13 +104,12 @@ fn bench_bases_fused(c: &mut Criterion) {
             intents: stats.intents,
         });
     }
-    write_bench_artifact(
-        "fused",
-        &FusedBenchRecord {
-            dataset: dataset.name().to_owned(),
-            pipelines,
-        },
-    );
+    let record = FusedBenchRecord {
+        dataset: dataset.name().to_owned(),
+        pipelines,
+    };
+    write_bench_artifact("fused", &record);
+    append_bench_history("fused", &record);
     assert!(
         fused.engine_calls() < staged.engine_calls(),
         "fused pipeline must perform strictly fewer engine calls: \

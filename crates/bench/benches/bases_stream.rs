@@ -14,7 +14,11 @@
 //! `tests/streaming.rs`).
 //!
 //! The headline numbers are also written to `BENCH_stream.json` at the
-//! workspace root, so the perf trajectory is recorded run over run.
+//! workspace root (the committed copy is the `bench-gate` baseline) and
+//! appended to `BENCH_history.jsonl`. The history line additionally
+//! carries the shared kernel probes (chunked-vs-scalar popcount,
+//! gallop-vs-merge intersection), so one entry records both the
+//! streaming tallies and the kernel state of the same commit.
 //!
 //! Read the timing numbers the way the `counting-sharded` bench reads its
 //! thread ablation on a 1-CPU box: at this toy scale the whole context is
@@ -25,7 +29,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rulebases::{MinSupport, PipelineKind, RuleMiner};
-use rulebases_bench::write_bench_artifact;
+use rulebases_bench::{append_bench_history, run_kernel_probes, write_bench_artifact, KernelProbe};
 use rulebases_dataset::{MiningContext, TransactionDb};
 use serde::Serialize;
 use std::hint::black_box;
@@ -117,6 +121,14 @@ struct StreamBenchRecord {
     prefix_probes: Vec<PrefixProbe>,
 }
 
+/// The `BENCH_history.jsonl` line: the stream record plus the shared
+/// kernel probes of the same run.
+#[derive(Serialize)]
+struct StreamHistoryRecord {
+    stream: StreamBenchRecord,
+    kernel_probes: Vec<KernelProbe>,
+}
+
 fn bench_bases_stream(c: &mut Criterion) {
     let rows = census_rows(ROWS);
     let mut group = c.benchmark_group("bases-stream");
@@ -166,15 +178,20 @@ fn bench_bases_stream(c: &mut Criterion) {
         );
     }
 
-    write_bench_artifact(
+    let record = StreamBenchRecord {
+        rows: ROWS,
+        batch: BATCH,
+        streaming_engine_calls: streaming,
+        streaming_bytes_copied: streaming_bytes,
+        remining_engine_calls: remining,
+        prefix_probes: probes,
+    };
+    write_bench_artifact("stream", &record);
+    append_bench_history(
         "stream",
-        &StreamBenchRecord {
-            rows: ROWS,
-            batch: BATCH,
-            streaming_engine_calls: streaming,
-            streaming_bytes_copied: streaming_bytes,
-            remining_engine_calls: remining,
-            prefix_probes: probes,
+        &StreamHistoryRecord {
+            stream: record,
+            kernel_probes: run_kernel_probes(),
         },
     );
 }

@@ -6,9 +6,22 @@
 //! wall-clock, engine calls, bytes copied — as a small JSON file at the
 //! workspace root (`BENCH_<name>.json`), so runs are diffable across
 //! commits and CI can smoke the invariants cheaply.
+//!
+//! Two artifact shapes:
+//!
+//! * [`write_bench_artifact`] — the *latest* run, one overwritten
+//!   `BENCH_<name>.json` per bench. The committed copies double as the
+//!   baselines the `bench-gate` binary compares fresh runs against.
+//! * [`append_bench_history`] — the *trajectory*: every run appends one
+//!   line to `BENCH_history.jsonl`, wrapping the same record in a
+//!   machine/scale envelope (os, arch, resolved worker threads, unix
+//!   timestamp), so numbers from different boxes and commits stay
+//!   distinguishable instead of silently overwriting each other.
 
-use serde::Serialize;
+use rulebases_dataset::pool::Parallelism;
+use serde::{Serialize, Value};
 use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// The workspace root, resolved from this crate's manifest directory —
 /// bench binaries run with the *package* root as their working
@@ -37,6 +50,60 @@ pub fn write_bench_artifact<T: Serialize>(name: &str, record: &T) -> PathBuf {
     path
 }
 
+/// Wraps `record` in the history envelope: bench name, unix timestamp,
+/// and the machine/scale coordinates that make cross-run comparisons
+/// meaningful (`os`, `arch`, resolved worker-thread count — which honours
+/// `RULEBASES_THREADS`, so CI legs are tagged with their actual width).
+pub fn history_entry<T: Serialize>(name: &str, record: &T) -> Value {
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    Value::Object(vec![
+        ("bench".to_owned(), Value::String(name.to_owned())),
+        ("unix_secs".to_owned(), Value::Number(unix_secs as f64)),
+        (
+            "os".to_owned(),
+            Value::String(std::env::consts::OS.to_owned()),
+        ),
+        (
+            "arch".to_owned(),
+            Value::String(std::env::consts::ARCH.to_owned()),
+        ),
+        (
+            "threads".to_owned(),
+            Value::Number(Parallelism::Auto.threads() as f64),
+        ),
+        ("record".to_owned(), record.to_value()),
+    ])
+}
+
+/// Appends `record` (in its [`history_entry`] envelope) as one JSON line
+/// to `BENCH_history.jsonl` at the workspace root and returns the path.
+///
+/// The file is append-only by construction: no run ever rewrites an
+/// earlier line, so the perf trajectory across commits and machines is
+/// preserved verbatim and `git diff` on it only ever shows additions.
+///
+/// # Panics
+///
+/// Panics when serialization or the append fails, for the same reason as
+/// [`write_bench_artifact`].
+pub fn append_bench_history<T: Serialize>(name: &str, record: &T) -> PathBuf {
+    let path = workspace_root().join("BENCH_history.jsonl");
+    let json = serde_json::to_string(&history_entry(name, record))
+        .expect("bench history entry serializes");
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("opening {}: {e}", path.display()));
+    writeln!(file, "{json}").unwrap_or_else(|e| panic!("appending {}: {e}", path.display()));
+    println!("bench history: {} += {name}", path.display());
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,6 +112,33 @@ mod tests {
     struct Probe {
         label: String,
         calls: u64,
+    }
+
+    #[test]
+    fn history_entry_carries_machine_envelope() {
+        let entry = history_entry(
+            "selftest",
+            &Probe {
+                label: "probe".to_owned(),
+                calls: 7,
+            },
+        );
+        let fields = entry.as_object().unwrap();
+        let get = |k: &str| serde::get_field(fields, k).unwrap();
+        assert_eq!(get("bench").as_str(), Some("selftest"));
+        assert_eq!(get("os").as_str(), Some(std::env::consts::OS));
+        assert_eq!(get("arch").as_str(), Some(std::env::consts::ARCH));
+        assert!(get("threads").as_f64().unwrap() >= 1.0);
+        assert!(get("unix_secs").as_f64().unwrap() > 0.0);
+        let record = get("record").as_object().unwrap();
+        assert_eq!(
+            serde::get_field(record, "calls").unwrap().as_f64(),
+            Some(7.0)
+        );
+        // One line per append, parseable back through the JSON shim.
+        let line = serde_json::to_string(&entry).unwrap();
+        assert!(!line.contains('\n'));
+        assert_eq!(serde_json::parse(&line).unwrap(), entry);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! `bench-gate` — the binding perf-regression check.
+//!
+//! ```bash
+//! cargo run -p rulebases-bench --bin bench-gate -- <baseline-dir> [current-dir]
+//! ```
+//!
+//! Compares the freshly written `BENCH_<name>.json` artifacts in
+//! `current-dir` (default: the workspace root, where the benches write)
+//! against the committed baselines in `baseline-dir`, using the per-bench
+//! metric lists of [`rulebases_bench::gate::gated_benches`]. Exits
+//! non-zero when any metric regresses beyond its band, which is what
+//! makes the committed artifacts *binding* rather than decorative:
+//!
+//! * deterministic counters (engine calls, bytes copied) must not
+//!   exceed the baseline at all;
+//! * wall-clock metrics ride the documented `WALL_NOISE_BAND` (5×);
+//! * kernel speedup ratios must stay above `SPEEDUP_NOISE_BAND` (0.25×)
+//!   of the baseline's ratio.
+//!
+//! A baseline file that does not exist is skipped with a note (so a new
+//! bench can land before its first committed baseline); a *current*
+//! artifact missing while the baseline exists is a hard failure — it
+//! means the bench stopped writing its record.
+
+use rulebases_bench::artifact::workspace_root;
+use rulebases_bench::gate::{check_metrics, gated_benches};
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(baseline_dir) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: bench-gate <baseline-dir> [current-dir]");
+        return ExitCode::from(2);
+    };
+    let current_dir = args.next().map_or_else(workspace_root, PathBuf::from);
+
+    let mut failed = false;
+    for (name, checks) in gated_benches() {
+        let file = format!("BENCH_{name}.json");
+        let baseline_path = baseline_dir.join(&file);
+        if !baseline_path.exists() {
+            println!(
+                "gate/{name}: no baseline at {} — skipped",
+                baseline_path.display()
+            );
+            continue;
+        }
+        let pair = load(&baseline_path)
+            .and_then(|baseline| load(&current_dir.join(&file)).map(|current| (baseline, current)));
+        let (baseline, current) = match pair {
+            Ok(pair) => pair,
+            Err(e) => {
+                println!("gate/{name}: FAIL — {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = check_metrics(&baseline, &current, &checks);
+        for verdict in &report.verdicts {
+            println!("gate/{name}: {verdict}");
+        }
+        failed |= !report.passed();
+    }
+
+    if failed {
+        eprintln!("bench-gate: regression beyond the noise band — failing");
+        ExitCode::FAILURE
+    } else {
+        println!("bench-gate: all gated metrics within their bands");
+        ExitCode::SUCCESS
+    }
+}

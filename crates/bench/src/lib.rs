@@ -14,6 +14,8 @@
 
 pub mod artifact;
 pub mod datasets;
+pub mod gate;
+pub mod kernels_probe;
 pub mod tables;
 pub mod timing;
 
@@ -22,6 +24,7 @@ pub mod timing;
 /// `rulebases_dataset::pool` under this crate's historical module name.
 pub use rulebases_dataset::pool as parallel;
 
-pub use artifact::write_bench_artifact;
+pub use artifact::{append_bench_history, write_bench_artifact};
 pub use datasets::{engine_from_env, pipeline_from_env, Scale, StandIn};
+pub use kernels_probe::{run_kernel_probes, KernelProbe};
 pub use parallel::{parallel_map, Parallelism};

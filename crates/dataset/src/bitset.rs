@@ -6,6 +6,7 @@
 //! primitive available for the dense datasets the paper evaluates on
 //! (MUSHROOMS, census extracts).
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -121,13 +122,22 @@ impl BitSet {
     /// Number of set bits.
     #[inline]
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count(&self.words)
     }
 
-    /// Whether no bit is set.
+    /// Whether no bit is set (chunked scan, early exit on the first
+    /// non-zero word group).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        !kernels::any(&self.words)
+    }
+
+    /// The backing words, low bits first. Bits at positions `>= capacity()`
+    /// in the last word are always zero (the `trim_tail` invariant), so
+    /// word-level kernels need no masking.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Clears all bits, keeping capacity.
@@ -142,52 +152,86 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn intersect_with(&mut self, other: &BitSet) {
         assert_eq!(self.nbits, other.nbits, "capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        kernels::and_assign(&mut self.words, &other.words);
+    }
+
+    /// Fused in-place intersection + count: `self ← self ∩ other`,
+    /// returning `|self ∩ other|` from the same pass — extent refinement
+    /// loops use this instead of `intersect_with` followed by `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with_count(&mut self, other: &BitSet) -> usize {
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        kernels::and_assign_count(&mut self.words, &other.words)
     }
 
     /// In-place union: `self ← self ∪ other`.
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.nbits, other.nbits, "capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernels::or_assign(&mut self.words, &other.words);
     }
 
     /// In-place difference: `self ← self ∖ other`.
     pub fn difference_with(&mut self, other: &BitSet) {
         assert_eq!(self.nbits, other.nbits, "capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        kernels::and_not_assign(&mut self.words, &other.words);
     }
 
-    /// New bitset `self ∩ other`.
+    /// New bitset `self ∩ other`, built directly in one pass (no clone of
+    /// `self` followed by a second masking sweep).
     pub fn intersection(&self, other: &BitSet) -> BitSet {
-        let mut out = self.clone();
-        out.intersect_with(other);
-        out
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            nbits: self.nbits,
+        }
     }
 
     /// `|self ∩ other|` without materializing the intersection — the hot
     /// path of vertical support counting.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.nbits, other.nbits, "capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::and_count(&self.words, &other.words)
     }
 
-    /// Subset test (`⊆`).
+    /// `|self ∖ other|` without materializing the difference — the
+    /// diffset-style probe for how many objects of this extent the other
+    /// cover misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn and_not_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        kernels::and_not_count(&self.words, &other.words)
+    }
+
+    /// Overwrites `out` with `self ∩ other` and returns its bit count,
+    /// all in one pass. `out`'s buffer is reused across calls — the
+    /// allocation-free form of `intersection` + `count` for refinement
+    /// loops that keep a scratch bitset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and `other` capacities differ.
+    pub fn intersect_count_into(&self, other: &BitSet, out: &mut BitSet) -> usize {
+        assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        out.nbits = self.nbits;
+        kernels::and_into_count(&mut out.words, &self.words, &other.words)
+    }
+
+    /// Subset test (`⊆`), chunked with an early exit at the first word
+    /// group of `self ∖ other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         assert_eq!(self.nbits, other.nbits, "capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        kernels::is_subset(&self.words, &other.words)
     }
 
     /// Copies the bit range `start..start + len` into a new bitset
@@ -347,6 +391,27 @@ mod tests {
         let mut d = a.clone();
         d.difference_with(&b);
         assert_eq!(d, BitSet::from_indices(100, [1, 99]));
+    }
+
+    #[test]
+    fn fused_intersection_variants_agree() {
+        let a = BitSet::from_indices(200, [1, 2, 3, 64, 65, 130, 199]);
+        let b = BitSet::from_indices(200, [2, 3, 65, 100, 199]);
+        let expect = a.intersection(&b);
+        let n = expect.count();
+
+        let mut fused = a.clone();
+        assert_eq!(fused.intersect_with_count(&b), n);
+        assert_eq!(fused, expect);
+
+        let mut out = BitSet::new(3); // wrong capacity + stale words: must be overwritten
+        out.insert(1);
+        assert_eq!(a.intersect_count_into(&b, &mut out), n);
+        assert_eq!(out, expect);
+        assert_eq!(out.capacity(), 200);
+
+        assert_eq!(a.and_not_count(&b), a.count() - n);
+        assert_eq!(b.and_not_count(&a), b.count() - n);
     }
 
     #[test]

@@ -105,6 +105,12 @@ impl SupportEngine for DenseEngine {
         self.vertical.support(itemset)
     }
 
+    fn count_candidates(&self, candidates: &[Itemset]) -> Vec<Support> {
+        // Cache-blocked: candidate×row tiles reuse resident cover blocks
+        // (see [`VerticalDb::count_candidates`]).
+        self.vertical.count_candidates(candidates)
+    }
+
     fn item_supports(&self) -> Vec<Support> {
         self.vertical.item_supports()
     }

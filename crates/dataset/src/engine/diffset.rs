@@ -5,6 +5,7 @@ use super::{intent_of, CacheStats, EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
+use crate::kernels;
 use crate::support::Support;
 use crate::transaction::TransactionDb;
 use std::sync::Arc;
@@ -155,37 +156,58 @@ impl SupportEngine for DiffsetEngine {
         if itemset.iter().any(|i| i.index() >= self.diffs.len()) {
             return 0;
         }
-        // |O| − |⋃ d(i)| via a k-way merge counting distinct tids. The
-        // lists are sorted, so a rolling minimum enumerates the union.
+        // |O| − |⋃ d(i)| by pairwise branch-light merges: the two-list
+        // case (the bulk of levelwise counting) counts without
+        // materializing anything, longer sets fold a union accumulator.
         let lists: Vec<&[u32]> = itemset
             .iter()
             .map(|i| self.diffs[i.index()].as_slice())
             .collect();
-        match lists.len() {
-            0 => self.n_objects as Support,
-            1 => (self.n_objects - lists[0].len()) as Support,
-            _ => {
-                let mut cursors = vec![0usize; lists.len()];
-                let mut union_size = 0usize;
-                loop {
-                    let mut current: Option<u32> = None;
-                    for (list, &cursor) in lists.iter().zip(&cursors) {
-                        if cursor < list.len() {
-                            let head = list[cursor];
-                            current = Some(current.map_or(head, |m| m.min(head)));
-                        }
-                    }
-                    let Some(tid) = current else { break };
-                    union_size += 1;
-                    for (list, cursor) in lists.iter().zip(cursors.iter_mut()) {
-                        if *cursor < list.len() && list[*cursor] == tid {
-                            *cursor += 1;
-                        }
-                    }
+        match lists.as_slice() {
+            [] => self.n_objects as Support,
+            [only] => (self.n_objects - only.len()) as Support,
+            [a, b] => (self.n_objects - kernels::union_count_sorted(a, b)) as Support,
+            [a, b, rest @ ..] => {
+                let mut acc = kernels::union_sorted(a, b);
+                let (&last, mids) = rest.split_last().expect("rest is non-empty");
+                for &list in mids {
+                    acc = kernels::union_sorted(&acc, list);
                 }
-                (self.n_objects - union_size) as Support
+                (self.n_objects - kernels::union_count_sorted(&acc, last)) as Support
             }
         }
+    }
+
+    fn count_candidates(&self, candidates: &[Itemset]) -> Vec<Support> {
+        // Levelwise generation emits candidates in lexicographic order,
+        // so runs of them share a (k-1)-prefix: materialize each prefix's
+        // diffset union once and count every candidate of the run with a
+        // single non-materializing merge against its last item.
+        let mut cached: Option<(&[Item], Vec<u32>)> = None;
+        candidates
+            .iter()
+            .map(|cand| {
+                if cand.iter().any(|i| i.index() >= self.diffs.len()) {
+                    return 0;
+                }
+                let Some((&last, prefix)) = cand.as_slice().split_last() else {
+                    return self.n_objects as Support;
+                };
+                let d_last = self.diffs[last.index()].as_slice();
+                let [first, rest @ ..] = prefix else {
+                    return (self.n_objects - d_last.len()) as Support;
+                };
+                if !matches!(&cached, Some((p, _)) if *p == prefix) {
+                    let mut acc = self.diffs[first.index()].clone();
+                    for &i in rest {
+                        acc = kernels::union_sorted(&acc, &self.diffs[i.index()]);
+                    }
+                    cached = Some((prefix, acc));
+                }
+                let (_, union) = cached.as_ref().expect("cached above");
+                (self.n_objects - kernels::union_count_sorted(union, d_last)) as Support
+            })
+            .collect()
     }
 
     fn item_supports(&self) -> Vec<Support> {

@@ -6,6 +6,7 @@ use super::{intent_of, CacheStats, EngineKind, SupportEngine};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
+use crate::kernels;
 use crate::support::Support;
 use crate::transaction::TransactionDb;
 use std::sync::Arc;
@@ -13,40 +14,19 @@ use std::sync::Arc;
 /// A sorted list of transaction ids.
 pub type TidList = Vec<u32>;
 
-/// Intersects two sorted tid-lists.
+/// Intersects two sorted tid-lists, galloping when the lengths are
+/// skewed by at least [`kernels::GALLOP_RATIO`] (a rare item meeting a
+/// frequent one — the common shape below the first levels) and merging
+/// branch-light when balanced.
 pub fn intersect(a: &[u32], b: &[u32]) -> TidList {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
+    kernels::intersect_sorted(a, b)
 }
 
 /// Size of the intersection of two sorted tid-lists, without
-/// materializing it.
+/// materializing it — same adaptive gallop/merge selection as
+/// [`intersect`].
 pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
-    let (mut i, mut j, mut count) = (0, 0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    count
+    kernels::intersect_count_sorted(a, b)
 }
 
 /// Sorted per-item tid-lists (the paper-era vertical representation of
@@ -106,7 +86,10 @@ impl TidListEngine {
             if acc.is_empty() {
                 break;
             }
-            acc = intersect(&acc, self.tid_cover(item));
+            // In-place compaction: the accumulator only shrinks, so no
+            // per-level allocation, and it gallops into the new cover
+            // once the extent is much smaller than it.
+            kernels::intersect_in_place(&mut acc, self.tid_cover(item));
         }
         acc
     }
@@ -177,14 +160,44 @@ impl SupportEngine for TidListEngine {
         let Some(second) = items.next() else {
             return self.tid_cover(first).len() as Support;
         };
+        // Two-item sets never materialize the intersection; longer sets
+        // compact one accumulator in place.
+        let Some(third) = items.next() else {
+            return intersect_count(self.tid_cover(first), self.tid_cover(second)) as Support;
+        };
         let mut acc = intersect(self.tid_cover(first), self.tid_cover(second));
-        for item in items {
+        for item in std::iter::once(third).chain(items) {
             if acc.is_empty() {
                 return 0;
             }
-            acc = intersect(&acc, self.tid_cover(item));
+            kernels::intersect_in_place(&mut acc, self.tid_cover(item));
         }
         acc.len() as Support
+    }
+
+    fn count_candidates(&self, candidates: &[Itemset]) -> Vec<Support> {
+        // Levelwise generation emits candidates in lexicographic order,
+        // so runs of them share a (k-1)-prefix: materialize each prefix
+        // extent once and count every candidate of the run with one
+        // adaptive (gallop/merge) intersection against its last cover.
+        let mut cached: Option<(&[Item], TidList)> = None;
+        candidates
+            .iter()
+            .map(|cand| {
+                let Some((&last, prefix)) = cand.as_slice().split_last() else {
+                    return self.n_objects as Support;
+                };
+                if prefix.is_empty() {
+                    return self.tid_cover(last).len() as Support;
+                }
+                if !matches!(&cached, Some((p, _)) if *p == prefix) {
+                    let extent = self.extent_tids(&Itemset::from_sorted(prefix.to_vec()));
+                    cached = Some((prefix, extent));
+                }
+                let (_, extent) = cached.as_ref().expect("cached above");
+                intersect_count(extent, self.tid_cover(last)) as Support
+            })
+            .collect()
     }
 
     fn item_supports(&self) -> Vec<Support> {

@@ -215,24 +215,11 @@ impl Itemset {
     ///
     /// This is the hot operation of closure-by-intersection (the Close
     /// algorithm intersects many transactions in a row), so it avoids
-    /// allocating.
+    /// allocating — and once the accumulator has shrunk far below the
+    /// incoming transaction's length, it gallops through `other` instead
+    /// of walking all of it (see [`crate::kernels::intersect_in_place`]).
     pub fn intersect_with(&mut self, other: &[Item]) {
-        let mut write = 0;
-        let mut j = 0;
-        let mut read = 0;
-        while read < self.items.len() && j < other.len() {
-            match self.items[read].cmp(&other[j]) {
-                Ordering::Less => read += 1,
-                Ordering::Greater => j += 1,
-                Ordering::Equal => {
-                    self.items[write] = self.items[read];
-                    write += 1;
-                    read += 1;
-                    j += 1;
-                }
-            }
-        }
-        self.items.truncate(write);
+        crate::kernels::intersect_in_place(&mut self.items, other);
     }
 
     /// Merge-based difference `self ∖ other`.
@@ -516,6 +503,32 @@ mod tests {
         let expect = a.intersection(&b);
         a.intersect_with(b.as_slice());
         assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn intersect_with_skewed_pairs_across_gallop_threshold() {
+        // The complexity-sensitive case: a small accumulator against a
+        // long transaction. Pin correctness on both sides of the gallop
+        // ratio and at its exact boundary (the comparison-count bound
+        // itself is pinned in `kernels::tests`).
+        use crate::kernels::GALLOP_RATIO;
+        let small = set(&[3, 250, 251, 900]);
+        for long_len in [
+            small.len() * GALLOP_RATIO - 1,
+            small.len() * GALLOP_RATIO,
+            small.len() * GALLOP_RATIO + 1,
+            4096,
+        ] {
+            let long = Itemset::from_ids(0..long_len as u32);
+            let expect = small.intersection(&long);
+            let mut got = small.clone();
+            got.intersect_with(long.as_slice());
+            assert_eq!(got, expect, "long_len={long_len}");
+            // And the mirrored skew: long accumulator, short transaction.
+            let mut got = long.clone();
+            got.intersect_with(small.as_slice());
+            assert_eq!(got, expect, "long_len={long_len} mirrored");
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! binary relation between them. This crate provides:
 //!
 //! * the value types: [`Item`], [`Itemset`] (sorted set algebra), and
-//!   [`BitSet`] (dense object sets);
+//!   [`BitSet`] (dense object sets), over the chunked/galloping set
+//!   primitives of [`kernels`];
 //! * the stores: [`TransactionDb`] (horizontal, CSR) and the pluggable
 //!   vertical [`engine`] backends (dense bitsets, tid-lists, diffsets,
 //!   and the row-sharded parallel [`ShardedEngine`]) behind the
@@ -53,6 +54,7 @@ pub mod generator;
 pub mod io;
 pub mod item;
 pub mod itemset;
+pub mod kernels;
 pub mod pool;
 pub mod sampling;
 pub mod stats;

@@ -117,6 +117,22 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// A `Value` is already in the data model, so both traits are the
+// identity on it — this is what lets callers splice pre-built JSON trees
+// (e.g. a bench record plus a hand-assembled metadata envelope) into one
+// serialized document.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls ----------------------------------------------------
 
 macro_rules! impl_int {
