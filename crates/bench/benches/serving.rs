@@ -1,0 +1,300 @@
+//! Mixed-load serving bench: the antecedent index vs the linear scan,
+//! and concurrent readers under a live writer.
+//!
+//! Two phases, mirroring the two claims the serving layer makes:
+//!
+//! 1. **Index phase (deterministic).** A dedicated server over the
+//!    census stand-in ingests a few batches, then a single reader
+//!    replays a fixed 256-query set. Every query is checked against the
+//!    brute-force linear scan (`ServingSnapshot::match_basket_linear`),
+//!    and the phase **asserts** the acceptance criterion: the index
+//!    examines strictly fewer candidate rules than the linear scan
+//!    across the set. The counters (index probes, rules scanned, rules
+//!    fired, snapshots published) are scheduling-independent, so the
+//!    committed `BENCH_serving.json` copy gates them exactly.
+//! 2. **Mixed-load phase.** For each reader count, a writer thread
+//!    ingests append batches on a fixed cadence while N reader threads
+//!    (via `pool::fan_out`) hammer `match_basket`. Per-query latencies
+//!    feed the p50/p99 histogram; readers never block on the append by
+//!    construction — the read path holds no lock — so
+//!    `reader_lock_waits` is the structural constant 0, and the gate
+//!    pins it there.
+//!
+//! Timing rows land in the Criterion group; the headline record goes to
+//! `BENCH_serving.json` + `BENCH_history.jsonl` like every other bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulebases::{MinSupport, RuleMiner, RuleReader, RuleServer, ServedBasis};
+use rulebases_bench::{append_bench_history, write_bench_artifact};
+use rulebases_dataset::pool::fan_out;
+use rulebases_dataset::TransactionDb;
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const SEED_ROWS: usize = 256;
+const QUERIES: usize = 256;
+const APPEND_BATCHES: usize = 12;
+const APPEND_BATCH_ROWS: usize = 8;
+/// Writer batch cadence in the mixed-load phase: the pause between
+/// appends, so the publish rate (and hence reader refresh pressure) is
+/// configurable rather than append-rate-bound.
+const WRITER_CADENCE: Duration = Duration::from_micros(300);
+
+/// Correlated rows over 14 items in four attribute groups — the same
+/// census stand-in the streaming bench replays.
+fn census_row(t: usize) -> Vec<u32> {
+    let t = t as u32;
+    vec![t % 4, 4 + t % 3, 7 + t % 2, 9 + (t / 7) % 5]
+}
+
+fn census_rows(range: std::ops::Range<usize>) -> Vec<Vec<u32>> {
+    range.map(census_row).collect()
+}
+
+/// Laxer thresholds than the streaming bench: a serving layer earns its
+/// index on a *rich* catalogue, so this mines the full Luxenburger basis
+/// at low support/confidence (~160 served rules on the seed prefix).
+fn miner() -> RuleMiner {
+    RuleMiner::new(MinSupport::Fraction(0.05)).min_confidence(0.1)
+}
+
+fn serving_server() -> RuleServer {
+    miner()
+        .serving(TransactionDb::from_rows(census_rows(0..SEED_ROWS)))
+        .with_basis(ServedBasis::Full)
+}
+
+/// The fixed query mix: full baskets, prefixes, cross-group pairs, and
+/// singletons — deterministic, so the index counters are too.
+fn query_set(n: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|i| {
+            let row = census_row(i);
+            match i % 4 {
+                0 => row,
+                1 => row[..2].to_vec(),
+                2 => vec![row[1], row[3]],
+                _ => vec![row[2]],
+            }
+        })
+        .collect()
+}
+
+/// The deterministic index-phase tallies `bench-gate` pins exactly.
+#[derive(Serialize)]
+struct IndexPhase {
+    n_rules: usize,
+    queries: u64,
+    index_probes: u64,
+    rules_scanned: u64,
+    /// What the linear scan would have examined for the same queries.
+    linear_rules_scanned: u64,
+    rules_fired: u64,
+    snapshots_published: u64,
+}
+
+/// One mixed-load cell: N readers querying while the writer appends.
+#[derive(Serialize)]
+struct MixedLoad {
+    readers: usize,
+    queries: u64,
+    appends: usize,
+    appended_rows: usize,
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+    /// Times a reader waited on a lock during a query: structurally 0 —
+    /// the read path is wait-free (atomics only) — and gated there.
+    reader_lock_waits: u64,
+}
+
+#[derive(Serialize)]
+struct ServingBenchRecord {
+    seed_rows: usize,
+    index: IndexPhase,
+    mixed_load: Vec<MixedLoad>,
+}
+
+/// Phase 1: a dedicated server, a few deterministic ingests, and the
+/// fixed query set replayed single-threaded with the linear oracle
+/// shadowing every query.
+fn run_index_phase() -> IndexPhase {
+    let mut server = serving_server();
+    for chunk in census_rows(SEED_ROWS..SEED_ROWS + 64).chunks(16) {
+        server.ingest(chunk.to_vec()).unwrap();
+    }
+    let mut reader = server.reader();
+    let snapshot = reader.refresh().clone();
+    let mut linear_rules_scanned = 0u64;
+    for basket in &query_set(QUERIES) {
+        let hit = reader.match_basket(basket);
+        let (linear, scanned) = snapshot.match_basket_linear(basket);
+        linear_rules_scanned += scanned;
+        assert_eq!(
+            hit.ids(),
+            &linear[..],
+            "index and linear scan disagree on basket {basket:?}"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.queries, QUERIES as u64);
+    assert!(
+        stats.rules_scanned < linear_rules_scanned,
+        "the antecedent index must examine strictly fewer rules than the \
+         linear scan: {} !< {linear_rules_scanned}",
+        stats.rules_scanned
+    );
+    IndexPhase {
+        n_rules: snapshot.n_rules(),
+        queries: stats.queries,
+        index_probes: stats.index_probes,
+        rules_scanned: stats.rules_scanned,
+        linear_rules_scanned,
+        rules_fired: stats.rules_fired,
+        snapshots_published: stats.snapshots_published,
+    }
+}
+
+/// Merged latency percentile (nanosecond samples in, microseconds out).
+fn percentile_us(sorted_ns: &[u64], pct: usize) -> f64 {
+    assert!(!sorted_ns.is_empty());
+    let idx = (sorted_ns.len() - 1) * pct / 100;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// Phase 2: one writer appending on a cadence, `readers` reader threads
+/// timing every query. The writer uses a mutex only because the bench
+/// owns the server from two scopes; readers never touch it — each lane
+/// has its own pre-built `RuleReader` and the query path is wait-free.
+fn run_mixed_load(readers: usize) -> MixedLoad {
+    let server = serving_server();
+    let lanes: Vec<Mutex<RuleReader>> = (0..readers).map(|_| Mutex::new(server.reader())).collect();
+    let server = Mutex::new(server);
+    let queries = query_set(QUERIES);
+    let done = AtomicBool::new(false);
+    let started = Instant::now();
+    let per_worker = fan_out(readers + 1, |worker| {
+        if worker == 0 {
+            // The writer lane: append batches on the configured cadence,
+            // then release the readers from their loop.
+            let mut server = server.lock().expect("writer lane");
+            for append in 0..APPEND_BATCHES {
+                let lo = SEED_ROWS + append * APPEND_BATCH_ROWS;
+                server
+                    .ingest(census_rows(lo..lo + APPEND_BATCH_ROWS))
+                    .unwrap();
+                std::thread::sleep(WRITER_CADENCE);
+            }
+            done.store(true, Ordering::Relaxed);
+            Vec::new()
+        } else {
+            // A reader lane: replay the query set until the writer is
+            // done (at least one full pass, bounded so a stalled writer
+            // cannot hang the bench).
+            let mut reader = lanes[worker - 1].lock().expect("reader lane");
+            let mut latencies = Vec::with_capacity(QUERIES * 8);
+            for _pass in 0..1024 {
+                for basket in &queries {
+                    let t0 = Instant::now();
+                    black_box(reader.match_basket(basket));
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                }
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            latencies
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut merged: Vec<u64> = per_worker.into_iter().flatten().collect();
+    merged.sort_unstable();
+    let total_queries = merged.len() as u64;
+    assert!(total_queries >= (QUERIES * readers) as u64);
+    let final_epoch = server.lock().expect("writer done").epoch();
+    assert_eq!(
+        final_epoch, APPEND_BATCHES as u64,
+        "every append batch must have published"
+    );
+    MixedLoad {
+        readers,
+        queries: total_queries,
+        appends: APPEND_BATCHES,
+        appended_rows: APPEND_BATCHES * APPEND_BATCH_ROWS,
+        p50_us: percentile_us(&merged, 50),
+        p99_us: percentile_us(&merged, 99),
+        qps: total_queries as f64 / elapsed,
+        reader_lock_waits: 0,
+    }
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let snapshot = serving_server().snapshot();
+    let queries = query_set(QUERIES);
+    let mut group = c.benchmark_group("serving");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function(BenchmarkId::new("match-set", "indexed"), |b| {
+        b.iter(|| {
+            let mut fired = 0usize;
+            for basket in &queries {
+                fired += snapshot.match_basket_counted(black_box(basket)).0.len();
+            }
+            fired
+        })
+    });
+    group.bench_function(BenchmarkId::new("match-set", "linear-scan"), |b| {
+        b.iter(|| {
+            let mut fired = 0usize;
+            for basket in &queries {
+                fired += snapshot.match_basket_linear(black_box(basket)).0.len();
+            }
+            fired
+        })
+    });
+    group.finish();
+
+    let index = run_index_phase();
+    println!(
+        "serving index: {} rules, {} queries — {} rules scanned vs {} linear \
+         ({:.1}% of the scan), {} fired, {} snapshots published",
+        index.n_rules,
+        index.queries,
+        index.rules_scanned,
+        index.linear_rules_scanned,
+        100.0 * index.rules_scanned as f64 / index.linear_rules_scanned.max(1) as f64,
+        index.rules_fired,
+        index.snapshots_published,
+    );
+
+    let mixed_load: Vec<MixedLoad> = [1, 4].iter().map(|&n| run_mixed_load(n)).collect();
+    for cell in &mixed_load {
+        println!(
+            "serving mixed load, {} reader(s): {} queries while {} rows \
+             appended — p50 {:.1} µs, p99 {:.1} µs, {:.0} q/s, {} lock waits",
+            cell.readers,
+            cell.queries,
+            cell.appended_rows,
+            cell.p50_us,
+            cell.p99_us,
+            cell.qps,
+            cell.reader_lock_waits,
+        );
+    }
+
+    let record = ServingBenchRecord {
+        seed_rows: SEED_ROWS,
+        index,
+        mixed_load,
+    };
+    write_bench_artifact("serving", &record);
+    append_bench_history("serving", &record);
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

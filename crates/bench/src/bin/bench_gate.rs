@@ -11,19 +11,22 @@
 //! non-zero when any metric regresses beyond its band, which is what
 //! makes the committed artifacts *binding* rather than decorative:
 //!
-//! * deterministic counters (engine calls, bytes copied) must not
-//!   exceed the baseline at all;
+//! * deterministic counters (engine calls, bytes copied, index probes)
+//!   must not exceed the baseline at all;
 //! * wall-clock metrics ride the documented `WALL_NOISE_BAND` (5×);
 //! * kernel speedup ratios must stay above `SPEEDUP_NOISE_BAND` (0.25×)
 //!   of the baseline's ratio.
 //!
-//! A baseline file that does not exist is skipped with a note (so a new
+//! The gate checks **every** bench and **every** metric before exiting,
+//! then prints the complete failure list — a run with three regressions
+//! reports three, not one-per-CI-round-trip. A baseline file that does
+//! not exist is skipped with a note naming the missing path (so a new
 //! bench can land before its first committed baseline); a *current*
-//! artifact missing while the baseline exists is a hard failure — it
-//! means the bench stopped writing its record.
+//! artifact missing while the baseline exists is a hard failure naming
+//! that path — it means the bench stopped writing its record.
 
 use rulebases_bench::artifact::workspace_root;
-use rulebases_bench::gate::{check_metrics, gated_benches};
+use rulebases_bench::gate::{check_metrics, failure_summary, gated_benches, GateReport};
 use serde::Value;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -42,7 +45,11 @@ fn main() -> ExitCode {
     };
     let current_dir = args.next().map_or_else(workspace_root, PathBuf::from);
 
-    let mut failed = false;
+    // Every bench is checked before any exit: `reports` accumulates the
+    // per-metric verdicts, `load_failures` the artifacts that could not
+    // be read at all, and the summary at the end prints the whole list.
+    let mut reports: Vec<(String, GateReport)> = Vec::new();
+    let mut load_failures: Vec<String> = Vec::new();
     for (name, checks) in gated_benches() {
         let file = format!("BENCH_{name}.json");
         let baseline_path = baseline_dir.join(&file);
@@ -53,13 +60,22 @@ fn main() -> ExitCode {
             );
             continue;
         }
-        let pair = load(&baseline_path)
-            .and_then(|baseline| load(&current_dir.join(&file)).map(|current| (baseline, current)));
+        let current_path = current_dir.join(&file);
+        if !current_path.exists() {
+            let msg = format!(
+                "current artifact missing at {} (baseline exists — the bench stopped writing)",
+                current_path.display()
+            );
+            println!("gate/{name}: FAIL — {msg}");
+            load_failures.push(format!("{name}: {msg}"));
+            continue;
+        }
+        let pair = load(&baseline_path).and_then(|b| load(&current_path).map(|c| (b, c)));
         let (baseline, current) = match pair {
             Ok(pair) => pair,
             Err(e) => {
                 println!("gate/{name}: FAIL — {e}");
-                failed = true;
+                load_failures.push(format!("{name}: {e}"));
                 continue;
             }
         };
@@ -67,14 +83,22 @@ fn main() -> ExitCode {
         for verdict in &report.verdicts {
             println!("gate/{name}: {verdict}");
         }
-        failed |= !report.passed();
+        reports.push((name.to_owned(), report));
     }
 
-    if failed {
-        eprintln!("bench-gate: regression beyond the noise band — failing");
-        ExitCode::FAILURE
-    } else {
+    let mut failures = load_failures;
+    failures.extend(failure_summary(&reports));
+    if failures.is_empty() {
         println!("bench-gate: all gated metrics within their bands");
         ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-gate: {} check(s) failed beyond the noise bands:",
+            failures.len()
+        );
+        for line in &failures {
+            eprintln!("  {line}");
+        }
+        ExitCode::FAILURE
     }
 }

@@ -6,7 +6,8 @@
 //! ```bash
 //! probe MUSHROOMS 0.5 [test|default|full] [--frequent] \
 //!     [--engine auto|dense|tid-list|diffset|sharded:<k>:<inner>] \
-//!     [--pipeline staged|fused] [--stream [--batch <n>]]
+//!     [--pipeline staged|fused] [--stream [--batch <n>]] \
+//!     [--serve [--readers <n>]]
 //! ```
 //!
 //! Without `--engine` / `--pipeline`, the backend and pipeline come from
@@ -23,12 +24,45 @@
 //! replay therefore projects the dataset onto its `--stream-items` most
 //! frequent items first (default 16), the usual bounded-vocabulary
 //! serving setup.
+//!
+//! With `--serve`, the same projected replay drives a `RuleServer`
+//! instead: the first half of the rows seed the server, the rest arrive
+//! as the writer's append batches while `--readers` (default 2) reader
+//! threads replay the dataset's own rows as baskets — a smoke of the
+//! whole concurrent serving path (epoch-swapped snapshots, antecedent
+//! index, wait-free reads) with the serving counters and p50/p99 query
+//! latencies printed at the end.
 
-use rulebases::{PipelineKind, RuleMiner};
+use rulebases::{PipelineKind, RuleMiner, RuleReader};
 use rulebases_bench::{engine_from_env, pipeline_from_env, Scale, StandIn};
+use rulebases_dataset::pool::fan_out;
 use rulebases_dataset::{EngineKind, MinSupport, MiningContext, TransactionDb};
 use rulebases_mining::{Apriori, Close, ClosedMiner};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Projects `db` onto its `k` most frequent items — the bounded
+/// vocabulary both replay modes maintain their closure system over.
+fn project_top_items(db: &TransactionDb, k: usize) -> Vec<Vec<u32>> {
+    let mut by_support: Vec<(u64, u32)> = db
+        .item_supports()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i as u32))
+        .collect();
+    by_support.sort_unstable_by(|a, b| b.cmp(a));
+    let kept: std::collections::HashSet<u32> =
+        by_support.into_iter().take(k).map(|(_, i)| i).collect();
+    db.iter()
+        .map(|row| {
+            row.iter()
+                .map(|item| item.id())
+                .filter(|id| kept.contains(id))
+                .collect()
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +71,8 @@ fn main() {
     let mut positional: Vec<&str> = Vec::new();
     let mut with_frequent = false;
     let mut stream = false;
+    let mut serve = false;
+    let mut readers = 2usize;
     let mut batch = 64usize;
     let mut stream_items = 16usize;
     let mut i = 0;
@@ -49,6 +85,16 @@ fn main() {
             "--stream" => {
                 stream = true;
                 i += 1;
+            }
+            "--serve" => {
+                serve = true;
+                i += 1;
+            }
+            "--readers" => {
+                let value = args.get(i + 1).expect("--readers needs a value");
+                readers = value.parse().unwrap_or_else(|e| panic!("--readers: {e}"));
+                assert!(readers > 0, "--readers must be at least 1");
+                i += 2;
             }
             "--batch" => {
                 let value = args.get(i + 1).expect("--batch needs a value");
@@ -104,32 +150,88 @@ fn main() {
         db.n_transactions(),
         db.n_items()
     );
+    if serve {
+        let minconf = 0.5;
+        let rows = project_top_items(&db, stream_items);
+        let split = rows.len() / 2;
+        println!(
+            "serving smoke over the top {stream_items} items: {split} seed rows, \
+             {} appended in ≤{batch}-row batches, {readers} reader(s)",
+            rows.len() - split
+        );
+        let miner = RuleMiner::new(MinSupport::Fraction(minsup))
+            .min_confidence(minconf)
+            .engine(engine);
+        let start = Instant::now();
+        let server = miner.serving(TransactionDb::from_rows(rows[..split].to_vec()));
+        let seed_ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "seed snapshot: {} rules at epoch {} ({seed_ms:.1} ms)",
+            server.snapshot().n_rules(),
+            server.epoch()
+        );
+        let lanes: Vec<Mutex<RuleReader>> =
+            (0..readers).map(|_| Mutex::new(server.reader())).collect();
+        let server = Mutex::new(server);
+        let done = AtomicBool::new(false);
+        let start = Instant::now();
+        let per_worker = fan_out(readers + 1, |worker| {
+            if worker == 0 {
+                let mut server = server.lock().expect("writer lane");
+                for chunk in rows[split..].chunks(batch) {
+                    server.ingest(chunk.to_vec()).expect("append batch");
+                }
+                done.store(true, Ordering::Relaxed);
+                Vec::new()
+            } else {
+                let mut reader = lanes[worker - 1].lock().expect("reader lane");
+                let mut latencies = Vec::new();
+                'outer: for _pass in 0..1024 {
+                    for basket in &rows {
+                        let t0 = Instant::now();
+                        let hit = reader.match_basket(basket);
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                        std::hint::black_box(hit.len());
+                        if done.load(Ordering::Relaxed) && latencies.len() >= rows.len() {
+                            break 'outer;
+                        }
+                    }
+                }
+                latencies
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let server = server.into_inner().expect("writer done");
+        let mut merged: Vec<u64> = per_worker.into_iter().flatten().collect();
+        merged.sort_unstable();
+        let stats = server.stats();
+        let pct = |p: usize| merged[(merged.len() - 1) * p / 100] as f64 / 1e3;
+        println!(
+            "served {} queries in {elapsed:.2} s ({:.0} q/s): p50 {:.1} µs, p99 {:.1} µs",
+            merged.len(),
+            merged.len() as f64 / elapsed,
+            pct(50),
+            pct(99)
+        );
+        println!(
+            "final epoch {}: {} rules over {} rows; {} snapshots published, \
+             {} index probes, {} rules scanned, {} fired",
+            server.epoch(),
+            server.snapshot().n_rules(),
+            server.n_objects(),
+            stats.snapshots_published,
+            stats.index_probes,
+            stats.rules_scanned,
+            stats.rules_fired
+        );
+        return;
+    }
+
     if stream {
         let minconf = 0.5;
-        // Project onto the top-`stream_items` most frequent items: the
-        // maintained closure system grows with the vocabulary, so a
+        // The maintained closure system grows with the vocabulary, so a
         // bounded universe is what keeps a long replay serviceable.
-        let mut by_support: Vec<(u64, u32)> = db
-            .item_supports()
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| (s, i as u32))
-            .collect();
-        by_support.sort_unstable_by(|a, b| b.cmp(a));
-        let kept: std::collections::HashSet<u32> = by_support
-            .into_iter()
-            .take(stream_items)
-            .map(|(_, i)| i)
-            .collect();
-        let rows: Vec<Vec<u32>> = db
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|item| item.id())
-                    .filter(|id| kept.contains(id))
-                    .collect()
-            })
-            .collect();
+        let rows = project_top_items(&db, stream_items);
         println!("streaming replay over the top {stream_items} items");
         let miner = RuleMiner::new(MinSupport::Fraction(minsup))
             .min_confidence(minconf)

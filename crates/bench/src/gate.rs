@@ -235,7 +235,42 @@ pub fn gated_benches() -> Vec<(&'static str, Vec<MetricCheck>)> {
                 MetricCheck::wall("backends.0.batch_wall_us"),
             ],
         ),
+        (
+            "serving",
+            vec![
+                // The index phase replays a fixed query set single-
+                // threaded, so its counters are fully deterministic:
+                // more probes or scans than the baseline means the
+                // antecedent index got weaker, not that CI got slow.
+                MetricCheck::exact("index.index_probes"),
+                MetricCheck::exact("index.rules_scanned"),
+                MetricCheck::exact("index.rules_fired"),
+                MetricCheck::exact("index.snapshots_published"),
+                // The read path holds no lock by construction; any
+                // nonzero count here is a structural regression.
+                MetricCheck::exact("mixed_load.0.reader_lock_waits"),
+                MetricCheck::exact("mixed_load.1.reader_lock_waits"),
+                MetricCheck::wall("mixed_load.0.p50_us"),
+            ],
+        ),
     ]
+}
+
+/// Flattens every failed verdict across a run's per-bench reports into
+/// printable `bench: verdict` lines — the gate binary's exit summary.
+///
+/// An empty result means the run passed. Keeping this a pure function
+/// (reports in, lines out) is what makes "the gate reports *all*
+/// failures, not just the first" testable without spawning the binary.
+pub fn failure_summary(results: &[(String, GateReport)]) -> Vec<String> {
+    results
+        .iter()
+        .flat_map(|(name, report)| {
+            report
+                .failures()
+                .map(move |verdict| format!("{name}: {verdict}"))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -327,6 +362,34 @@ mod tests {
     }
 
     #[test]
+    fn failure_summary_lists_every_failing_metric_across_benches() {
+        let base = artifact(207.0, 1000.0, 2.0);
+        // Two regressions in one bench, one in another: the summary must
+        // carry all three, prefixed by their bench, in report order.
+        let worse_a = artifact(300.0, 9000.0, 2.0);
+        let worse_b = artifact(207.0, 1000.0, 0.1);
+        let clean = check_metrics(&base, &base, CHECKS);
+        let results = vec![
+            ("alpha".to_owned(), check_metrics(&base, &worse_a, CHECKS)),
+            ("clean".to_owned(), clean),
+            ("beta".to_owned(), check_metrics(&base, &worse_b, CHECKS)),
+        ];
+        let lines = failure_summary(&results);
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].starts_with("alpha: FAIL engine_calls"));
+        assert!(lines[1].starts_with("alpha: FAIL nested.rows.0.wall_us"));
+        assert!(lines[2].starts_with("beta: FAIL speedup"));
+        assert!(lines.iter().all(|l| !l.starts_with("clean:")));
+    }
+
+    #[test]
+    fn failure_summary_is_empty_for_a_passing_run() {
+        let base = artifact(207.0, 1000.0, 2.0);
+        let results = vec![("only".to_owned(), check_metrics(&base, &base, CHECKS))];
+        assert!(failure_summary(&results).is_empty());
+    }
+
+    #[test]
     fn gated_bench_paths_resolve_against_committed_shapes() {
         // Miniature copies of the real artifact shapes: every gated path
         // must resolve, so a bench record rename cannot silently turn
@@ -350,10 +413,22 @@ mod tests {
                 "backends": [{"batch_wall_us": 900.0}]}"#,
         )
         .unwrap();
+        let serving = serde_json::parse(
+            r#"{"index": {"n_rules": 40, "queries": 256, "index_probes": 700,
+                          "rules_scanned": 3000, "linear_rules_scanned": 10240,
+                          "rules_fired": 900, "snapshots_published": 5},
+                "mixed_load": [
+                  {"readers": 1, "queries": 256, "p50_us": 4.0, "p99_us": 20.0,
+                   "qps": 50000.0, "reader_lock_waits": 0},
+                  {"readers": 4, "queries": 1024, "p50_us": 6.0, "p99_us": 40.0,
+                   "qps": 90000.0, "reader_lock_waits": 0}]}"#,
+        )
+        .unwrap();
         for (name, value) in [
             ("stream", &stream),
             ("fused", &fused),
             ("counting", &counting),
+            ("serving", &serving),
         ] {
             let checks = gated_benches()
                 .into_iter()

@@ -65,6 +65,7 @@ pub mod miner;
 pub mod redundancy;
 pub mod report;
 pub mod rule;
+pub mod serve;
 pub mod stream;
 
 pub use all_rules::{all_rules, count_all_rules};
@@ -79,6 +80,10 @@ pub use miner::{MinedBases, RuleMiner};
 pub use redundancy::{covers, find_redundant, minimal_cover, Redundancy};
 pub use report::BasisReport;
 pub use rule::Rule;
+pub use serve::{
+    BasketMatch, MatchCost, Recommendation, RuleReader, RuleServer, ServeStats, ServedBasis,
+    ServingSnapshot,
+};
 pub use stream::{BasesDelta, RuleSetDelta, StreamError, StreamingMiner};
 
 // Re-export the substrate crates and the most common types.

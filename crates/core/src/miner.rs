@@ -117,6 +117,19 @@ impl RuleMiner {
         crate::stream::StreamingMiner::new(self.clone(), db)
     }
 
+    /// Opens a concurrent serving session seeded with `db`: a
+    /// [`RuleServer`] wrapping a streaming writer that publishes
+    /// epoch-swapped snapshots of the compact basis pair
+    /// ([`ServedBasis::Compact`]) for wait-free reader queries. Use
+    /// [`RuleServer::with_basis`] to serve a different basis flavour.
+    ///
+    /// [`RuleServer`]: crate::serve::RuleServer
+    /// [`RuleServer::with_basis`]: crate::serve::RuleServer::with_basis
+    /// [`ServedBasis::Compact`]: crate::serve::ServedBasis::Compact
+    pub fn serving(&self, db: TransactionDb) -> crate::serve::RuleServer {
+        crate::serve::RuleServer::open(self.clone(), db, crate::serve::ServedBasis::default())
+    }
+
     // Configuration accessors for the fused pipeline (same crate).
     pub(crate) fn min_support_config(&self) -> MinSupport {
         self.min_support

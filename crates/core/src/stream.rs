@@ -509,9 +509,40 @@ impl StreamingMiner {
             );
         }
         self.db = grown;
+        self.maybe_compact();
         let report = self.patch_bases(&touched, delta.epoch(), delta.n_appended());
         self.cached = None;
         Ok(report)
+    }
+
+    /// Segment hygiene under a doubling policy: a long stream of small
+    /// batches accumulates one storage segment per push, degrading the
+    /// per-transaction address arithmetic; folding on every push would
+    /// instead copy the whole prefix repeatedly. Compacting only when
+    /// the segment count reaches `2·⌈log₂ rows⌉` keeps the segment
+    /// count logarithmic in the row count while the total bytes copied
+    /// across a stream's lifetime stay `O(rows · log rows)`.
+    ///
+    /// [`TransactionDb::compact`] preserves contents, dictionary, *and
+    /// epoch*, so the swap is invisible to the delta-maintained engine:
+    /// the next [`TxDelta`] is still epoch-consecutive, and the engine's
+    /// own pinned snapshot keeps the old segments alive until it next
+    /// absorbs a delta (transiently doubling resident bytes — the price
+    /// of never blocking on readers).
+    fn maybe_compact(&mut self) {
+        let rows = self.db.n_transactions();
+        if rows < 2 || self.db.n_segments() < Self::segment_budget(rows) {
+            return;
+        }
+        let mut flat = TransactionDb::clone(&self.db);
+        flat.compact();
+        debug_assert_eq!(flat.epoch(), self.db.epoch());
+        self.db = Arc::new(flat);
+    }
+
+    /// The doubling-policy ceiling: `2·⌈log₂ rows⌉` segments (rows ≥ 2).
+    fn segment_budget(rows: usize) -> usize {
+        2 * (usize::BITS - (rows - 1).leading_zeros()).max(1) as usize
     }
 
     /// Patches the maintained bases from one batch's accumulated
@@ -747,6 +778,12 @@ impl StreamingMiner {
         self.db.epoch()
     }
 
+    /// Number of storage segments behind the session's view — bounded
+    /// by the doubling compaction policy at `2·⌈log₂ rows⌉`.
+    pub fn n_segments(&self) -> usize {
+        self.db.n_segments()
+    }
+
     /// Number of closed sets the maintained (unthresholded) lattice
     /// holds — the memory the session pays to answer any future
     /// threshold.
@@ -790,6 +827,37 @@ mod tests {
             "{label}: Lux reduced"
         );
         assert_eq!(a.min_count, b.min_count, "{label}: min_count");
+    }
+
+    #[test]
+    fn segment_hygiene_follows_the_doubling_policy() {
+        // A long stream of 1-row batches would otherwise accumulate one
+        // segment per push; the doubling policy folds the view whenever
+        // the count reaches 2·⌈log₂ rows⌉, so the bound holds at every
+        // prefix and at least one compaction actually fires.
+        let miner = RuleMiner::new(MinSupport::Fraction(0.3)).min_confidence(0.5);
+        let mut stream = miner.streaming(TransactionDb::from_rows(vec![]));
+        let mut compacted = false;
+        let mut prev_segments = stream.n_segments();
+        for t in 0..48u32 {
+            stream
+                .push_batch(vec![vec![t % 4, 4 + t % 3, 7 + t % 2]])
+                .unwrap();
+            let rows = stream.n_objects();
+            let budget = StreamingMiner::segment_budget(rows.max(2));
+            assert!(
+                stream.n_segments() < budget.max(2),
+                "after {rows} rows: {} segments breaches the 2·⌈log₂ rows⌉ = {budget} budget",
+                stream.n_segments()
+            );
+            compacted |= stream.n_segments() <= prev_segments;
+            prev_segments = stream.n_segments();
+        }
+        assert!(compacted, "48 one-row pushes must trigger a compaction");
+        // Compaction is invisible to the maintained state: the bases
+        // equal a from-scratch mine of the same rows.
+        let oracle = miner.clone().mine(TransactionDb::clone(stream.db()));
+        assert_same_bases(stream.bases(), &oracle, "post-compaction");
     }
 
     #[test]

@@ -192,6 +192,36 @@ where
     })
 }
 
+/// Runs `f(0), f(1), …, f(workers - 1)` on one scoped thread each and
+/// returns the results in worker order.
+///
+/// The read-side fan-out: unlike [`parallel_map`], the workers share no
+/// input list — each receives only its index and typically drives its
+/// own long-lived handle (a serving reader, a load-generator lane)
+/// against shared state. With `workers <= 1` the single call runs
+/// inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn fan_out<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers).map(|i| scope.spawn(move || f(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +267,32 @@ mod tests {
     fn chunks_propagate_panics() {
         let items = vec![1, 2, 3, 4];
         let _ = parallel_chunks(&items, 2, |_| -> Vec<i32> { panic!("boom") });
+    }
+
+    #[test]
+    fn fan_out_indexes_workers_in_order() {
+        for workers in [1, 2, 4, 7] {
+            let out = fan_out(workers, |i| i * 10);
+            let expected: Vec<usize> = (0..workers).map(|i| i * 10).collect();
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fan_out_zero_runs_inline_once() {
+        let out = fan_out(0, |i| i + 1);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn fan_out_propagates_panics() {
+        let _ = fan_out(3, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
     }
 
     #[test]
