@@ -6,7 +6,7 @@
 //! ```bash
 //! probe MUSHROOMS 0.5 [test|default|full] [--frequent] \
 //!     [--engine auto|dense|tid-list|diffset|sharded:<k>:<inner>] \
-//!     [--pipeline staged|fused] [--stream [--batch <n>]] \
+//!     [--pipeline staged|fused] [--stream [--batch <n>] [--window <n>]] \
 //!     [--serve [--readers <n>]]
 //! ```
 //!
@@ -23,7 +23,15 @@
 //! rescale per batch), whose size is governed by the item universe — the
 //! replay therefore projects the dataset onto its `--stream-items` most
 //! frequent items first (default 16), the usual bounded-vocabulary
-//! serving setup.
+//! serving setup. `--window <n>` additionally bounds the session to a
+//! sliding window of the newest `n` rows: the out-of-window prefix
+//! expires through the delta machinery in reverse, so both the lattice
+//! *and* the retained storage stay sized by the window instead of the
+//! stream — the mode to probe long or drifting replays with.
+//!
+//! Besides the paper stand-ins, the dataset name `DRIFT` selects the
+//! `drifting_census` generator (item popularity rotates per block), the
+//! windowed-streaming workload.
 //!
 //! With `--serve`, the same projected replay drives a `RuleServer`
 //! instead: the first half of the rows seed the server, the rest arrive
@@ -33,8 +41,8 @@
 //! index, wait-free reads) with the serving counters and p50/p99 query
 //! latencies printed at the end.
 
-use rulebases::{PipelineKind, RuleMiner, RuleReader};
-use rulebases_bench::{engine_from_env, pipeline_from_env, Scale, StandIn};
+use rulebases::{PipelineKind, RuleMiner, RuleReader, Window};
+use rulebases_bench::{drifting_census, engine_from_env, pipeline_from_env, Scale, StandIn};
 use rulebases_dataset::pool::fan_out;
 use rulebases_dataset::{EngineKind, MinSupport, MiningContext, TransactionDb};
 use rulebases_mining::{Apriori, Close, ClosedMiner};
@@ -75,6 +83,7 @@ fn main() {
     let mut readers = 2usize;
     let mut batch = 64usize;
     let mut stream_items = 16usize;
+    let mut window = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,6 +109,12 @@ fn main() {
                 let value = args.get(i + 1).expect("--batch needs a value");
                 batch = value.parse().unwrap_or_else(|e| panic!("--batch: {e}"));
                 assert!(batch > 0, "--batch must be at least 1");
+                i += 2;
+            }
+            "--window" => {
+                let value = args.get(i + 1).expect("--window needs a value");
+                window = value.parse().unwrap_or_else(|e| panic!("--window: {e}"));
+                assert!(window > 0, "--window must be at least 1");
                 i += 2;
             }
             "--stream-items" => {
@@ -138,15 +153,24 @@ fn main() {
     let engine = engine.unwrap_or_else(engine_from_env);
     let pipeline = pipeline.unwrap_or_else(pipeline_from_env);
 
-    let dataset = StandIn::ALL
-        .into_iter()
-        .find(|d| d.name().starts_with(name))
-        .unwrap_or(StandIn::Mushrooms);
-
-    let db = dataset.generate(scale);
+    // `DRIFT` is the windowed-streaming workload (popularity rotates per
+    // block); every other name resolves against the paper stand-ins.
+    let (label, db) = if name.eq_ignore_ascii_case("DRIFT") {
+        let n = match scale {
+            Scale::Test => 1_000,
+            Scale::Default => 10_000,
+            Scale::Full => 100_000,
+        };
+        ("DRIFT*", drifting_census(n, 8, (n / 4).max(1), 0xD21F7))
+    } else {
+        let dataset = StandIn::ALL
+            .into_iter()
+            .find(|d| d.name().starts_with(name))
+            .unwrap_or(StandIn::Mushrooms);
+        (dataset.name(), dataset.generate(scale))
+    };
     println!(
-        "{} |O|={} |I|={} minsup={minsup} engine={engine} pipeline={pipeline}",
-        dataset.name(),
+        "{label} |O|={} |I|={} minsup={minsup} engine={engine} pipeline={pipeline}",
         db.n_transactions(),
         db.n_items()
     );
@@ -238,19 +262,25 @@ fn main() {
             .engine(engine.clone());
         let start = Instant::now();
         let mut session = miner.streaming(TransactionDb::from_rows(vec![]));
+        if window > 0 {
+            session.set_window(Window::Sliding(window));
+            println!("sliding window: the newest {window} rows");
+        }
         let (mut batches, mut added, mut removed, mut rules_moved) = (0usize, 0, 0, 0);
+        let mut expired = 0usize;
         for chunk in rows.chunks(batch) {
             let delta = session.push_batch(chunk.to_vec()).expect("append batch");
             batches += 1;
             added += delta.closed_added.len();
             removed += delta.closed_removed.len();
+            expired += delta.expired;
             rules_moved += delta.dg.added.len()
                 + delta.dg.removed.len()
                 + delta.lux_reduced.added.len()
                 + delta.lux_reduced.removed.len();
         }
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        let n_replayed = session.n_objects();
+        let n_replayed = rows.len();
         let bases = session.bases();
         println!(
             "replayed {n_replayed} rows in {batches} batches of ≤{batch} ({elapsed:.1} ms): \
@@ -265,6 +295,13 @@ fn main() {
              {rules_moved} DG/Lux-reduced rule changes; {} closure classes maintained",
             session.n_closure_classes()
         );
+        if window > 0 {
+            println!(
+                "window: {expired} rows expired, {} retained ({} storage bytes)",
+                session.n_objects(),
+                session.db().storage_bytes()
+            );
+        }
         let streaming_calls = session.context().closure_cache_stats().engine_calls();
         let remine_ctx = MiningContext::with_engine(session.db().clone(), engine);
         let _ = miner

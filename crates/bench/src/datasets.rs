@@ -7,7 +7,7 @@
 
 use rulebases::PipelineKind;
 use rulebases_dataset::generator::{census_like, mushroom_like_scaled, QuestConfig};
-use rulebases_dataset::{EngineKind, TransactionDb};
+use rulebases_dataset::{EngineKind, Item, TransactionDb};
 
 /// Environment variable naming the [`EngineKind`] the experiment
 /// runners mine through (`auto`, `dense`, `tid-list`, `diffset`,
@@ -162,6 +162,69 @@ impl StandIn {
     }
 }
 
+/// A census stand-in with *concept drift*: the value popularity of every
+/// attribute rotates one step at each `rotate_every`-row block boundary,
+/// so the modal (and thus frequent) items of the stream's head and tail
+/// differ while the correlation structure stays census-like. This is the
+/// windowed-streaming workload: a sliding window sees classes die as
+/// their supporting block expires and new ones form — an unbounded
+/// session over the same rows just accretes.
+///
+/// Deterministic per `(n_objects, n_attrs, rotate_every, seed)`. The
+/// rotation is applied per item id within its attribute's value domain
+/// (decoded from the generator's `attr{a}={v}` label layout), so every
+/// object still carries exactly one item per attribute.
+///
+/// # Panics
+///
+/// Panics if `rotate_every` is zero.
+pub fn drifting_census(
+    n_objects: usize,
+    n_attrs: usize,
+    rotate_every: usize,
+    seed: u64,
+) -> TransactionDb {
+    assert!(rotate_every > 0, "rotation block must be non-empty");
+    let base = census_like(n_objects, n_attrs, seed);
+    let dict = base
+        .dictionary()
+        .expect("census_like attaches its attribute dictionary");
+    // domain[item] = (first id of the item's attribute, domain size).
+    let mut domain: Vec<(u32, u32)> = Vec::with_capacity(dict.len());
+    let mut start = 0u32;
+    let mut prev_attr: Option<String> = None;
+    for id in 0..dict.len() as u32 {
+        let label = dict.label(Item::new(id)).expect("id interned");
+        let attr = label.split('=').next().expect("attr{a}={v} layout");
+        if prev_attr.as_deref() != Some(attr) {
+            start = id;
+            prev_attr = Some(attr.to_string());
+        }
+        domain.push((start, 0));
+    }
+    for id in (0..domain.len()).rev() {
+        let (start, _) = domain[id];
+        let card = domain[start as usize..]
+            .iter()
+            .take_while(|&&(s, _)| s == start)
+            .count() as u32;
+        domain[id] = (start, card);
+    }
+    let rows: Vec<Vec<u32>> = (0..n_objects)
+        .map(|t| {
+            let shift = (t / rotate_every) as u32;
+            base.transaction(t)
+                .iter()
+                .map(|&item| {
+                    let (start, card) = domain[item.index()];
+                    start + (item.id() - start + shift) % card
+                })
+                .collect()
+        })
+        .collect();
+    TransactionDb::from_rows(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +254,27 @@ mod tests {
         let dense = StandIn::Mushrooms.generate(Scale::Test);
         assert!(sparse.density() < 0.05, "{}", sparse.density());
         assert!(dense.density() > 0.10, "{}", dense.density());
+    }
+
+    #[test]
+    fn drifting_census_rotates_popularity_per_block() {
+        let db = drifting_census(200, 10, 50, 0xD21F);
+        assert_eq!(db.n_transactions(), 200);
+        // Shape is preserved: one item per attribute, census universe.
+        let base = census_like(200, 10, 0xD21F);
+        assert_eq!(db.n_items(), base.n_items());
+        for t in 0..200 {
+            assert_eq!(db.transaction(t).len(), 10);
+        }
+        // Block 0 is the un-rotated census; later blocks differ from it
+        // (the rotation moves every attribute with cardinality > 1).
+        assert_eq!(db.transaction(0), base.transaction(0));
+        assert_ne!(db.transaction(60), base.transaction(60));
+        // Determinism.
+        let again = drifting_census(200, 10, 50, 0xD21F);
+        for t in 0..200 {
+            assert_eq!(db.transaction(t), again.transaction(t));
+        }
     }
 
     #[test]

@@ -219,6 +219,21 @@ pub fn gated_benches() -> Vec<(&'static str, Vec<MetricCheck>)> {
             ],
         ),
         (
+            "window",
+            vec![
+                // A windowed replay's maintenance is pure set algebra:
+                // any engine call at all is a structural regression, and
+                // the expiry schedule is deterministic for the fixed
+                // replay, as is the storage the windowed view retains
+                // after compaction (the window-bounded-storage pin).
+                MetricCheck::exact("engine_calls"),
+                MetricCheck::exact("max_calls_per_expiry_batch"),
+                MetricCheck::exact("expired_total"),
+                MetricCheck::exact("storage_bytes_windowed"),
+                MetricCheck::wall("windowed_wall_us"),
+            ],
+        ),
+        (
             "fused",
             vec![
                 // pipelines[1] is the fused tally (staged is [0]).
@@ -413,6 +428,14 @@ mod tests {
                 "backends": [{"batch_wall_us": 900.0}]}"#,
         )
         .unwrap();
+        let window = serde_json::parse(
+            r#"{"rows": 768, "batch": 64, "window": 256, "engine_calls": 0,
+                "max_calls_per_expiry_batch": 0, "expired_total": 512,
+                "expiry_batches": 8, "storage_bytes_windowed": 7200,
+                "storage_bytes_unbounded": 21600, "bytes_reclaimed": 14400,
+                "windowed_wall_us": 28832.2, "remine_wall_us": 1317.7}"#,
+        )
+        .unwrap();
         let serving = serde_json::parse(
             r#"{"index": {"n_rules": 40, "queries": 256, "index_probes": 700,
                           "rules_scanned": 3000, "linear_rules_scanned": 10240,
@@ -426,6 +449,7 @@ mod tests {
         .unwrap();
         for (name, value) in [
             ("stream", &stream),
+            ("window", &window),
             ("fused", &fused),
             ("counting", &counting),
             ("serving", &serving),

@@ -84,7 +84,7 @@ pub use serve::{
     BasketMatch, MatchCost, Recommendation, RuleReader, RuleServer, ServeStats, ServedBasis,
     ServingSnapshot,
 };
-pub use stream::{BasesDelta, RuleSetDelta, StreamError, StreamingMiner};
+pub use stream::{BasesDelta, RuleSetDelta, StreamError, StreamingMiner, Window};
 
 // Re-export the substrate crates and the most common types.
 pub use rulebases_dataset::{self as dataset, MinSupport, MiningContext, TransactionDb};

@@ -58,7 +58,7 @@
 
 use crate::miner::{MinedBases, RuleMiner};
 use crate::rule::Rule;
-use crate::stream::{BasesDelta, StreamError, StreamingMiner};
+use crate::stream::{BasesDelta, StreamError, StreamingMiner, Window};
 use rulebases_dataset::{kernels, Item, Support, TransactionDb};
 use serde::Serialize;
 use std::cmp::Ordering;
@@ -709,13 +709,22 @@ impl RuleServer {
         self
     }
 
-    /// Ingests an append batch: pushes it through the streaming miner,
-    /// rebuilds the snapshot from the patched bases, and publishes it.
-    /// Readers keep answering on the old epoch until the swap lands;
-    /// the swap itself never waits for them.
+    /// Sets the embedded miner's retention [`Window`] (builder-style).
+    /// Subsequent [`RuleServer::ingest`] calls expire the out-of-window
+    /// prefix and republish the windowed snapshot like any other batch.
+    pub fn window(mut self, window: Window) -> Self {
+        self.miner.set_window(window);
+        self
+    }
+
+    /// Ingests a batch: pushes it through the streaming miner (which
+    /// appends it and expires whatever the miner's window no longer
+    /// retains), rebuilds the snapshot from the patched bases, and
+    /// publishes it. Readers keep answering on the old epoch until the
+    /// swap lands; the swap itself never waits for them.
     pub fn ingest(&mut self, rows: Vec<Vec<u32>>) -> Result<BasesDelta, StreamError> {
         let delta = self.miner.push_batch(rows)?;
-        if delta.appended > 0 {
+        if delta.appended > 0 || delta.expired > 0 {
             self.republish();
         }
         Ok(delta)

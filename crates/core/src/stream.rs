@@ -39,6 +39,30 @@
 //! engine backend and batch-size schedule, and the per-batch deltas are
 //! property-tested against the snapshot-diff oracle).
 //!
+//! # Windows
+//!
+//! A session can bound what it remembers with a [`Window`]
+//! ([`StreamingMiner::window`]): `Sliding(n)` keeps the newest `n`
+//! rows, `Ttl(k)` keeps the rows of the newest `k` batches. After the
+//! append phase of a push, the out-of-window prefix *expires* through
+//! the same delta machinery in reverse: the engines absorb a
+//! [`TxDelta::Expire`] in place (covers drop their head bits, tid-lists
+//! and diffsets drain their sorted prefixes, the sharded engine drops
+//! fully-expired head shards — see
+//! [`rulebases_dataset::engine::delta`]), each expired object is removed
+//! from the lattice GALICIA-style in reverse
+//! ([`IncrementalLattice::remove_object_delta`]: supports drop, classes
+//! whose last witness left merge into their closure, covers rewire by
+//! reverse interposition), and one [`BasesDelta`] covering both the
+//! appends and the expiries comes back from a single patch pass. The
+//! windowed state after every push equals a fresh mine of exactly the
+//! window's rows — property-tested in `tests/windowing.rs` over every
+//! backend — and no layer ever re-mines or queries the support engine
+//! during maintenance.
+//!
+//! [`TxDelta::Expire`]: rulebases_dataset::TxDelta::Expire
+//! [`IncrementalLattice::remove_object_delta`]: rulebases_lattice::IncrementalLattice::remove_object_delta
+//!
 //! # Example
 //!
 //! ```
@@ -76,9 +100,32 @@ use rulebases_dataset::{
 };
 use rulebases_lattice::{pseudo_closed_of_family, IncrementalLattice, LatticeDelta, PseudoClosed};
 use rulebases_mining::ClosedItemsets;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+
+/// The retention policy of a streaming session: which suffix of the
+/// pushed rows the maintained context keeps. Configured with
+/// [`StreamingMiner::window`]; enforced at the end of every
+/// [`StreamingMiner::push_batch`], where the out-of-window prefix
+/// expires through the engine/lattice delta machinery (see the
+/// [module docs](self)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Window {
+    /// Keep every row ever pushed (the default).
+    #[default]
+    Unbounded,
+    /// Keep the newest `n` rows: after each push, anything older than
+    /// the `n` most recent rows expires. A batch larger than the window
+    /// still inserts every row before the prefix expires, so the
+    /// surviving state is exactly the batch's own tail.
+    Sliding(usize),
+    /// Keep the rows of the newest `n` batches: a batch's rows expire
+    /// wholesale once `n` newer non-empty batches have been pushed.
+    /// The seed database counts as one batch; empty pushes do not age
+    /// the window.
+    Ttl(usize),
+}
 
 /// Why a [`StreamingMiner::push_batch`] failed. The miner is unchanged on
 /// error.
@@ -174,10 +221,14 @@ impl RuleSetDelta {
 /// support/confidence thresholds rescaled to the grown context.
 #[derive(Clone, Debug)]
 pub struct BasesDelta {
-    /// Epoch stamped by the append.
+    /// Epoch after the batch (the expiry's epoch when the window
+    /// trimmed the prefix, else the append's).
     pub epoch: u64,
     /// Number of rows the batch appended.
     pub appended: usize,
+    /// Number of prefix rows the session's [`Window`] expired along
+    /// with the batch (0 for an unbounded session).
+    pub expired: usize,
     /// Context size after the batch.
     pub n_objects: usize,
     /// Absolute support threshold after rescaling to `n_objects`.
@@ -201,6 +252,7 @@ impl BasesDelta {
         BasesDelta {
             epoch,
             appended: 0,
+            expired: 0,
             n_objects,
             min_count,
             closed_added: Vec::new(),
@@ -216,12 +268,19 @@ impl BasesDelta {
     /// against. The production [`StreamingMiner::push_batch`] computes
     /// its delta directly from the touched-class set instead of calling
     /// this.
-    pub fn between(old: &MinedBases, new: &MinedBases, epoch: u64, appended: usize) -> Self {
+    pub fn between(
+        old: &MinedBases,
+        new: &MinedBases,
+        epoch: u64,
+        appended: usize,
+        expired: usize,
+    ) -> Self {
         let old_sets: HashSet<&Itemset> = old.closed.iter().map(|(s, _)| s).collect();
         let new_sets: HashSet<&Itemset> = new.closed.iter().map(|(s, _)| s).collect();
         BasesDelta {
             epoch,
             appended,
+            expired,
             n_objects: new.n_objects,
             min_count: new.min_count,
             closed_added: new
@@ -385,7 +444,9 @@ impl MaintainedBases {
         let include_empty = config.include_empty_antecedent_config();
         let min_count = min_count_for(config.min_support_config(), ctx.n_objects());
         let n = lattice.n_nodes();
-        let in_iceberg: Vec<bool> = (0..n).map(|i| lattice.node(i).1 >= min_count).collect();
+        let in_iceberg: Vec<bool> = (0..n)
+            .map(|i| lattice.is_live(i) && lattice.node(i).1 >= min_count)
+            .collect();
         let mut state = MaintainedBases {
             min_count,
             in_iceberg,
@@ -444,6 +505,13 @@ pub struct StreamingMiner {
     ctx: MiningContext,
     lattice: IncrementalLattice,
     state: MaintainedBases,
+    /// The retention policy — [`Window::Unbounded`] unless configured
+    /// with [`StreamingMiner::window`].
+    window: Window,
+    /// Row counts of the batches still in the window, oldest first —
+    /// the aging ledger a [`Window::Ttl`] policy expires from (unused
+    /// by the other policies).
+    batch_sizes: VecDeque<usize>,
     /// The last materialized bundle; invalidated by every push and
     /// rebuilt on demand by [`StreamingMiner::bases`].
     cached: Option<MinedBases>,
@@ -462,29 +530,60 @@ impl StreamingMiner {
             lattice.insert_object(&Itemset::from_sorted(db.transaction(t).to_vec()));
         }
         let state = MaintainedBases::rebuild(&config, &ctx, &lattice);
+        let mut batch_sizes = VecDeque::new();
+        if db.n_transactions() > 0 {
+            // The seed ages like one batch under a Ttl policy.
+            batch_sizes.push_back(db.n_transactions());
+        }
         StreamingMiner {
             config,
             db,
             ctx,
             lattice,
             state,
+            window: Window::Unbounded,
+            batch_sizes,
             cached: None,
         }
     }
 
-    /// Appends one batch of transactions and patches everything the
-    /// session maintains — engine, lattice, and all three bases — without
-    /// re-mining and at delta cost: the append allocates one storage
-    /// segment, the engine absorbs the delta in place, and the bases are
-    /// patched from the lattice's touched-class report (only rules whose
-    /// antecedent/consequent closure class was touched, or whose class
-    /// crossed the rescaled threshold, are reconsidered). Thresholds
-    /// rescale to the grown row count (a fractional minimum support rises
-    /// in absolute terms as rows arrive). Returns what changed; on error
-    /// nothing changed.
+    /// Sets the session's retention policy. Builder-style: configure
+    /// right after [`RuleMiner::streaming`]. The policy is enforced at
+    /// the end of every subsequent push — a seed wider than a
+    /// [`Window::Sliding`] bound is trimmed by the first non-empty
+    /// batch, not here.
+    pub fn window(mut self, window: Window) -> Self {
+        self.set_window(window);
+        self
+    }
+
+    /// In-place form of [`StreamingMiner::window`] — for sessions
+    /// already embedded somewhere (e.g. a server).
+    pub fn set_window(&mut self, window: Window) {
+        self.window = window;
+    }
+
+    /// The session's retention policy.
+    pub fn window_config(&self) -> Window {
+        self.window
+    }
+
+    /// Appends one batch of transactions, expires whatever the
+    /// session's [`Window`] no longer retains, and patches everything
+    /// the session maintains — engine, lattice, and all three bases —
+    /// without re-mining and at delta cost: the append allocates one
+    /// storage segment, the engines absorb the append and the expiry in
+    /// place, and the bases are patched from the lattice's accumulated
+    /// touched-class report (only rules whose antecedent/consequent
+    /// closure class was touched, or whose class crossed the rescaled
+    /// threshold, are reconsidered). Thresholds rescale to the new row
+    /// count — under a window that count can shrink, so a fractional
+    /// minimum support falls in absolute terms too. Returns one
+    /// [`BasesDelta`] covering both the appends and the expiries; on
+    /// error nothing changed.
     ///
     /// An empty batch is a no-op: it returns an empty delta without
-    /// advancing the epoch or touching any layer.
+    /// advancing the epoch, aging the window, or touching any layer.
     pub fn push_batch(&mut self, rows: Vec<Vec<u32>>) -> Result<BasesDelta, StreamError> {
         if rows.is_empty() {
             return Ok(BasesDelta::empty(
@@ -499,20 +598,58 @@ impl StreamingMiner {
         let mut grown = TransactionDb::clone(&self.db);
         let info = grown.append_rows(rows)?;
         let grown = Arc::new(grown);
+        let appended = grown.n_transactions() - info.start;
         let delta = TxDelta::new(Arc::clone(&grown), info);
         self.ctx.apply_delta(&delta)?;
         let mut touched = LatticeDelta::default();
-        for t in delta.start()..delta.end() {
+        for t in info.start..grown.n_transactions() {
             touched.absorb(
                 self.lattice
                     .insert_object_delta(&Itemset::from_sorted(grown.transaction(t).to_vec())),
             );
         }
         self.db = grown;
+        let expired = self.window_overflow(appended);
+        if expired > 0 {
+            // Capture the expiring rows before the view shrinks — the
+            // lattice removals need the original itemsets.
+            let expiring: Vec<Itemset> = (0..expired)
+                .map(|t| Itemset::from_sorted(self.db.transaction(t).to_vec()))
+                .collect();
+            let prior = Arc::clone(&self.db);
+            let mut shrunk = TransactionDb::clone(&self.db);
+            let einfo = shrunk.expire_rows(expired);
+            let shrunk = Arc::new(shrunk);
+            self.ctx
+                .apply_delta(&TxDelta::expire(prior, Arc::clone(&shrunk), einfo))?;
+            for row in &expiring {
+                touched.absorb(self.lattice.remove_object_delta(row));
+            }
+            self.db = shrunk;
+        }
         self.maybe_compact();
-        let report = self.patch_bases(&touched, delta.epoch(), delta.n_appended());
+        let report = self.patch_bases(&touched, self.db.epoch(), appended, expired);
         self.cached = None;
         Ok(report)
+    }
+
+    /// How many prefix rows fall out of the window once a push has
+    /// appended `appended` rows. [`Window::Ttl`] ages whole batches
+    /// through the [`Self::batch_sizes`] ledger; [`Window::Sliding`]
+    /// counts rows directly.
+    fn window_overflow(&mut self, appended: usize) -> usize {
+        match self.window {
+            Window::Unbounded => 0,
+            Window::Sliding(n) => self.db.n_transactions().saturating_sub(n),
+            Window::Ttl(batches) => {
+                self.batch_sizes.push_back(appended);
+                let mut expired = 0;
+                while self.batch_sizes.len() > batches {
+                    expired += self.batch_sizes.pop_front().expect("len checked");
+                }
+                expired
+            }
+        }
     }
 
     /// Segment hygiene under a doubling policy: a long stream of small
@@ -546,11 +683,23 @@ impl StreamingMiner {
     }
 
     /// Patches the maintained bases from one batch's accumulated
-    /// [`LatticeDelta`], computing the [`BasesDelta`] directly: the only
-    /// rule slots reconsidered are those incident to a touched class, to
-    /// a class whose iceberg membership flipped under the rescaled
-    /// threshold, or to a covering edge interposition removed.
-    fn patch_bases(&mut self, touched: &LatticeDelta, epoch: u64, appended: usize) -> BasesDelta {
+    /// [`LatticeDelta`] (appends and window expiries alike), computing
+    /// the [`BasesDelta`] directly: the only rule slots reconsidered
+    /// are those incident to a touched class, to a class whose iceberg
+    /// membership flipped under the rescaled threshold, or to a
+    /// covering edge the batch removed (by interposition or by a class
+    /// dying). Classes the batch killed are forced out of the iceberg;
+    /// their tombstoned slots are excluded from candidate enumeration
+    /// in every *later* batch (a dead slot's intent may be recreated by
+    /// a live class, and the shared rule key must then belong to the
+    /// live one alone).
+    fn patch_bases(
+        &mut self,
+        touched: &LatticeDelta,
+        epoch: u64,
+        appended: usize,
+        expired: usize,
+    ) -> BasesDelta {
         let lattice = &self.lattice;
         let state = &mut self.state;
         let minconf = self.config.min_confidence_config();
@@ -560,11 +709,20 @@ impl StreamingMiner {
         let new_min = min_count_for(self.config.min_support_config(), self.ctx.n_objects());
         state.in_iceberg.resize(n_nodes, false);
 
-        // Per-node bump counts — how supports looked before the batch.
-        let mut bumps: HashMap<usize, Support> = HashMap::new();
+        // Net per-node support movement — +1 per bump, −1 per drop; a
+        // mixed batch can cancel to zero.
+        let mut bumps: HashMap<usize, i64> = HashMap::new();
         for &id in &touched.bumped {
             *bumps.entry(id).or_insert(0) += 1;
         }
+        for &id in &touched.dropped {
+            *bumps.entry(id).or_insert(0) -= 1;
+        }
+
+        // Classes this batch killed: still legitimate rule-slot
+        // endpoints (their old entries must be retired), unlike slots
+        // dead since an earlier batch.
+        let died_now: HashSet<usize> = touched.removed.iter().copied().collect();
 
         // Membership flips: only touched nodes can flip while the
         // threshold stands still; when it moves, every node is a
@@ -578,7 +736,7 @@ impl StreamingMiner {
         let mut entered: Vec<usize> = Vec::new();
         let mut left: Vec<usize> = Vec::new();
         for id in flip_candidates {
-            let now_in = lattice.node(id).1 >= new_min;
+            let now_in = lattice.is_live(id) && lattice.node(id).1 >= new_min;
             if now_in != state.in_iceberg[id] {
                 if now_in {
                     entered.push(id);
@@ -615,12 +773,18 @@ impl StreamingMiner {
         }
 
         // Full basis: reconsider every comparable pair with an affected
-        // endpoint.
+        // endpoint. Slots dead since an earlier batch are skipped: their
+        // rules were retired the batch they died, and their intent may
+        // since have been recreated by a live class whose rule key they
+        // would collide with.
         let mut candidate_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
         for &a in &affected {
+            if !lattice.is_live(a) && !died_now.contains(&a) {
+                continue;
+            }
             let (ca, _) = lattice.node(a);
             for b in 0..n_nodes {
-                if b == a {
+                if b == a || (!lattice.is_live(b) && !died_now.contains(&b)) {
                     continue;
                 }
                 let (cb, _) = lattice.node(b);
@@ -655,8 +819,10 @@ impl StreamingMiner {
             let mut restated = 0;
             for (p, node) in state.dg.iter_mut().zip(&state.dg_nodes) {
                 if let Some(&b) = bumps.get(node) {
-                    p.support += b;
-                    restated += 1;
+                    if b != 0 {
+                        p.support = (p.support as i64 + b) as Support;
+                        restated += 1;
+                    }
                 }
             }
             RuleSetDelta {
@@ -685,6 +851,7 @@ impl StreamingMiner {
         BasesDelta {
             epoch,
             appended,
+            expired,
             n_objects: self.ctx.n_objects(),
             min_count: new_min,
             closed_added,
@@ -916,7 +1083,7 @@ mod tests {
                 .pipeline(PipelineKind::Fused)
                 .mine(TransactionDb::from_rows(rows[..seen].to_vec()));
             let direct = stream.push_batch(chunk.to_vec()).unwrap();
-            let oracle = BasesDelta::between(&before, &after, direct.epoch, chunk.len());
+            let oracle = BasesDelta::between(&before, &after, direct.epoch, chunk.len(), 0);
             assert_delta_eq(&direct, &oracle, &format!("prefix {seen}"));
         }
     }

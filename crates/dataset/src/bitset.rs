@@ -237,19 +237,18 @@ impl BitSet {
     /// Copies the bit range `start..start + len` into a new bitset
     /// re-based at zero.
     ///
-    /// `start` must be a multiple of 64 so the copy is whole words — this
-    /// is the shard-slicing primitive of the sharded engine, whose shard
-    /// boundaries are word-aligned by construction (see
-    /// [`TransactionDb::partition`]).
+    /// This is the shard-slicing primitive of the sharded engine. A
+    /// word-aligned `start` (the boundaries [`TransactionDb::partition`]
+    /// produces) is a whole-word copy; an unaligned `start` — shard
+    /// boundaries renumbered by a prefix expiry — takes the cross-word
+    /// shift path.
     ///
     /// [`TransactionDb::partition`]: crate::TransactionDb::partition
     ///
     /// # Panics
     ///
-    /// Panics if `start` is not word-aligned or `start + len` exceeds the
-    /// capacity.
+    /// Panics if `start + len` exceeds the capacity.
     pub fn extract_block(&self, start: usize, len: usize) -> BitSet {
-        assert_eq!(start % WORD_BITS, 0, "block start {start} not 64-aligned");
         assert!(
             start + len <= self.nbits,
             "block {start}..{} beyond capacity {}",
@@ -257,9 +256,22 @@ impl BitSet {
             self.nbits
         );
         let first = start / WORD_BITS;
-        let mut out = BitSet {
-            words: self.words[first..first + len.div_ceil(WORD_BITS)].to_vec(),
-            nbits: len,
+        let sh = start % WORD_BITS;
+        let mut out = if sh == 0 {
+            BitSet {
+                words: self.words[first..first + len.div_ceil(WORD_BITS)].to_vec(),
+                nbits: len,
+            }
+        } else {
+            let words = (0..len.div_ceil(WORD_BITS))
+                .map(|i| {
+                    let lo = self.words.get(first + i).copied().unwrap_or(0) >> sh;
+                    let hi =
+                        self.words.get(first + i + 1).copied().unwrap_or(0) << (WORD_BITS - sh);
+                    lo | hi
+                })
+                .collect();
+            BitSet { words, nbits: len }
         };
         out.trim_tail();
         out
@@ -268,13 +280,13 @@ impl BitSet {
     /// Overwrites the bit range `start..start + block.capacity()` with
     /// `block` (a bitset re-based at zero) — the inverse of
     /// [`BitSet::extract_block`]. Bits outside the range are untouched.
+    /// Like the extraction, an unaligned `start` is supported via the
+    /// masked cross-word path.
     ///
     /// # Panics
     ///
-    /// Panics if `start` is not a multiple of 64 or the block does not
-    /// fit within the capacity.
+    /// Panics if the block does not fit within the capacity.
     pub fn splice_block(&mut self, start: usize, block: &BitSet) {
-        assert_eq!(start % WORD_BITS, 0, "block start {start} not 64-aligned");
         assert!(
             start + block.nbits <= self.nbits,
             "block {start}..{} beyond capacity {}",
@@ -284,16 +296,55 @@ impl BitSet {
         if block.nbits == 0 {
             return;
         }
-        let first = start / WORD_BITS;
-        let full_words = block.nbits / WORD_BITS;
-        self.words[first..first + full_words].copy_from_slice(&block.words[..full_words]);
-        let rem = block.nbits % WORD_BITS;
-        if rem != 0 {
-            // Merge the trailing partial word so neighbouring bits survive.
-            let mask = (1u64 << rem) - 1;
-            let target = &mut self.words[first + full_words];
-            *target = (*target & !mask) | (block.words[full_words] & mask);
+        if start.is_multiple_of(WORD_BITS) {
+            let first = start / WORD_BITS;
+            let full_words = block.nbits / WORD_BITS;
+            self.words[first..first + full_words].copy_from_slice(&block.words[..full_words]);
+            let rem = block.nbits % WORD_BITS;
+            if rem != 0 {
+                // Merge the trailing partial word so neighbouring bits
+                // survive.
+                let mask = (1u64 << rem) - 1;
+                let target = &mut self.words[first + full_words];
+                *target = (*target & !mask) | (block.words[full_words] & mask);
+            }
+            return;
         }
+        for (i, &w) in block.words.iter().enumerate() {
+            let bits = (block.nbits - i * WORD_BITS).min(WORD_BITS);
+            let mask = if bits == WORD_BITS {
+                !0u64
+            } else {
+                (1u64 << bits) - 1
+            };
+            let pos = start + i * WORD_BITS;
+            let (wi, off) = (pos / WORD_BITS, pos % WORD_BITS);
+            // The in-word part; bits shifted past the word boundary are
+            // re-written by the spill below.
+            self.words[wi] = (self.words[wi] & !(mask << off)) | ((w & mask) << off);
+            if off != 0 && bits > WORD_BITS - off {
+                let spill = bits - (WORD_BITS - off);
+                let spill_mask = (1u64 << spill) - 1;
+                let target = &mut self.words[wi + 1];
+                *target = (*target & !spill_mask) | ((w >> (WORD_BITS - off)) & spill_mask);
+            }
+        }
+    }
+
+    /// Drops the first `k` bits and re-bases the rest at zero, shrinking
+    /// the capacity by `k` — how a vertical cover is renumbered when a
+    /// prefix of transactions expires from the database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the capacity.
+    pub fn drop_prefix(&mut self, k: usize) {
+        assert!(
+            k <= self.nbits,
+            "cannot drop {k} bits from capacity {}",
+            self.nbits
+        );
+        *self = self.extract_block(k, self.nbits - k);
     }
 
     /// Iterates over set bit indices in increasing order.
@@ -480,9 +531,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not 64-aligned")]
-    fn extract_unaligned_panics() {
-        let _ = BitSet::new(100).extract_block(10, 4);
+    fn unaligned_extract_and_splice_round_trip() {
+        let bits = [0usize, 5, 9, 10, 63, 64, 65, 127, 128, 250, 299];
+        let s = BitSet::from_indices(300, bits);
+        // Unaligned cuts reassemble exactly, same as the aligned ones.
+        for cuts in [[0usize, 10, 75, 300], [0, 1, 63, 300], [0, 130, 131, 300]] {
+            let mut rebuilt = BitSet::from_indices(300, [2, 40, 80, 140, 260]);
+            for w in cuts.windows(2) {
+                let block = s.extract_block(w[0], w[1] - w[0]);
+                assert_eq!(
+                    block.iter().collect::<Vec<_>>(),
+                    s.iter()
+                        .filter(|&i| i >= w[0] && i < w[1])
+                        .map(|i| i - w[0])
+                        .collect::<Vec<_>>(),
+                    "cut {w:?}"
+                );
+                rebuilt.splice_block(w[0], &block);
+            }
+            assert_eq!(rebuilt, s, "cuts {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn unaligned_splice_preserves_neighbours() {
+        // A 10-bit block written at 67 must leave 60..67 and 77..128
+        // untouched.
+        let mut s = BitSet::from_indices(128, [60, 66, 70, 76, 77, 100]);
+        let block = BitSet::from_indices(10, [1, 3]);
+        s.splice_block(67, &block);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![60, 66, 68, 70, 77, 100]);
+    }
+
+    #[test]
+    fn drop_prefix_renumbers() {
+        let mut s = BitSet::from_indices(200, [0, 3, 70, 127, 128, 199]);
+        s.drop_prefix(70);
+        assert_eq!(s.capacity(), 130);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 57, 58, 129]);
+        s.drop_prefix(0);
+        assert_eq!(s.capacity(), 130);
+        s.drop_prefix(130);
+        assert_eq!(s.capacity(), 0);
+        assert!(s.is_empty());
     }
 
     #[test]

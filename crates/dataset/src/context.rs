@@ -138,10 +138,11 @@ impl MiningContext {
         self.engine.epoch()
     }
 
-    /// Absorbs one append batch: the engine catches up incrementally
-    /// (covers extend, the closure cache drops only the entries the
-    /// delta can change) and the context's horizontal view switches to
-    /// the grown snapshot.
+    /// Absorbs one batch delta — an append or a prefix expiry: the
+    /// engine catches up incrementally (covers extend or drop their
+    /// heads, the closure cache drops only the entries the delta can
+    /// change) and the context's horizontal view switches to the
+    /// post-delta snapshot.
     ///
     /// Fails with [`DeltaError::SharedEngine`] when the context has live
     /// clones (clones share the engine, which must be unique to mutate in

@@ -150,25 +150,39 @@ impl CachedEngine {
             .clear();
     }
 
-    /// Drops exactly the cached closures an append batch can change, and
+    /// Drops exactly the cached closures a batch delta can change, and
     /// returns how many were dropped. An entry `X ↦ (h(X), supp X)` stays
-    /// valid across an append unless the extent of `X` intersects the
+    /// valid across the batch unless the extent of `X` intersects the
     /// delta — i.e. some appended row contains `X` (then the support
-    /// grows and the closure may shrink). One special case rides along:
-    /// when the batch grew the item universe, entries for unsupported
-    /// itemsets (`supp = 0`, closure = the old, smaller universe) are
-    /// dropped too.
+    /// grows and the closure may shrink), or some *expired* row contained
+    /// `X` (then the support shrinks and the closure may grow; the
+    /// expired rows are read from the delta's pre-expiry snapshot). One
+    /// special case rides along on appends: when the batch grew the item
+    /// universe, entries for unsupported itemsets (`supp = 0`, closure =
+    /// the old, smaller universe) are dropped too. Expiry never shrinks
+    /// the universe, so unsupported entries survive it untouched — no
+    /// expired row contains their key.
     fn invalidate_delta(&self, delta: &TxDelta) -> usize {
-        let db = delta.db();
-        let grew = delta.grew_universe();
         let mut cache = self.closures.lock().expect("closure cache poisoned");
         let before = cache.len();
-        cache.retain(|key, (_, support)| {
-            if grew && *support == 0 {
-                return false;
+        match delta {
+            TxDelta::Append(append) => {
+                let db = append.db();
+                let grew = append.grew_universe();
+                cache.retain(|key, (_, support)| {
+                    if grew && *support == 0 {
+                        return false;
+                    }
+                    !(append.start()..append.end()).any(|t| db.transaction_contains(t, key))
+                });
             }
-            !(delta.start()..delta.end()).any(|t| db.transaction_contains(t, key))
-        });
+            TxDelta::Expire(expire) => {
+                let prior = expire.prior();
+                cache.retain(|key, _| {
+                    !(0..expire.rows()).any(|t| prior.transaction_contains(t, key))
+                });
+            }
+        }
         before - cache.len()
     }
 
@@ -196,9 +210,9 @@ impl DeltaSupportEngine for CachedEngine {
     /// Applies the delta to the wrapped backend, then performs the
     /// epoch-keyed invalidation: only the closure classes whose extents
     /// intersect the delta are dropped (an entry stays valid unless some
-    /// appended row contains its key, plus the unsupported-closure
-    /// entries when the universe grew); everything else keeps serving
-    /// hits across the append.
+    /// appended or expired row contains its key, plus the
+    /// unsupported-closure entries when an append grew the universe);
+    /// everything else keeps serving hits across the batch.
     fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
         let name = self.inner.name();
         let inner = Arc::get_mut(&mut self.inner).ok_or(DeltaError::SharedEngine)?;
@@ -487,6 +501,39 @@ mod tests {
         let (closure, support) = engine.closure_and_support(&b);
         assert_eq!(closure, Itemset::from_ids([2]));
         assert_eq!(support, 5);
+        assert_eq!(engine.cache_stats().misses, 3);
+    }
+
+    #[test]
+    fn expiry_evicts_only_classes_the_expired_rows_witnessed() {
+        use super::super::delta::TxDelta;
+        let mut db = paper_example();
+        let shared = Arc::new(db.clone());
+        let mut engine = CachedEngine::new(EngineKind::Dense.build(&shared));
+
+        let b = Itemset::from_ids([2]); // absent from the doomed row
+        let d = Itemset::from_ids([4]); // contained in the doomed row
+        assert_eq!(engine.closure(&b), Itemset::from_ids([2, 5]));
+        assert_eq!(engine.closure(&d), Itemset::from_ids([1, 3, 4]));
+        assert_eq!(engine.cache_stats().misses, 2);
+
+        // Expire the first row {A, C, D}: it contains D but not B, so
+        // only D's closure class intersects the delta.
+        let prior = Arc::new(db.clone());
+        let info = db.expire_rows(1);
+        let delta = TxDelta::expire(prior, Arc::new(db.clone()), info);
+        engine.apply_delta(&delta).unwrap();
+        assert_eq!(engine.epoch(), 1);
+
+        // B's class survived the expiry: answered from cache.
+        assert_eq!(engine.closure(&b), Itemset::from_ids([2, 5]));
+        assert_eq!(engine.cache_stats().hits, 1);
+        // D's class was evicted and recomputed: the expired row was its
+        // only witness, so it is now unsupported and closes to the
+        // universe.
+        let (closure, support) = engine.closure_and_support(&d);
+        assert_eq!(closure, Itemset::universe(6));
+        assert_eq!(support, 0);
         assert_eq!(engine.cache_stats().misses, 3);
     }
 

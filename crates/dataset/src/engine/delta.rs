@@ -1,54 +1,68 @@
-//! Append-batch deltas and the delta-aware engine surface.
+//! Batch deltas (appends and expiries) and the delta-aware engine
+//! surface.
 //!
-//! A streaming context grows by whole batches:
-//! [`TransactionDb::append_rows`] extends the CSR in place and stamps a
-//! monotone epoch, and a [`TxDelta`] packages one such append — the grown
-//! database snapshot plus the appended row range — so every derived
-//! structure can catch up *incrementally* instead of being rebuilt.
-//! [`DeltaSupportEngine`] is the surface the backends implement:
+//! A streaming context changes by whole batches, in both directions:
+//! [`TransactionDb::append_rows`] extends the CSR in place,
+//! [`TransactionDb::expire_rows`] drops a prefix of rows, and both stamp
+//! a monotone epoch. A [`TxDelta`] packages one such step — an
+//! [`TxDelta::Append`] carries the grown snapshot plus the appended row
+//! range, an [`TxDelta::Expire`] the shrunk snapshot plus the expired
+//! prefix — so every derived structure can catch up *incrementally*
+//! instead of being rebuilt. [`DeltaSupportEngine`] is the surface the
+//! backends implement:
 //!
 //! * **dense** extends every bitset cover by the appended rows
-//!   ([`BitSet::grow`] + delta bit inserts);
+//!   ([`BitSet::grow`] + delta bit inserts); expiry drops each cover's
+//!   prefix bits in place ([`BitSet::drop_prefix`]);
 //! * **tid-list** appends the new transaction ids to the affected sorted
 //!   lists (the ids are larger than everything present, so the append
-//!   keeps the lists sorted);
+//!   keeps the lists sorted); expiry drops the ids below the cut and
+//!   renumbers the survivors down, which keeps the lists sorted too;
 //! * **diffset** appends the *missing* ids per item, seeding items the
 //!   batch introduced with the full pre-append id range (a brand-new item
-//!   was absent from every old row);
-//! * **sharded** routes the delta to its tail shard, re-resolves that
+//!   was absent from every old row); expiry filters and renumbers the
+//!   difflists the same way;
+//! * **sharded** routes an append to its tail shard, re-resolves that
 //!   shard's backend when the batch flips it across a density threshold,
 //!   and spills into a fresh shard once the tail outgrows its 64-row
-//!   budget (the spill boundary stays 64-aligned, so whole-word tidset
-//!   stitching keeps working);
+//!   budget; an expiry routes to the *head*: fully-expired shards are
+//!   dropped wholesale, the shard the cut lands in absorbs a local
+//!   expiry, and the surviving shard offsets renumber down (tidset
+//!   stitching takes the unaligned block path when the cut is not
+//!   word-aligned);
 //! * **cached** invalidates exactly the closure classes whose extents
 //!   intersect the delta — an entry `X ↦ (h(X), supp X)` stays correct
-//!   unless some appended row contains `X` — and passes the delta to the
-//!   backend beneath.
+//!   unless some appended *or expired* row contains `X` — and passes the
+//!   delta to the backend beneath.
 //!
 //! Deltas must be applied in epoch order: every engine remembers the
 //! epoch of the data it reflects and rejects out-of-order deltas with
 //! [`DeltaError::EpochMismatch`].
 //!
 //! [`TransactionDb::append_rows`]: crate::TransactionDb::append_rows
+//! [`TransactionDb::expire_rows`]: crate::TransactionDb::expire_rows
 //! [`BitSet::grow`]: crate::BitSet::grow
+//! [`BitSet::drop_prefix`]: crate::BitSet::drop_prefix
 
 use super::SupportEngine;
-use crate::transaction::{AppendInfo, TransactionDb};
+use crate::transaction::{AppendInfo, ExpireInfo, TransactionDb};
 use std::fmt;
 use std::sync::Arc;
 
-/// One append batch, as seen by a delta-aware engine: a snapshot of the
-/// *grown* database plus the half-open appended row range
-/// `start()..end()`.
+/// One context-changing batch, as seen by a delta-aware engine: either
+/// an append of rows at the end or an expiry of rows at the front.
 ///
-/// The snapshot is shared (`Arc`), so building a delta never copies row
-/// data; engines that keep a horizontal view swap their snapshot for this
-/// one while extending their vertical structures from the appended rows
-/// only.
+/// The snapshots are shared (`Arc`), so building a delta never copies
+/// row data; engines that keep a horizontal view swap their snapshot for
+/// the delta's while adjusting their vertical structures by the changed
+/// rows only.
 #[derive(Clone, Debug)]
-pub struct TxDelta {
-    db: Arc<TransactionDb>,
-    info: AppendInfo,
+pub enum TxDelta {
+    /// An append batch: the grown snapshot plus the appended row range.
+    Append(AppendDelta),
+    /// A prefix expiry: the shrunk snapshot plus the expired prefix
+    /// length (surviving rows renumber down by it).
+    Expire(ExpireDelta),
 }
 
 impl TxDelta {
@@ -66,9 +80,71 @@ impl TxDelta {
             info.start,
             db.n_transactions()
         );
-        TxDelta { db, info }
+        TxDelta::Append(AppendDelta { db, info })
     }
 
+    /// Packages a prefix expiry described by `info`: `prior` is the
+    /// snapshot *before* the expiry (the rows being dropped are read
+    /// from it — e.g. by cache invalidation), `db` the shrunk snapshot
+    /// after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree with `info.rows`.
+    pub fn expire(prior: Arc<TransactionDb>, db: Arc<TransactionDb>, info: ExpireInfo) -> Self {
+        assert_eq!(
+            prior.n_transactions(),
+            db.n_transactions() + info.rows,
+            "expiry of {} rows does not connect the snapshots",
+            info.rows
+        );
+        TxDelta::Expire(ExpireDelta { prior, db, info })
+    }
+
+    /// The post-step database snapshot (grown or shrunk).
+    #[inline]
+    pub fn db(&self) -> &TransactionDb {
+        self.db_arc()
+    }
+
+    /// The post-step database snapshot, shared.
+    #[inline]
+    pub fn db_arc(&self) -> &Arc<TransactionDb> {
+        match self {
+            TxDelta::Append(a) => &a.db,
+            TxDelta::Expire(e) => &e.db,
+        }
+    }
+
+    /// The epoch the receiving engine must be at (the epoch before the
+    /// step).
+    #[inline]
+    pub fn base_epoch(&self) -> u64 {
+        match self {
+            TxDelta::Append(a) => a.info.base_epoch,
+            TxDelta::Expire(e) => e.info.base_epoch,
+        }
+    }
+
+    /// The epoch after the step.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        match self {
+            TxDelta::Append(a) => a.info.epoch,
+            TxDelta::Expire(e) => e.info.epoch,
+        }
+    }
+}
+
+/// The [`TxDelta::Append`] payload: a snapshot of the *grown* database
+/// plus the half-open appended row range `start()..end()`.
+#[derive(Clone, Debug)]
+pub struct AppendDelta {
+    db: Arc<TransactionDb>,
+    info: AppendInfo,
+}
+
+impl AppendDelta {
     /// The grown database snapshot.
     #[inline]
     pub fn db(&self) -> &TransactionDb {
@@ -142,6 +218,58 @@ impl TxDelta {
     }
 }
 
+/// The [`TxDelta::Expire`] payload: the snapshots on both sides of a
+/// prefix expiry. Rows `0..rows()` of [`ExpireDelta::prior`] are the
+/// expired objects; [`ExpireDelta::db`] holds the survivors, renumbered
+/// down by `rows()`.
+#[derive(Clone, Debug)]
+pub struct ExpireDelta {
+    prior: Arc<TransactionDb>,
+    db: Arc<TransactionDb>,
+    info: ExpireInfo,
+}
+
+impl ExpireDelta {
+    /// The shrunk database snapshot.
+    #[inline]
+    pub fn db(&self) -> &TransactionDb {
+        &self.db
+    }
+
+    /// The shrunk database snapshot, shared.
+    #[inline]
+    pub fn db_arc(&self) -> &Arc<TransactionDb> {
+        &self.db
+    }
+
+    /// The pre-expiry snapshot — rows `0..rows()` of it are the expired
+    /// objects, readable by consumers that need their contents (cache
+    /// invalidation, lattice removal).
+    #[inline]
+    pub fn prior(&self) -> &TransactionDb {
+        &self.prior
+    }
+
+    /// Number of expired prefix rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.info.rows
+    }
+
+    /// The epoch the receiving engine must be at (the epoch before the
+    /// expiry).
+    #[inline]
+    pub fn base_epoch(&self) -> u64 {
+        self.info.base_epoch
+    }
+
+    /// The epoch after the expiry.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.info.epoch
+    }
+}
+
 /// Why a delta could not be applied.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DeltaError {
@@ -185,14 +313,15 @@ impl fmt::Display for DeltaError {
 
 impl std::error::Error for DeltaError {}
 
-/// A [`SupportEngine`] that can absorb an append batch in place.
+/// A [`SupportEngine`] that can absorb a batch delta (append or prefix
+/// expiry) in place.
 ///
 /// After a successful [`DeltaSupportEngine::apply_delta`], every query
-/// answers exactly as a fresh engine built from the grown snapshot would
-/// (cross-checked by the dataset proptests) and
+/// answers exactly as a fresh engine built from the post-delta snapshot
+/// would (cross-checked by the dataset proptests) and
 /// [`SupportEngine::epoch`] reports the delta's epoch.
 pub trait DeltaSupportEngine: SupportEngine {
-    /// Absorbs one append batch. On error the engine is unchanged.
+    /// Absorbs one batch delta. On error the engine is unchanged.
     fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError>;
 }
 
@@ -217,11 +346,41 @@ mod tests {
         let mut db = TransactionDb::from_rows(vec![vec![1, 2], vec![0]]);
         let info = db.append_rows(vec![vec![5], vec![1]]).unwrap();
         let delta = TxDelta::new(Arc::new(db), info);
-        assert_eq!((delta.start(), delta.end()), (2, 4));
-        assert_eq!(delta.n_appended(), 2);
         assert_eq!((delta.base_epoch(), delta.epoch()), (0, 1));
-        assert_eq!(delta.prior_items(), 3);
-        assert!(delta.grew_universe());
+        let TxDelta::Append(append) = &delta else {
+            panic!("append batches package as TxDelta::Append");
+        };
+        assert_eq!((append.start(), append.end()), (2, 4));
+        assert_eq!(append.n_appended(), 2);
+        assert_eq!(append.prior_items(), 3);
+        assert!(append.grew_universe());
+    }
+
+    #[test]
+    fn delta_describes_the_expiry() {
+        let mut db = TransactionDb::from_rows(vec![vec![1, 2], vec![0], vec![2]]);
+        let prior = Arc::new(db.clone());
+        let info = db.expire_rows(2);
+        let delta = TxDelta::expire(prior, Arc::new(db), info);
+        assert_eq!((delta.base_epoch(), delta.epoch()), (0, 1));
+        assert_eq!(delta.db().n_transactions(), 1);
+        let TxDelta::Expire(expire) = &delta else {
+            panic!("expiry batches package as TxDelta::Expire");
+        };
+        assert_eq!(expire.rows(), 2);
+        assert_eq!(expire.prior().n_transactions(), 3);
+        // Survivors renumber down: the shrunk row 0 is the prior row 2.
+        assert_eq!(expire.db().transaction(0), expire.prior().transaction(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not connect")]
+    fn expire_rejects_disconnected_snapshots() {
+        let mut db = TransactionDb::from_rows(vec![vec![1], vec![2]]);
+        let prior = Arc::new(db.clone());
+        let mut info = db.expire_rows(1);
+        info.rows = 2; // lies about the prefix length
+        let _ = TxDelta::expire(prior, Arc::new(db), info);
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::sync::Arc;
 ///
 /// Append batches extend the covers in place: each bitset widens by the
 /// appended rows and only the delta's bits are inserted (see
-/// [`VerticalDb::extend_from`]).
+/// [`VerticalDb::extend_from`]). Expiry batches clear the cover prefix
+/// in place: each bitset drops its first `rows` bits and the survivors
+/// renumber down (see [`VerticalDb::expire_prefix`]).
 #[derive(Clone, Debug)]
 pub struct DenseEngine {
     vertical: VerticalDb,
@@ -50,10 +52,17 @@ impl DenseEngine {
 impl DeltaSupportEngine for DenseEngine {
     fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
         check_epoch(self.epoch, delta)?;
-        self.vertical.extend_from(delta.db(), delta.start());
+        match delta {
+            TxDelta::Append(append) => {
+                self.vertical.extend_from(append.db(), append.start());
+                self.bytes_copied += append.appended_bytes();
+            }
+            // Expiry reads no row data, so nothing is charged to
+            // bytes_copied.
+            TxDelta::Expire(expire) => self.vertical.expire_prefix(expire.rows()),
+        }
         self.horizontal = Arc::clone(delta.db_arc());
         self.epoch = delta.epoch();
-        self.bytes_copied += delta.appended_bytes();
         Ok(())
     }
 }

@@ -23,7 +23,9 @@ use std::sync::Arc;
 /// Append batches tail-append the missing ids per item; an item the
 /// batch introduces starts with the full pre-append id range (it was
 /// absent from every old row), which makes universe growth the one
-/// `O(|O|)` case of the otherwise delta-sized update.
+/// `O(|O|)` case of the otherwise delta-sized update. Expiry batches
+/// drain each diffset's sorted prefix below the cut and renumber the
+/// survivors down — one pass over the lists, no row data read.
 #[derive(Clone, Debug)]
 pub struct DiffsetEngine {
     /// `diffs[i]` = sorted tids missing item `i`.
@@ -72,28 +74,45 @@ impl DiffsetEngine {
 impl DeltaSupportEngine for DiffsetEngine {
     fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
         check_epoch(self.epoch, delta)?;
-        let db = delta.db();
-        let start = delta.start();
-        // Items the batch introduced were in none of the old rows: their
-        // diffsets begin as the whole pre-append id range.
-        self.diffs
-            .resize_with(db.n_items(), || (0..start as u32).collect());
-        let mut present = vec![false; db.n_items()];
-        for t in start..delta.end() {
-            for &item in db.transaction(t) {
-                present[item.index()] = true;
-            }
-            for (i, flag) in present.iter_mut().enumerate() {
-                if !*flag {
-                    self.diffs[i].push(t as u32);
+        match delta {
+            TxDelta::Append(append) => {
+                let db = append.db();
+                let start = append.start();
+                // Items the batch introduced were in none of the old
+                // rows: their diffsets begin as the whole pre-append id
+                // range.
+                self.diffs
+                    .resize_with(db.n_items(), || (0..start as u32).collect());
+                let mut present = vec![false; db.n_items()];
+                for t in start..append.end() {
+                    for &item in db.transaction(t) {
+                        present[item.index()] = true;
+                    }
+                    for (i, flag) in present.iter_mut().enumerate() {
+                        if !*flag {
+                            self.diffs[i].push(t as u32);
+                        }
+                        *flag = false;
+                    }
                 }
-                *flag = false;
+                self.bytes_copied += append.appended_bytes();
+            }
+            TxDelta::Expire(expire) => {
+                let k = expire.rows() as u32;
+                for diff in &mut self.diffs {
+                    // Expired ids form the sorted prefix; survivors
+                    // renumber down by the cut.
+                    let cut = diff.partition_point(|&t| t < k);
+                    diff.drain(..cut);
+                    for t in diff.iter_mut() {
+                        *t -= k;
+                    }
+                }
             }
         }
-        self.n_objects = db.n_transactions();
+        self.n_objects = delta.db().n_transactions();
         self.horizontal = Arc::clone(delta.db_arc());
         self.epoch = delta.epoch();
-        self.bytes_copied += delta.appended_bytes();
         Ok(())
     }
 }

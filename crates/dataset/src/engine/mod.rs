@@ -49,16 +49,23 @@
 //!
 //! # Streaming
 //!
-//! Every backend is *delta-aware*: when transactions are appended to the
-//! database ([`TransactionDb::append_rows`]), a [`TxDelta`] describes the
-//! batch and [`DeltaSupportEngine::apply_delta`] absorbs it in place —
-//! dense covers extend, tid-lists tail-append, diffsets record the new
-//! missing ids, the sharded engine routes the delta to its tail shard
-//! (spilling into a new shard past the 64-row budget), and the closure
-//! cache invalidates only the entries the delta can change. See the
-//! [`delta`] module.
+//! Every backend is *delta-aware*, in both directions: when transactions
+//! are appended to the database ([`TransactionDb::append_rows`]) or a
+//! prefix of rows expires out of a window
+//! ([`TransactionDb::expire_rows`]), a [`TxDelta`] describes the batch
+//! and [`DeltaSupportEngine::apply_delta`] absorbs it in place. On
+//! append, dense covers extend, tid-lists tail-append, diffsets record
+//! the new missing ids, the sharded engine routes the delta to its tail
+//! shard (spilling into a new shard past the 64-row budget), and the
+//! closure cache invalidates only the entries the delta can change. On
+//! expiry, dense covers drop their prefix bits, tid-lists and diffsets
+//! drain their sorted heads and renumber, the sharded engine drops
+//! fully-expired head shards and hands the straddling shard a local
+//! expiry, and the cache evicts exactly the entries some expired row
+//! witnessed. See the [`delta`] module.
 //!
 //! [`TransactionDb::append_rows`]: crate::TransactionDb::append_rows
+//! [`TransactionDb::expire_rows`]: crate::TransactionDb::expire_rows
 //!
 //! # Selection and caching
 //!
@@ -81,7 +88,7 @@ mod sharded;
 mod tidlist;
 
 pub use cache::{CacheStats, CachedEngine};
-pub use delta::{DeltaError, DeltaSupportEngine, TxDelta};
+pub use delta::{AppendDelta, DeltaError, DeltaSupportEngine, ExpireDelta, TxDelta};
 pub use dense::DenseEngine;
 pub use diffset::DiffsetEngine;
 pub use sharded::{ShardedEngine, SHARD_SPILL_BUDGET};

@@ -14,11 +14,14 @@
 //!   materialize a global tidset;
 //! * **extents concatenate** — shard `s` owns the global transaction ids
 //!   `offsets[s]..offsets[s+1]`, so a global tidset is the shard tidsets
-//!   written back at their shard offsets. Interior offsets are multiples
-//!   of 64 by construction, which makes the stitching whole-word copies:
+//!   written back at their shard offsets. Interior offsets start as
+//!   multiples of 64, which makes the stitching whole-word copies:
 //!   [`BitSet::extract_block`] slices a global tidset down to one shard's
 //!   local view (re-based at zero) and [`BitSet::splice_block`] writes a
-//!   local answer back at the shard's offset;
+//!   local answer back at the shard's offset. A prefix expiry renumbers
+//!   every boundary down by the expired row count, which can de-align
+//!   them — both block primitives then take their bit-shifting unaligned
+//!   path and the algebra is unchanged;
 //! * **intents intersect** — the items common to a global object set are
 //!   the intersection of the items common to each shard's slice of it,
 //!   with an empty slice contributing the full universe (the intersection
@@ -41,14 +44,16 @@
 //! [`closure_of_tidset`]: SupportEngine::closure_of_tidset
 //! [`TransactionDb::partition`]: crate::TransactionDb::partition
 
-use super::delta::{check_epoch, DeltaError, DeltaSupportEngine, TxDelta};
+use super::delta::{
+    check_epoch, AppendDelta, DeltaError, DeltaSupportEngine, ExpireDelta, TxDelta,
+};
 use super::{CacheStats, CachedEngine, EngineKind, SupportEngine, AUTO_SHARD_MIN_ROWS};
 use crate::bitset::BitSet;
 use crate::item::Item;
 use crate::itemset::Itemset;
 use crate::pool::{self, Parallelism};
 use crate::support::Support;
-use crate::transaction::{AppendInfo, TransactionDb};
+use crate::transaction::{AppendInfo, ExpireInfo, TransactionDb};
 use std::sync::Arc;
 
 /// How many rows the tail shard may hold before an append spills it: the
@@ -66,7 +71,9 @@ pub struct ShardedEngine {
     shards: Vec<Arc<dyn SupportEngine>>,
     /// `offsets[s]` is the global transaction id of shard `s`'s first
     /// row; `offsets[s + 1] - offsets[s]` is its row count. Interior
-    /// offsets are multiples of 64 (see `TransactionDb::partition`).
+    /// offsets start as multiples of 64 (see `TransactionDb::partition`)
+    /// but a prefix expiry can renumber them off alignment — the block
+    /// stitching primitives handle both.
     offsets: Vec<usize>,
     n_objects: usize,
     n_items: usize,
@@ -204,13 +211,18 @@ impl ShardedEngine {
         global
     }
 
-    /// Applies a shard-local slice of `delta` to shard `s`: rows
-    /// `offsets[s]..hi_new` of the grown snapshot become the shard's new
-    /// view (for non-tail shards `hi_new` is the old boundary — only the
-    /// universe can have changed; for the tail it is the grown row
+    /// Applies a shard-local slice of an append `delta` to shard `s`:
+    /// rows `offsets[s]..hi_new` of the grown snapshot become the shard's
+    /// new view (for non-tail shards `hi_new` is the old boundary — only
+    /// the universe can have changed; for the tail it is the grown row
     /// count). The local delta's epochs are synthesized from the shard's
     /// own epoch, so nested sharded inners keep their bookkeeping.
-    fn apply_local(&mut self, s: usize, delta: &TxDelta, hi_new: usize) -> Result<(), DeltaError> {
+    fn apply_local(
+        &mut self,
+        s: usize,
+        delta: &AppendDelta,
+        hi_new: usize,
+    ) -> Result<(), DeltaError> {
         let lo = self.offsets[s];
         let hi_old = self.offsets[s + 1];
         let local_db = Arc::new(delta.db().slice_rows(lo, hi_new));
@@ -221,12 +233,18 @@ impl ShardedEngine {
             prior_items: delta.prior_items(),
         };
         let local = TxDelta::new(local_db, info);
+        self.apply_shard_delta(s, &local)
+    }
+
+    /// Hands a synthesized shard-local delta to shard `s`'s inner
+    /// backend.
+    fn apply_shard_delta(&mut self, s: usize, local: &TxDelta) -> Result<(), DeltaError> {
         let name = self.shards[s].name();
         let engine = Arc::get_mut(&mut self.shards[s]).ok_or(DeltaError::SharedEngine)?;
         engine
             .as_delta_mut()
             .ok_or(DeltaError::NotDeltaAware(name))?
-            .apply_delta(&local)
+            .apply_delta(local)
     }
 
     /// Rebuilds shard `s` as rows `lo..hi` of `db` with a backend
@@ -283,8 +301,11 @@ fn shard_backend(
 }
 
 impl DeltaSupportEngine for ShardedEngine {
-    /// Routes the delta to the tail shard (every other shard's rows are
-    /// untouched by an append), then:
+    /// Routes an append to the *tail* shard and a prefix expiry to the
+    /// *head*: the shards whose rows a batch cannot touch are left
+    /// alone.
+    ///
+    /// For an append, after the tail absorbs its local slice:
     ///
     /// * when the batch grew the item universe, the non-tail shards are
     ///   refreshed with empty local deltas so their universes agree —
@@ -305,8 +326,29 @@ impl DeltaSupportEngine for ShardedEngine {
     ///   later delta is batch-sized; a session seeded with large shards
     ///   pays one O(shard) seal on its first over-budget append,
     ///   amortized across the stream.
+    ///
+    /// For an expiry, shards that the expired prefix covers entirely are
+    /// dropped wholesale (their delta-copy tallies folded into the
+    /// engine's own so the merged counter stays monotone), the shard the
+    /// cut lands in absorbs a synthesized shard-local expiry, and every
+    /// surviving boundary renumbers down by the expired row count —
+    /// possibly off 64-alignment, which the stitching primitives accept.
+    /// When everything expires, one empty shard is rebuilt over the
+    /// empty snapshot. No row data is read, so nothing is charged to
+    /// `bytes_copied`.
     fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
         check_epoch(self.epoch, delta)?;
+        match delta {
+            TxDelta::Append(append) => self.apply_append(append)?,
+            TxDelta::Expire(expire) => self.apply_expire(expire)?,
+        }
+        self.epoch = delta.epoch();
+        Ok(())
+    }
+}
+
+impl ShardedEngine {
+    fn apply_append(&mut self, delta: &AppendDelta) -> Result<(), DeltaError> {
         let n_new = delta.db().n_transactions();
         let tail = self.shards.len() - 1;
         if delta.grew_universe() {
@@ -355,7 +397,60 @@ impl DeltaSupportEngine for ShardedEngine {
         self.n_objects = n_new;
         self.n_items = delta.db().n_items();
         *self.offsets.last_mut().unwrap() = n_new;
-        self.epoch = delta.epoch();
+        Ok(())
+    }
+
+    fn apply_expire(&mut self, expire: &ExpireDelta) -> Result<(), DeltaError> {
+        let k = expire.rows();
+        if k == 0 {
+            return Ok(());
+        }
+        // Shards the expired prefix swallows whole are dropped — keeping
+        // their delta-copy tallies, so the merged counter stays monotone.
+        let dropped = self
+            .offsets
+            .windows(2)
+            .take_while(|bounds| bounds[1] <= k)
+            .count();
+        for shard in &self.shards[..dropped] {
+            self.bytes_copied += shard.cache_stats().bytes_copied;
+        }
+        self.shards.drain(..dropped);
+        self.offsets.drain(..dropped);
+        if self.shards.is_empty() {
+            // Everything expired (k was the whole view): restart with one
+            // empty shard over the empty snapshot.
+            self.shards.push(shard_backend(
+                Arc::clone(expire.db_arc()),
+                &self.inner_kind,
+                self.cached,
+            ));
+            self.offsets = vec![0, 0];
+            self.n_objects = 0;
+            return Ok(());
+        }
+        // The first survivor straddles the cut (or starts exactly on
+        // it): it absorbs a shard-local expiry of its slice of the
+        // prefix, with epochs synthesized from its own bookkeeping.
+        let lo = self.offsets[0];
+        if lo < k {
+            let hi = self.offsets[1];
+            let prior = Arc::new(expire.prior().slice_rows(lo, hi));
+            let shrunk = Arc::new(expire.db().slice_rows(0, hi - k));
+            let info = ExpireInfo {
+                rows: k - lo,
+                base_epoch: self.shards[0].epoch(),
+                epoch: expire.epoch(),
+            };
+            let local = TxDelta::expire(prior, shrunk, info);
+            self.apply_shard_delta(0, &local)?;
+        }
+        // Surviving boundaries renumber down by the cut; the head clamps
+        // to zero (it owned rows lo..hi with lo ≤ k).
+        for offset in self.offsets.iter_mut() {
+            *offset = offset.saturating_sub(k);
+        }
+        self.n_objects -= k;
         Ok(())
     }
 }
@@ -830,6 +925,64 @@ mod tests {
             last = now;
         }
         assert!(engine.n_shards() >= 2, "the stream must have spilled");
+    }
+
+    #[test]
+    fn expiry_drops_head_shards_and_survives_dealigned_boundaries() {
+        let mut db = TransactionDb::clone(&wide_db());
+        let shared = Arc::new(db.clone());
+        let mut engine = ShardedEngine::from_horizontal(&shared, 3, &EngineKind::Auto);
+        assert_eq!(engine.n_shards(), 3);
+        // Expire 70 rows: the first 64-row shard dies wholesale, the
+        // straddler absorbs a local expiry, and the surviving boundaries
+        // renumber off 64-alignment.
+        let prior = Arc::new(db.clone());
+        let info = db.expire_rows(70);
+        let shrunk = Arc::new(db.clone());
+        engine
+            .apply_delta(&TxDelta::expire(prior, shrunk.clone(), info))
+            .unwrap();
+        assert_eq!(engine.n_shards(), 2);
+        assert_eq!(engine.n_objects(), 130);
+        assert!(
+            engine.offsets[1..engine.offsets.len() - 1]
+                .iter()
+                .any(|o| o % 64 != 0),
+            "the cut must de-align a boundary: {:?}",
+            engine.offsets
+        );
+        assert_engines_agree(
+            &engine,
+            &DenseEngine::from_horizontal(&shrunk),
+            "after expiry",
+        );
+        // Appends keep working on the renumbered shards.
+        let info = db
+            .append_rows((0..10u32).map(|t| vec![t % 7]).collect())
+            .unwrap();
+        let grown = Arc::new(db.clone());
+        engine
+            .apply_delta(&TxDelta::new(grown.clone(), info))
+            .unwrap();
+        assert_engines_agree(
+            &engine,
+            &DenseEngine::from_horizontal(&grown),
+            "append after expiry",
+        );
+        // Expiring the whole view restarts with one empty shard.
+        let prior = Arc::new(db.clone());
+        let rows = db.n_transactions();
+        let info = db.expire_rows(rows);
+        let empty = Arc::new(db.clone());
+        engine
+            .apply_delta(&TxDelta::expire(prior, empty, info))
+            .unwrap();
+        assert_eq!(engine.n_shards(), 1);
+        assert_eq!(engine.n_objects(), 0);
+        assert_eq!(engine.support(&Itemset::empty()), 0);
+        // Expiry never shrinks the universe, so the intent over no
+        // objects is the full 12-item universe (unlike a fresh empty db).
+        assert_eq!(engine.closure(&Itemset::empty()), Itemset::universe(12));
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
 ///
 /// Append batches are sorted tail appends: every new transaction id is
 /// larger than everything already listed, so extending a cover is a push.
+/// Expiry batches are sorted head drains: the expired ids form each
+/// list's prefix, so a cut at `partition_point` plus a downward renumber
+/// keeps every list sorted.
 #[derive(Clone, Debug)]
 pub struct TidListEngine {
     covers: Vec<TidList>,
@@ -102,19 +105,35 @@ impl TidListEngine {
 impl DeltaSupportEngine for TidListEngine {
     fn apply_delta(&mut self, delta: &TxDelta) -> Result<(), DeltaError> {
         check_epoch(self.epoch, delta)?;
-        let db = delta.db();
-        self.covers.resize_with(db.n_items(), Vec::new);
-        for t in delta.start()..delta.end() {
-            for &item in db.transaction(t) {
-                // t exceeds every listed id, so the push keeps the list
-                // sorted.
-                self.covers[item.index()].push(t as u32);
+        match delta {
+            TxDelta::Append(append) => {
+                let db = append.db();
+                self.covers.resize_with(db.n_items(), Vec::new);
+                for t in append.start()..append.end() {
+                    for &item in db.transaction(t) {
+                        // t exceeds every listed id, so the push keeps
+                        // the list sorted.
+                        self.covers[item.index()].push(t as u32);
+                    }
+                }
+                self.bytes_copied += append.appended_bytes();
+            }
+            TxDelta::Expire(expire) => {
+                let k = expire.rows() as u32;
+                for cover in &mut self.covers {
+                    // Expired ids form the sorted prefix; survivors
+                    // renumber down by the cut.
+                    let cut = cover.partition_point(|&t| t < k);
+                    cover.drain(..cut);
+                    for t in cover.iter_mut() {
+                        *t -= k;
+                    }
+                }
             }
         }
-        self.n_objects = db.n_transactions();
+        self.n_objects = delta.db().n_transactions();
         self.horizontal = Arc::clone(delta.db_arc());
         self.epoch = delta.epoch();
-        self.bytes_copied += delta.appended_bytes();
         Ok(())
     }
 }

@@ -66,8 +66,8 @@ pub mod vertical;
 pub use bitset::BitSet;
 pub use context::MiningContext;
 pub use engine::{
-    CacheStats, CachedEngine, DeltaError, DeltaSupportEngine, EngineKind, ShardedEngine,
-    SupportEngine, TxDelta,
+    AppendDelta, CacheStats, CachedEngine, DeltaError, DeltaSupportEngine, EngineKind, ExpireDelta,
+    ShardedEngine, SupportEngine, TxDelta,
 };
 pub use error::DatasetError;
 pub use item::{Item, ItemDictionary};
@@ -76,7 +76,7 @@ pub use pool::Parallelism;
 pub use stats::DatasetStats;
 pub use storage::{row_storage_bytes, Segment};
 pub use support::{MinSupport, Support};
-pub use transaction::{AppendInfo, TransactionDb, TransactionDbBuilder};
+pub use transaction::{AppendInfo, ExpireInfo, TransactionDb, TransactionDbBuilder};
 pub use vertical::VerticalDb;
 
 /// The five-object running example used throughout the paper family

@@ -102,6 +102,21 @@ pub struct AppendInfo {
     pub prior_items: usize,
 }
 
+/// What one [`TransactionDb::expire_rows`] call did — the expiry
+/// counterpart of [`AppendInfo`], from which a
+/// [`TxDelta`](crate::engine::TxDelta) describes the prefix expiry to a
+/// delta-aware engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpireInfo {
+    /// Number of prefix rows expired; surviving rows renumber down by
+    /// this amount.
+    pub rows: usize,
+    /// The database epoch before the expiry.
+    pub base_epoch: u64,
+    /// The database epoch after the expiry (`base_epoch + 1`).
+    pub epoch: u64,
+}
+
 /// Normalizes raw id rows into one CSR segment (each row sorted and
 /// deduplicated), returning the segment and the largest item id seen.
 fn segment_from_rows(rows: Vec<Vec<u32>>) -> (Segment, Option<u32>) {
@@ -276,6 +291,64 @@ impl TransactionDb {
             hi: n_rows,
         });
         Ok(info)
+    }
+
+    /// Expires the first `rows` transactions from the view and advances
+    /// the epoch (even for `rows == 0` — every call is one epoch).
+    /// Surviving rows renumber down by `rows`; the universe, dictionary,
+    /// and other views are untouched.
+    ///
+    /// Expiry is a view operation: slices whose rows are *fully*
+    /// expired are dropped on the spot — releasing their ref-counted
+    /// segments once no snapshot pins them, which is what makes
+    /// [`TransactionDb::storage_bytes`] shrink as a window slides — and
+    /// a slice the boundary lands inside merely advances its window
+    /// start (its segment stays charged until
+    /// [`TransactionDb::compact`] rewrites the view).
+    ///
+    /// Returns the [`ExpireInfo`] describing the expiry, from which a
+    /// [`TxDelta`](crate::engine::TxDelta) is built for the delta-aware
+    /// engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds the transaction count.
+    pub fn expire_rows(&mut self, rows: usize) -> ExpireInfo {
+        assert!(
+            rows <= self.n_transactions(),
+            "cannot expire {rows} of {} rows",
+            self.n_transactions()
+        );
+        let info = ExpireInfo {
+            rows,
+            base_epoch: self.epoch,
+            epoch: self.epoch + 1,
+        };
+        self.epoch += 1;
+        if rows == 0 {
+            return info;
+        }
+        let mut remaining = rows;
+        let mut fully_expired = 0;
+        for slice in self.slices.iter_mut() {
+            let n = slice.n_rows();
+            if remaining >= n {
+                remaining -= n;
+                fully_expired += 1;
+            } else {
+                slice.lo += remaining;
+                break;
+            }
+        }
+        self.slices.drain(..fully_expired);
+        self.starts = std::iter::once(0)
+            .chain(self.slices.iter().scan(0, |acc, s| {
+                *acc += s.n_rows();
+                Some(*acc)
+            }))
+            .collect();
+        self.n_entries = self.slices.iter().map(SegmentSlice::entries).sum();
+        info
     }
 
     /// Number of transactions `|O|`.
@@ -529,6 +602,11 @@ impl TransactionDb {
     /// Contents, universe, dictionary, and epoch are unchanged (other
     /// views sharing the old segments are unaffected). A view already
     /// backed by one whole segment is left alone.
+    ///
+    /// After a prefix expiry this is also the storage-reclamation step:
+    /// a partially-expired head slice keeps its whole segment charged to
+    /// [`TransactionDb::storage_bytes`] until the fold rewrites the view
+    /// as exactly the surviving rows.
     pub fn compact(&mut self) {
         if self.slices.len() == 1 {
             let slice = &self.slices[0];
@@ -985,6 +1063,73 @@ mod tests {
         window.compact();
         assert_eq!(window.n_transactions(), 4);
         assert_eq!(window.transaction(0), db.transaction(2));
+    }
+
+    #[test]
+    fn expire_rows_drops_the_prefix_and_renumbers() {
+        let mut db = paper_db();
+        db.append_rows(vec![vec![1, 2], vec![7]]).unwrap();
+        db.append_rows(vec![vec![3], vec![]]).unwrap();
+        let before: Vec<Vec<Item>> = db.iter().map(<[Item]>::to_vec).collect();
+        let epoch = db.epoch();
+        let items = db.n_items();
+        // Expire into the middle of the first segment.
+        let info = db.expire_rows(3);
+        assert_eq!(
+            (info.rows, info.base_epoch, info.epoch),
+            (3, epoch, epoch + 1)
+        );
+        assert_eq!(db.epoch(), epoch + 1);
+        assert_eq!(db.n_transactions(), before.len() - 3);
+        assert_eq!(db.n_items(), items, "the universe never shrinks");
+        for t in 0..db.n_transactions() {
+            assert_eq!(db.transaction(t), &before[t + 3][..]);
+        }
+        assert_eq!(db.n_entries(), db.iter().map(<[Item]>::len).sum::<usize>());
+        // A zero-row expiry is epoch-only.
+        let info = db.expire_rows(0);
+        assert_eq!(info.rows, 0);
+        assert_eq!(db.n_transactions(), before.len() - 3);
+        // Expire everything: an empty, still-appendable view.
+        db.expire_rows(db.n_transactions());
+        assert_eq!(db.n_transactions(), 0);
+        assert_eq!(db.n_segments(), 0);
+        assert_eq!(db.n_entries(), 0);
+        db.append_rows(vec![vec![2, 5]]).unwrap();
+        assert_eq!(db.n_transactions(), 1);
+    }
+
+    #[test]
+    fn expiry_reclaims_storage_with_compaction_bounding_the_rest() {
+        // Three batch segments; expiring past the first must drop its
+        // segment (storage_bytes shrinks immediately), and compacting
+        // after a mid-segment expiry bounds storage by the survivors.
+        let mut db = TransactionDb::from_rows((0..64u32).map(|t| vec![t % 9]).collect());
+        db.append_rows((0..64u32).map(|t| vec![t % 9, 9]).collect())
+            .unwrap();
+        db.append_rows((0..64u32).map(|t| vec![t % 9, 10]).collect())
+            .unwrap();
+        let full = db.storage_bytes();
+        db.expire_rows(64);
+        let after_drop = db.storage_bytes();
+        assert!(after_drop < full, "dropped segment still charged");
+        assert_eq!(db.n_segments(), 2);
+        // Mid-segment expiry leaves the straddled segment charged...
+        db.expire_rows(32);
+        assert_eq!(db.storage_bytes(), after_drop);
+        let survivors: Vec<Vec<Item>> = db.iter().map(<[Item]>::to_vec).collect();
+        // ...until compact() rewrites the view as the window alone.
+        db.compact();
+        assert!(db.storage_bytes() < after_drop, "compaction must reclaim");
+        assert_eq!(db.n_segments(), 1);
+        let after: Vec<Vec<Item>> = db.iter().map(<[Item]>::to_vec).collect();
+        assert_eq!(after, survivors);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot expire")]
+    fn expire_beyond_the_view_panics() {
+        paper_db().expire_rows(6);
     }
 
     #[test]

@@ -52,6 +52,29 @@ impl VerticalDb {
         self.n_objects = n;
     }
 
+    /// Expires the first `rows` objects: every cover drops its prefix
+    /// bits and the surviving objects are renumbered down by `rows`
+    /// ([`BitSet::drop_prefix`]) — the removal dual of
+    /// [`VerticalDb::extend_from`]. The item universe never shrinks
+    /// (expired-only items keep empty covers). After the call the
+    /// vertical view equals `VerticalDb::from_horizontal` of the shrunk
+    /// database, at the cost of one pass over the covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds the object count.
+    pub fn expire_prefix(&mut self, rows: usize) {
+        assert!(
+            rows <= self.n_objects,
+            "cannot expire {rows} of {} objects",
+            self.n_objects
+        );
+        for cover in &mut self.covers {
+            cover.drop_prefix(rows);
+        }
+        self.n_objects -= rows;
+    }
+
     /// Number of objects `|O|`.
     #[inline]
     pub fn n_objects(&self) -> usize {
@@ -283,6 +306,33 @@ mod tests {
         assert_eq!(v.n_items(), fresh.n_items());
         for i in 0..fresh.n_items() as u32 {
             assert_eq!(v.cover(Item(i)), fresh.cover(Item(i)), "item {i}");
+        }
+    }
+
+    #[test]
+    fn expire_prefix_matches_fresh_transpose_of_the_suffix() {
+        let mut db = paper_db();
+        let mut v = VerticalDb::from_horizontal(&db);
+        db.append_rows(vec![vec![2, 7], vec![], vec![1, 5]])
+            .unwrap();
+        v.extend_from(&db, 5);
+        for rows in [0, 3, 8] {
+            let mut expired = v.clone();
+            expired.expire_prefix(rows);
+            let suffix: Vec<Vec<u32>> = (rows..db.n_transactions())
+                .map(|t| db.transaction(t).iter().map(|i| i.id()).collect())
+                .collect();
+            let fresh = VerticalDb::from_horizontal(&TransactionDb::from_rows(suffix));
+            assert_eq!(expired.n_objects(), fresh.n_objects(), "rows {rows}");
+            // The universe keeps its width; covers agree where both
+            // exist and are empty beyond the suffix's max item.
+            for i in 0..expired.n_items() as u32 {
+                if (i as usize) < fresh.n_items() {
+                    assert_eq!(expired.cover(Item(i)), fresh.cover(Item(i)), "item {i}");
+                } else {
+                    assert!(expired.cover(Item(i)).is_empty(), "item {i}");
+                }
+            }
         }
     }
 

@@ -426,6 +426,80 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn expiry_application_matches_fresh_build(
+        base in vec(vec(0u32..12, 0..7), 1..60),
+        batches in vec(vec(vec(0u32..14, 0..7), 0..30), 1..4),
+        expire_fracs in vec(0u32..=100u32, 1..4),
+        probes in vec(vec(0u32..16, 0..5), 1..6),
+        shards in 1usize..=4,
+    ) {
+        // The removal dual of the property above: absorbing an expiry
+        // delta in place must be indistinguishable from rebuilding the
+        // engine on the shrunk database — for every backend, for a
+        // sharded configuration (which drops fully-expired head shards
+        // and hands the straddler a local expiry), and for the cached
+        // wrapper (which must evict exactly the closure classes some
+        // expired row witnessed). Appends interleave so the stream mixes
+        // both delta kinds, including expiring rows appended moments
+        // before.
+        let mut db = TransactionDb::from_rows(base);
+        let shared = Arc::new(db.clone());
+        let mut engines: Vec<Box<dyn DeltaSupportEngine>> = vec![
+            Box::new(DenseEngine::from_horizontal(&shared)),
+            Box::new(TidListEngine::from_horizontal(&shared)),
+            Box::new(DiffsetEngine::from_horizontal(&shared)),
+            Box::new(ShardedEngine::from_horizontal(&shared, shards, &EngineKind::Auto)),
+            Box::new(CachedEngine::new(
+                EngineKind::Auto.select_flat(&shared).build(&shared),
+            )),
+        ];
+        // Warm the cached engine so stale entries exist to evict.
+        for ids in &probes {
+            let _ = engines[4].closure(&Itemset::from_ids(ids.iter().copied()));
+        }
+        for (round, batch) in batches.into_iter().enumerate() {
+            let info = db.append_rows(batch).unwrap();
+            let delta = TxDelta::new(Arc::new(db.clone()), info);
+            for engine in &mut engines {
+                engine.apply_delta(&delta).unwrap();
+            }
+            let frac = expire_fracs[round % expire_fracs.len()] as usize;
+            let rows = db.n_transactions() * frac / 100;
+            let prior = Arc::new(db.clone());
+            let einfo = db.expire_rows(rows);
+            let shrunk = Arc::new(db.clone());
+            let delta = TxDelta::expire(prior, shrunk.clone(), einfo);
+            let reference = DenseEngine::from_horizontal(&shrunk);
+            for engine in &mut engines {
+                engine.apply_delta(&delta).unwrap();
+                prop_assert_eq!(engine.epoch(), einfo.epoch, "{} epoch", engine.name());
+                prop_assert_eq!(engine.n_objects(), reference.n_objects(), "{}", engine.name());
+                prop_assert_eq!(
+                    engine.item_supports(),
+                    reference.item_supports(),
+                    "{} item supports after expiry", engine.name()
+                );
+                for ids in &probes {
+                    let probe = Itemset::from_ids(ids.iter().copied());
+                    prop_assert_eq!(
+                        engine.support(&probe), reference.support(&probe),
+                        "{} support of {:?} after expiry", engine.name(), probe
+                    );
+                    prop_assert_eq!(
+                        engine.tidset_of(&probe), reference.tidset_of(&probe),
+                        "{} tidset of {:?} after expiry", engine.name(), probe
+                    );
+                    prop_assert_eq!(
+                        engine.closure_and_support(&probe),
+                        reference.closure_and_support(&probe),
+                        "{} closure of {:?} after expiry", engine.name(), probe
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The shard-count × inner-backend grid the segment-equivalence property

@@ -49,48 +49,83 @@
 //! closed sets of the context — which is exactly what repeated
 //! `insert_object` maintains; iceberg views at a support threshold are
 //! cut afterwards with [`IncrementalLattice::snapshot`].
+//!
+//! # Streaming: object removal
+//!
+//! [`IncrementalLattice::remove_object`] is the exact dual, making the
+//! structure bidirectional for windowed and decaying streams. Removing
+//! an object with itemset `R` changes the closure system in two ways:
+//!
+//! * every closed set `A ⊆ R` loses the object — its support drops by
+//!   one;
+//! * a closed set `X ⊆ R` *dies* iff it is no longer an intersection of
+//!   remaining rows, which happens iff its new support is zero or some
+//!   strict superset node has the same new support (nested extents of
+//!   equal size are equal extents, so `X` merges into that closure).
+//!
+//! Dying nodes are spliced out of the covering relation — the
+//! interposition step run in reverse: a lower cover reconnects to an
+//! upper cover exactly when no surviving node still interposes — and
+//! the minimal-generator tags of every node whose lower covers changed
+//! are recomputed from the diagram, again with **zero** engine queries.
+//! Dead node ids are never reused: the slot keeps its intent (so
+//! id-keyed bookkeeping in downstream consumers stays resolvable) but
+//! leaves the index, the edge lists, and every snapshot.
 
 use crate::lattice::IcebergLattice;
 use rulebases_dataset::{Itemset, Support};
 use std::collections::{BTreeSet, HashMap};
 
-/// What one [`IncrementalLattice::insert_object`] insertion changed —
-/// the per-insertion *touched-class set* the streaming layer diffs the
-/// rule bases against, instead of re-materializing them. Node ids refer
-/// to the maintained diagram (ids are stable: nodes are never removed or
-/// renumbered, and a node's intent never changes once inserted — only
-/// supports, covers, and generator tags move).
+/// What one [`IncrementalLattice::insert_object`] insertion or
+/// [`IncrementalLattice::remove_object`] removal changed — the
+/// per-maintenance-step *touched-class set* the streaming layer diffs
+/// the rule bases against, instead of re-materializing them. Node ids
+/// refer to the maintained diagram (ids are stable: slots are never
+/// reused or renumbered, and a slot's intent never changes once
+/// inserted — removal tombstones the slot in place, so only supports,
+/// covers, liveness, and generator tags move).
 ///
-/// Every closure class the insertion can affect appears in at least one
-/// of the three id lists: a rule whose antecedent/consequent classes are
-/// all untouched is bit-for-bit unchanged, which is the invariant that
+/// Every closure class the step can affect appears in at least one of
+/// the id lists: a rule whose antecedent/consequent classes are all
+/// untouched is bit-for-bit unchanged, which is the invariant that
 /// makes lattice-level base diffing sound.
 #[derive(Clone, Debug, Default)]
 pub struct LatticeDelta {
-    /// Nodes this insertion created (split classes `A ∩ R` plus `R`
+    /// Nodes an insertion created (split classes `A ∩ R` plus `R`
     /// itself when new), in insertion order.
     pub created: Vec<usize>,
-    /// Pre-existing nodes whose support the object bumped (`A ⊆ R`), in
-    /// node-id order.
+    /// Pre-existing nodes whose support an object insertion bumped
+    /// (`A ⊆ R`), in node-id order.
     pub bumped: Vec<usize>,
+    /// Pre-existing nodes whose support an object removal decremented
+    /// (`A ⊆ R`), in node-id order — the dual of `bumped`. A batch can
+    /// list the same id in both; the net movement is the difference.
+    pub dropped: Vec<usize>,
+    /// Nodes a removal tombstoned (their intent merged into its
+    /// closure), in node-id order. The slots keep their intents but
+    /// leave the diagram.
+    pub removed: Vec<usize>,
     /// Nodes whose minimal-generator tags were recomputed because their
-    /// lower covers changed (the created nodes and everything
-    /// interposition rewired above them), in node-id order.
+    /// lower covers changed (created nodes and everything the
+    /// interposition rewired, in either direction), in node-id order.
     pub retagged: Vec<usize>,
-    /// Covering edges `(lower, upper)` that interposition removed — they
-    /// existed before the insertion (or earlier within it) and are no
-    /// longer edges of the diagram.
+    /// Covering edges `(lower, upper)` that rewiring removed — they
+    /// existed before the step (or earlier within it) and are no
+    /// longer edges of the diagram. Deduplicated on
+    /// [`LatticeDelta::absorb`].
     pub removed_edges: Vec<(usize, usize)>,
 }
 
 impl LatticeDelta {
-    /// Every node id the insertion touched (created, bumped, or
-    /// retagged), deduplicated and sorted.
+    /// Every node id the step touched (created, bumped, dropped,
+    /// removed, or retagged), deduplicated and sorted.
     pub fn touched(&self) -> Vec<usize> {
         let mut ids: Vec<usize> = self
             .created
             .iter()
             .chain(&self.bumped)
+            .chain(&self.dropped)
+            .chain(&self.removed)
             .chain(&self.retagged)
             .copied()
             .collect();
@@ -99,13 +134,23 @@ impl LatticeDelta {
         ids
     }
 
-    /// Folds another insertion's delta into this one (batch
-    /// accumulation): id lists union, removed edges concatenate.
+    /// Folds another step's delta into this one (batch accumulation):
+    /// id lists concatenate (`touched()` dedups), removed edges union.
+    ///
+    /// An edge can be removed by one step and re-examined by a later
+    /// step in the same batch (interposition under an insert, splicing
+    /// under a remove), so `removed_edges` is deduplicated here rather
+    /// than concatenated — a double-reported edge would make the base
+    /// patcher reconcile the same rule key twice.
     pub fn absorb(&mut self, other: LatticeDelta) {
         self.created.extend(other.created);
         self.bumped.extend(other.bumped);
+        self.dropped.extend(other.dropped);
+        self.removed.extend(other.removed);
         self.retagged.extend(other.retagged);
         self.removed_edges.extend(other.removed_edges);
+        self.removed_edges.sort_unstable();
+        self.removed_edges.dedup();
     }
 }
 
@@ -120,6 +165,10 @@ pub struct IncrementalLattice {
     upper: Vec<Vec<usize>>,
     lower: Vec<Vec<usize>>,
     generators: Vec<Vec<Itemset>>,
+    /// Liveness per slot: object removal tombstones nodes in place
+    /// (ids are never reused), so every structural scan filters on
+    /// this. Insert-only usage keeps it all-true.
+    alive: Vec<bool>,
 }
 
 impl IncrementalLattice {
@@ -128,9 +177,23 @@ impl IncrementalLattice {
         Self::default()
     }
 
-    /// Number of distinct closed sets inserted so far.
+    /// Number of node *slots* allocated so far — live closed sets plus
+    /// tombstones left by [`IncrementalLattice::remove_object`]. Ids
+    /// range over `0..n_nodes()`; check [`IncrementalLattice::is_live`]
+    /// before treating a slot as a closure class of the current
+    /// context.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Whether slot `id` is a closed set of the current context (true)
+    /// or a tombstone left by a removal (false).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n_nodes()`.
+    pub fn is_live(&self, id: usize) -> bool {
+        self.alive[id]
     }
 
     /// Number of covering edges in the current diagram.
@@ -176,10 +239,13 @@ impl IncrementalLattice {
         }
         let id = self.nodes.len();
 
-        // Strict subsets and supersets among the existing nodes.
+        // Strict subsets and supersets among the existing live nodes.
         let mut subs: Vec<usize> = Vec::new();
         let mut supers: Vec<usize> = Vec::new();
         for (j, (node, _)) in self.nodes.iter().enumerate() {
+            if !self.alive[j] {
+                continue;
+            }
             if node.is_proper_subset_of(set) {
                 subs.push(j);
             } else if set.is_proper_subset_of(node) {
@@ -229,6 +295,7 @@ impl IncrementalLattice {
         self.upper.push(succs.clone());
         self.lower.push(preds.clone());
         self.generators.push(Vec::new());
+        self.alive.push(true);
         for &p in &preds {
             self.upper[p].push(id);
         }
@@ -284,22 +351,25 @@ impl IncrementalLattice {
         if !self.index.contains_key(row) {
             fresh.insert(row.clone(), 0);
         }
-        for (node, _) in &self.nodes {
+        for (j, (node, _)) in self.nodes.iter().enumerate() {
+            if !self.alive[j] {
+                continue;
+            }
             let meet = node.intersection(row);
             if !self.index.contains_key(&meet) {
                 fresh.entry(meet).or_insert(0);
             }
         }
         for (meet, base) in fresh.iter_mut() {
-            for (node, support) in &self.nodes {
-                if meet.is_subset_of(node) {
+            for (j, (node, support)) in self.nodes.iter().enumerate() {
+                if self.alive[j] && meet.is_subset_of(node) {
                     *base = (*base).max(*support);
                 }
             }
         }
         // The object joins the extent of every closed subset of its row.
         for (id, (node, support)) in self.nodes.iter_mut().enumerate() {
-            if node.is_subset_of(row) {
+            if self.alive[id] && node.is_subset_of(row) {
                 *support += 1;
                 delta.bumped.push(id);
             }
@@ -320,6 +390,136 @@ impl IncrementalLattice {
             delta.retagged.push(id);
         }
         delta
+    }
+
+    /// Removes one *object* (transaction) with itemset `row`,
+    /// maintaining the full closure system online — the dual of
+    /// [`IncrementalLattice::insert_object`] (see the module docs). In
+    /// one pass of set algebra, with no engine queries:
+    ///
+    /// * every live node `A ⊆ row` loses the object (`support -= 1`);
+    /// * a node `X ⊆ row` dies iff its new support is zero or some
+    ///   strict superset node has the same new support — nested extents
+    ///   of equal size coincide, so `X` is no longer closed and merges
+    ///   into that closure;
+    /// * dying nodes are spliced out of the covering relation (the
+    ///   interposition machinery run in reverse) and the
+    ///   minimal-generator tags of every surviving node whose lower
+    ///   covers changed are recomputed.
+    ///
+    /// Returns the number of closure classes the removal tombstoned;
+    /// use [`IncrementalLattice::remove_object_delta`] when the caller
+    /// needs the full touched-class report.
+    ///
+    /// `row` must be an object of the maintained context — removal of a
+    /// never-inserted row would corrupt the supports.
+    pub fn remove_object(&mut self, row: &Itemset) -> usize {
+        self.remove_object_delta(row).removed.len()
+    }
+
+    /// [`IncrementalLattice::remove_object`], reporting exactly what
+    /// the removal touched as a [`LatticeDelta`] — the support drops,
+    /// the tombstoned classes, the retagged nodes, and the covering
+    /// edges splicing removed. Together with
+    /// [`IncrementalLattice::insert_object_delta`] this makes one
+    /// absorbed delta cover a mixed append/expire batch.
+    pub fn remove_object_delta(&mut self, row: &Itemset) -> LatticeDelta {
+        debug_assert!(
+            self.index.contains_key(row),
+            "remove_object: {row:?} is not an object of the maintained context"
+        );
+        let mut delta = LatticeDelta::default();
+        // The object leaves the extent of every closed subset of its
+        // row; nothing else changes extent.
+        for (id, (node, support)) in self.nodes.iter_mut().enumerate() {
+            if self.alive[id] && node.is_subset_of(row) {
+                debug_assert!(*support > 0, "removing an unwitnessed object");
+                *support -= 1;
+                delta.dropped.push(id);
+            }
+        }
+        // A dropped node X dies iff it stopped being an intersection of
+        // remaining rows: new support zero, or some strict superset Y
+        // with the same new support (then ext(Y) ⊆ ext(X) with equal
+        // cardinality, so the extents coincide and the closure of X's
+        // extent is at least Y ⊋ X). The witness Y = ∩ext_new(X) is
+        // itself a pre-removal node, so scanning the current slots —
+        // all supports already decremented — decides every death in
+        // one simultaneous pass.
+        let dying: Vec<usize> = delta
+            .dropped
+            .iter()
+            .copied()
+            .filter(|&x| {
+                let (xs, xsup) = (&self.nodes[x].0, self.nodes[x].1);
+                xsup == 0
+                    || self.nodes.iter().enumerate().any(|(y, (ys, ysup))| {
+                        y != x && self.alive[y] && *ysup == xsup && xs.is_proper_subset_of(ys)
+                    })
+            })
+            .collect();
+        // Splice the dying nodes out one at a time; a not-yet-spliced
+        // dying node still interposes for the earlier splices, so the
+        // reconnection it blocks is added when its own turn comes.
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
+        for &x in &dying {
+            self.splice_out(x, &mut delta.removed_edges, &mut dirty);
+            delta.removed.push(x);
+        }
+        // Retag the survivors whose lower covers changed (generators
+        // are the minimal transversals of the lower-cover complements,
+        // so only those nodes can move).
+        for id in dirty {
+            if self.alive[id] {
+                self.generators[id] = self.minimal_generators_of(id);
+                delta.retagged.push(id);
+            }
+        }
+        delta
+    }
+
+    /// Tombstones node `x` and rewires the covering relation around it:
+    /// `x`'s edges are removed (reported in `removed_edges`), and a
+    /// lower cover reconnects to an upper cover iff no node still in
+    /// the diagram interposes — the only element strictly between a
+    /// new cover pair was `x` itself. Nodes whose lower covers changed
+    /// are collected into `dirty` for retagging.
+    fn splice_out(
+        &mut self,
+        x: usize,
+        removed_edges: &mut Vec<(usize, usize)>,
+        dirty: &mut BTreeSet<usize>,
+    ) {
+        self.alive[x] = false;
+        self.index.remove(&self.nodes[x].0);
+        self.generators[x].clear();
+        let ups = std::mem::take(&mut self.upper[x]);
+        let downs = std::mem::take(&mut self.lower[x]);
+        for &u in &ups {
+            self.lower[u].retain(|&l| l != x);
+            removed_edges.push((x, u));
+            dirty.insert(u);
+        }
+        for &d in &downs {
+            self.upper[d].retain(|&up| up != x);
+            removed_edges.push((d, x));
+        }
+        for &d in &downs {
+            for &u in &ups {
+                if self.upper[d].contains(&u) {
+                    continue;
+                }
+                let interposed = self.nodes.iter().enumerate().any(|(z, (zs, _))| {
+                    self.alive[z]
+                        && self.nodes[d].0.is_proper_subset_of(zs)
+                        && zs.is_proper_subset_of(&self.nodes[u].0)
+                });
+                if !interposed {
+                    self.upper[d].push(u);
+                    self.lower[u].push(d);
+                }
+            }
+        }
     }
 
     /// The `id`-th closure class: its intent and current support.
@@ -398,9 +598,10 @@ impl IncrementalLattice {
     /// miner's per-batch read.
     pub fn snapshot(&self, min_count: Support) -> (IcebergLattice, Vec<Vec<Itemset>>) {
         // Canonical order (size, then lexicographic) is what every
-        // consumer of IcebergLattice assumes; insertion order is not it.
+        // consumer of IcebergLattice assumes; insertion order is not
+        // it. Tombstoned slots are not part of the context.
         let mut order: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].1 >= min_count)
+            .filter(|&i| self.alive[i] && self.nodes[i].1 >= min_count)
             .collect();
         order.sort_by(|&a, &b| self.nodes[a].0.cmp(&self.nodes[b].0));
         let mut rank = vec![usize::MAX; self.nodes.len()];
@@ -473,7 +674,7 @@ fn minimal_transversals(family: &[Itemset]) -> Vec<Itemset> {
 mod tests {
     use super::*;
     use crate::hasse::verify_covers;
-    use rulebases_dataset::{paper_example, MinSupport, MiningContext};
+    use rulebases_dataset::{paper_example, MinSupport, MiningContext, TransactionDb};
     use rulebases_mining::{Close, ClosedMiner};
 
     fn set(ids: &[u32]) -> Itemset {
@@ -740,6 +941,184 @@ mod tests {
         assert!(total.removed_edges.contains(&(c, abce)));
         assert!(total.bumped.contains(&ac));
         assert!(total.touched().contains(&c));
+    }
+
+    #[test]
+    fn remove_object_replays_to_the_mined_lattice() {
+        // Drop the paper example's objects one at a time (forward and
+        // reverse): after every removal the snapshot must equal the
+        // batch-mined lattice of exactly the remaining rows — nodes,
+        // supports, Hasse edges, and generator tags.
+        let db = paper_example();
+        let rows: Vec<Vec<rulebases_dataset::Item>> = (0..db.n_transactions())
+            .map(|t| db.transaction(t).to_vec())
+            .collect();
+        for reverse in [false, true] {
+            let mut order: Vec<usize> = (0..rows.len()).collect();
+            if reverse {
+                order.reverse();
+            }
+            let mut inc = replayed();
+            let mut remaining: Vec<usize> = (0..rows.len()).collect();
+            for &victim in &order {
+                inc.remove_object(&Itemset::from_sorted(rows[victim].clone()));
+                remaining.retain(|&t| t != victim);
+                let rest: Vec<Vec<u32>> = remaining
+                    .iter()
+                    .map(|&t| rows[t].iter().map(|i| i.id()).collect())
+                    .collect();
+                let (snapshot, tags) = inc.snapshot(1);
+                if rest.is_empty() {
+                    assert_eq!(snapshot.n_nodes(), 0);
+                    continue;
+                }
+                let ctx = MiningContext::new(TransactionDb::from_rows(rest));
+                let fc = Close::new().mine_closed(&ctx, MinSupport::Count(1));
+                let reference = IcebergLattice::from_closed(&fc);
+                assert_eq!(snapshot.n_nodes(), reference.n_nodes(), "after {victim}");
+                for i in 0..snapshot.n_nodes() {
+                    assert_eq!(snapshot.node(i), reference.node(i), "after {victim}");
+                }
+                assert_eq!(
+                    snapshot.edges().collect::<Vec<_>>(),
+                    reference.edges().collect::<Vec<_>>(),
+                    "after {victim}"
+                );
+                // Tags stay the exact minimal generators of the
+                // shrunk context.
+                for (node, generators) in tags.iter().enumerate() {
+                    let (closure, support) = snapshot.node(node);
+                    assert!(!generators.is_empty(), "node {node} untagged");
+                    for g in generators {
+                        assert_eq!(&ctx.closure(g), closure, "{g:?}");
+                        for facet in g.facets() {
+                            assert!(ctx.support(&facet) > support, "{g:?} not minimal");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_object_merges_classes_and_reports_the_delta() {
+        // Rows: ab, ab, b, a. Removing the bare `a` row kills both the
+        // {a} class (merges into {a,b}: equal new support, nested
+        // extents) and ∅ (merges into {b}).
+        let mut inc = IncrementalLattice::new();
+        inc.insert_object(&set(&[1, 2]));
+        inc.insert_object(&set(&[1, 2]));
+        inc.insert_object(&set(&[2]));
+        inc.insert_object(&set(&[1]));
+        let a = inc.position(&set(&[1])).unwrap();
+        let b = inc.position(&set(&[2])).unwrap();
+        let ab = inc.position(&set(&[1, 2])).unwrap();
+        let bot = inc.position(&Itemset::empty()).unwrap();
+        let d = inc.remove_object_delta(&set(&[1]));
+        // Supports dropped for every class the row witnessed.
+        let mut dropped = d.dropped.clone();
+        dropped.sort_unstable();
+        let mut expected = vec![a, bot];
+        expected.sort_unstable();
+        assert_eq!(dropped, expected);
+        // Both merge away; the survivors keep their (decremented
+        // where applicable) supports.
+        let mut removed = d.removed.clone();
+        removed.sort_unstable();
+        assert_eq!(removed, expected);
+        assert!(!inc.is_live(a));
+        assert!(!inc.is_live(bot));
+        assert_eq!(inc.position(&set(&[1])), None);
+        assert_eq!(inc.node(ab), (&set(&[1, 2]), 2));
+        assert_eq!(inc.node(b), (&set(&[2]), 3));
+        // The diagram collapsed to b → ab, and the survivors whose
+        // lower covers changed were retagged: ∅ now generates {b}
+        // (the context-wide meet), and {a} escaped {a,b}'s class.
+        assert_eq!(inc.upper_covers(b), &[ab]);
+        assert_eq!(inc.lower_covers(ab), &[b]);
+        assert!(d.retagged.contains(&ab));
+        assert!(d.retagged.contains(&b));
+        assert_eq!(inc.generator_tags(b), &[Itemset::empty()]);
+        assert_eq!(inc.generator_tags(ab), &[set(&[1])]);
+        // Every edge incident to a dead node was reported removed.
+        assert!(d.removed_edges.contains(&(bot, a)));
+        assert!(d.removed_edges.contains(&(a, ab)));
+        assert!(d.removed_edges.contains(&(bot, b)));
+        // The snapshot no longer sees the tombstones.
+        let (snapshot, _) = inc.snapshot(1);
+        assert_eq!(snapshot.n_nodes(), 2);
+        // Re-inserting the row restores the old system under new ids.
+        inc.insert_object(&set(&[1]));
+        let (snapshot, _) = inc.snapshot(1);
+        assert_eq!(snapshot.n_nodes(), 4);
+        assert_eq!(snapshot.node(snapshot.bottom()).1, 4);
+    }
+
+    #[test]
+    fn absorb_dedups_removed_edges_across_mixed_deltas() {
+        // An edge interposed away by an insert and re-examined by a
+        // later splice in the same batch must reach the base patcher
+        // once, not twice; id lists still concatenate.
+        let insert = LatticeDelta {
+            created: vec![3],
+            bumped: vec![0, 1],
+            retagged: vec![3],
+            removed_edges: vec![(0, 2), (1, 2)],
+            ..LatticeDelta::default()
+        };
+        let remove = LatticeDelta {
+            dropped: vec![1, 3],
+            removed: vec![3],
+            retagged: vec![2],
+            removed_edges: vec![(1, 2), (3, 2)],
+            ..LatticeDelta::default()
+        };
+        let mut total = LatticeDelta::default();
+        total.absorb(insert);
+        total.absorb(remove);
+        assert_eq!(total.removed_edges, vec![(0, 2), (1, 2), (3, 2)]);
+        assert_eq!(total.touched(), vec![0, 1, 2, 3]);
+        assert_eq!(total.dropped, vec![1, 3]);
+        assert_eq!(total.removed, vec![3]);
+
+        // The same holds end to end: insert a row and remove it again
+        // within one absorbed batch — the shared interposition edges
+        // are single-reported and the diagram is back to the start.
+        let mut inc = IncrementalLattice::new();
+        inc.insert_object(&set(&[1, 2, 3, 5]));
+        inc.insert_object(&set(&[3]));
+        let mut batch = inc.insert_object_delta(&set(&[1, 3]));
+        batch.absorb(inc.remove_object_delta(&set(&[1, 3])));
+        let mut sorted = batch.removed_edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            batch.removed_edges.len(),
+            sorted.len(),
+            "duplicated edge report"
+        );
+        let c = inc.position(&set(&[3])).unwrap();
+        let abce = inc.position(&set(&[1, 2, 3, 5])).unwrap();
+        assert_eq!(inc.upper_covers(c), &[abce]);
+        assert_eq!(inc.position(&set(&[1, 3])), None);
+        assert!(batch.touched().contains(&c));
+    }
+
+    #[test]
+    fn remove_object_empties_the_lattice() {
+        let mut inc = IncrementalLattice::new();
+        inc.insert_object(&set(&[1, 3]));
+        inc.insert_object(&set(&[1, 3]));
+        assert_eq!(inc.remove_object(&set(&[1, 3])), 0); // duplicate remains
+        assert_eq!(inc.remove_object(&set(&[1, 3])), 1);
+        let (snapshot, _) = inc.snapshot(1);
+        assert_eq!(snapshot.n_nodes(), 0);
+        assert_eq!(inc.n_edges(), 0);
+        // The slots persist as tombstones; new growth starts cleanly.
+        assert_eq!(inc.n_nodes(), 1);
+        inc.insert_object(&set(&[2]));
+        let (snapshot, _) = inc.snapshot(1);
+        assert_eq!(snapshot.n_nodes(), 1);
     }
 
     #[test]

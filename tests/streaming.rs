@@ -146,7 +146,7 @@ proptest! {
                 seen += chunk.len();
                 let after = fused.mine(TransactionDb::from_rows(rows[..seen].to_vec()));
                 let direct = stream.push_batch(chunk.to_vec()).unwrap();
-                let oracle = BasesDelta::between(&before, &after, direct.epoch, chunk.len());
+                let oracle = BasesDelta::between(&before, &after, direct.epoch, chunk.len(), 0);
                 assert_delta_matches_oracle(
                     &direct,
                     &oracle,
