@@ -27,7 +27,10 @@
 //! sliding window of the newest `n` rows: the out-of-window prefix
 //! expires through the delta machinery in reverse, so both the lattice
 //! *and* the retained storage stay sized by the window instead of the
-//! stream — the mode to probe long or drifting replays with.
+//! stream — the mode to probe long or drifting replays with. Either way
+//! the replay reports the generator work the maintenance spent
+//! (extension candidates, subsumption checks, transversal fallbacks —
+//! the last identically zero on these paths).
 //!
 //! Besides the paper stand-ins, the dataset name `DRIFT` selects the
 //! `drifting_census` generator (item popularity rotates per block), the
@@ -302,6 +305,12 @@ fn main() {
                 session.db().storage_bytes()
             );
         }
+        let gen = session.gen_stats();
+        println!(
+            "generator work: {} extension candidates, {} subsumption checks, \
+             {} transversal fallbacks",
+            gen.candidates, gen.subsumption_checks, gen.transversal_fallbacks
+        );
         let streaming_calls = session.context().closure_cache_stats().engine_calls();
         let remine_ctx = MiningContext::with_engine(session.db().clone(), engine);
         let _ = miner

@@ -225,6 +225,32 @@ pub fn drifting_census(
     TransactionDb::from_rows(rows)
 }
 
+/// The generator-maintenance torture case: one full-universe row
+/// followed by one singleton row per item, over a `width`-item universe.
+/// Replayed in that order, the full-universe class ends up with `width`
+/// lower covers — every singleton, all at the same support (2: the full
+/// row plus its own) — so each of its lower-cover complements has
+/// `width − 1` items and its minimal-generator set is all `C(width, 2)`
+/// pairs. Retagging that class from scratch as the minimal transversals
+/// of the whole complement family (the pre-maintenance behavior, kept
+/// as [`GenMaintenance::TransversalOracle`]) re-derives the ever-larger
+/// pair set on *every* singleton arrival — visibly super-linear —
+/// while the local one-item extension rule pays only for the one new
+/// constraint per step. Deterministic by construction (no randomness).
+///
+/// [`GenMaintenance::TransversalOracle`]: rulebases_lattice::GenMaintenance::TransversalOracle
+///
+/// # Panics
+///
+/// Panics if `width < 2` — the pathology needs at least two singletons.
+pub fn wide_flat(width: usize) -> TransactionDb {
+    assert!(width >= 2, "wide_flat needs at least two items");
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(width + 1);
+    rows.push((0..width as u32).collect());
+    rows.extend((0..width as u32).map(|i| vec![i]));
+    TransactionDb::from_rows(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +301,39 @@ mod tests {
         for t in 0..200 {
             assert_eq!(db.transaction(t), again.transaction(t));
         }
+    }
+
+    #[test]
+    fn wide_flat_has_the_pathological_shape() {
+        use rulebases_dataset::Itemset;
+        use rulebases_lattice::IncrementalLattice;
+        let width = 12;
+        let db = wide_flat(width);
+        // One full row, then one singleton per item of the universe.
+        assert_eq!(db.n_transactions(), width + 1);
+        assert_eq!(db.n_items(), width);
+        assert_eq!(db.transaction(0).len(), width);
+        for t in 1..=width {
+            assert_eq!(db.transaction(t).len(), 1);
+            assert_eq!(db.transaction(t)[0].index(), t - 1);
+        }
+        // Replayed in order, the full-universe class accumulates one
+        // equal-support lower cover per item — the large-complement
+        // regime the ablation bench exercises — and its minimal
+        // generators are exactly the C(width, 2) pairs.
+        let mut inc = IncrementalLattice::new();
+        for t in 0..db.n_transactions() {
+            inc.insert_object(&Itemset::from_sorted(db.transaction(t).to_vec()));
+        }
+        let top = inc
+            .position(&Itemset::from_ids(0..width as u32))
+            .expect("full-universe class");
+        assert_eq!(inc.lower_covers(top).len(), width);
+        for &c in inc.lower_covers(top) {
+            assert_eq!(inc.node(c).0.len(), 1, "covers are the singletons");
+            assert_eq!(inc.node(c).1, 2, "same support everywhere");
+        }
+        assert_eq!(inc.generator_tags(top).len(), width * (width - 1) / 2);
     }
 
     #[test]

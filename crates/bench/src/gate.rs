@@ -251,6 +251,28 @@ pub fn gated_benches() -> Vec<(&'static str, Vec<MetricCheck>)> {
             ],
         ),
         (
+            "gen",
+            vec![
+                // Generator maintenance on the streaming paths is local
+                // by invariant: the committed baseline holds zero
+                // transversal fallbacks, so any fallback at all fails
+                // the exact band. The candidate and subsumption
+                // counters are deterministic for the fixed drift replay
+                // and the wide_flat schedule — more work than the
+                // baseline means the local rules got weaker.
+                MetricCheck::exact("stream_transversal_fallbacks"),
+                MetricCheck::exact("stream_candidates"),
+                MetricCheck::exact("stream_subsumption_checks"),
+                MetricCheck::exact("local_transversal_fallbacks"),
+                MetricCheck::exact("local_candidates"),
+                // The ablation headline: the oracle leg must stay
+                // slower than the local rules by at least the noise
+                // band's fraction of the committed ratio.
+                MetricCheck::speedup("oracle_over_local"),
+                MetricCheck::wall("local_wall_us"),
+            ],
+        ),
+        (
             "serving",
             vec![
                 // The index phase replays a fixed query set single-
@@ -436,6 +458,17 @@ mod tests {
                 "windowed_wall_us": 28832.2, "remine_wall_us": 1317.7}"#,
         )
         .unwrap();
+        let gen = serde_json::parse(
+            r#"{"rows": 768, "batch": 64, "window": 256,
+                "stream_candidates": 4200, "stream_subsumption_checks": 9100,
+                "stream_transversal_fallbacks": 0, "wide_width": 28,
+                "local_candidates": 11000, "local_subsumption_checks": 420000,
+                "local_transversal_fallbacks": 0,
+                "oracle_transversal_fallbacks": 56,
+                "local_wall_us": 3100.0, "oracle_wall_us": 56000.0,
+                "oracle_over_local": 18.0}"#,
+        )
+        .unwrap();
         let serving = serde_json::parse(
             r#"{"index": {"n_rules": 40, "queries": 256, "index_probes": 700,
                           "rules_scanned": 3000, "linear_rules_scanned": 10240,
@@ -452,6 +485,7 @@ mod tests {
             ("window", &window),
             ("fused", &fused),
             ("counting", &counting),
+            ("gen", &gen),
             ("serving", &serving),
         ] {
             let checks = gated_benches()

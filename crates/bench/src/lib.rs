@@ -25,6 +25,8 @@ pub mod timing;
 pub use rulebases_dataset::pool as parallel;
 
 pub use artifact::{append_bench_history, write_bench_artifact};
-pub use datasets::{drifting_census, engine_from_env, pipeline_from_env, Scale, StandIn};
+pub use datasets::{
+    drifting_census, engine_from_env, pipeline_from_env, wide_flat, Scale, StandIn,
+};
 pub use kernels_probe::{run_kernel_probes, KernelProbe};
 pub use parallel::{parallel_map, Parallelism};

@@ -88,5 +88,5 @@ pub use stream::{BasesDelta, RuleSetDelta, StreamError, StreamingMiner, Window};
 
 // Re-export the substrate crates and the most common types.
 pub use rulebases_dataset::{self as dataset, MinSupport, MiningContext, TransactionDb};
-pub use rulebases_lattice::{self as lattice, IcebergLattice};
+pub use rulebases_lattice::{self as lattice, GenMaintenance, GenStats, IcebergLattice};
 pub use rulebases_mining::{self as mining, ClosedAlgorithm};

@@ -98,7 +98,9 @@ use crate::rule::Rule;
 use rulebases_dataset::{
     DatasetError, DeltaError, Itemset, MiningContext, Support, TransactionDb, TxDelta,
 };
-use rulebases_lattice::{pseudo_closed_of_family, IncrementalLattice, LatticeDelta, PseudoClosed};
+use rulebases_lattice::{
+    pseudo_closed_of_family, GenStats, IncrementalLattice, LatticeDelta, PseudoClosed,
+};
 use rulebases_mining::ClosedItemsets;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -244,6 +246,11 @@ pub struct BasesDelta {
     pub lux_full: RuleSetDelta,
     /// Movement of the reduced Luxenburger basis.
     pub lux_reduced: RuleSetDelta,
+    /// Generator-maintenance work the batch's lattice steps spent
+    /// (extension candidates, subsumption checks, oracle fallbacks —
+    /// the last identically zero on this path, the invariant the bench
+    /// gate pins).
+    pub gen: GenStats,
 }
 
 impl BasesDelta {
@@ -260,6 +267,7 @@ impl BasesDelta {
             dg: RuleSetDelta::default(),
             lux_full: RuleSetDelta::default(),
             lux_reduced: RuleSetDelta::default(),
+            gen: GenStats::default(),
         }
     }
 
@@ -298,6 +306,9 @@ impl BasesDelta {
             dg: RuleSetDelta::between(old.dg.rules(), new.dg.rules()),
             lux_full: RuleSetDelta::between(old.lux_full.rules(), new.lux_full.rules()),
             lux_reduced: RuleSetDelta::between(old.lux_reduced.rules(), new.lux_reduced.rules()),
+            // A snapshot diff spends no maintenance work; the oracle
+            // compares rule movement, not counters.
+            gen: GenStats::default(),
         }
     }
 
@@ -566,6 +577,16 @@ impl StreamingMiner {
     /// The session's retention policy.
     pub fn window_config(&self) -> Window {
         self.window
+    }
+
+    /// Cumulative generator-maintenance work over the session's
+    /// lifetime (seed replay included): extension candidates examined,
+    /// subsumption checks spent, and transversal fallbacks — the last
+    /// identically zero, since every streaming path maintains tags by
+    /// the local rules (the invariant the gen-maintenance bench gate
+    /// pins). Per-batch work rides on [`BasesDelta::gen`].
+    pub fn gen_stats(&self) -> GenStats {
+        self.lattice.gen_stats()
     }
 
     /// Appends one batch of transactions, expires whatever the
@@ -859,6 +880,7 @@ impl StreamingMiner {
             dg,
             lux_full,
             lux_reduced,
+            gen: touched.gen,
         }
     }
 

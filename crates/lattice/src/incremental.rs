@@ -39,16 +39,43 @@
 //!   update is set algebra over the maintained nodes, with **zero**
 //!   support-engine queries.
 //!
-//! When a class splits (a new intent `Y = A ∩ R` interposes below its
-//! old closure), the minimal-generator tags of every node whose lower
-//! covers changed are recomputed from the diagram itself: the minimal
-//! generators of a closed set `Z` are exactly the minimal transversals of
-//! `{Z ∖ C : C a lower cover of Z}` (a set generates `Z` iff it escapes
-//! every maximal proper closed subset), so retagging needs no mining
-//! pass either. This characterization assumes the diagram holds *all*
+//! # Generator maintenance: local extension, not recomputation
+//!
+//! The minimal-generator tags are first-class maintained state, updated
+//! by GenClose-style **local rules** on each mutation rather than
+//! re-derived per touched class:
+//!
+//! * when a class splits (a new intent `Y = A ∩ R` interposes below its
+//!   old closure `Z`), the new class inherits exactly the old tags of
+//!   `Z` that fit inside it — `gens(Y) = {G ∈ gens_old(Z) : G ⊆ Y}`,
+//!   where `Z` is the unique old node containing `Y` with maximal
+//!   support, found during the base-support scan at no extra cost;
+//! * a node that gains `Y` as a new lower cover runs **one Berge
+//!   constraint step**: tags hitting the complement `Z ∖ Y` survive
+//!   unchanged, tags inside `Y` are extended by one item `a ∈ Z ∖ Y`,
+//!   and a candidate `g ∪ {a}` is kept iff no maintained tag subsumes
+//!   it — the one-item extension rule;
+//! * under removal, a dying class with surviving extent donates its
+//!   tags to the closure it merges into, and the union is
+//!   subsumption-minimized in place.
+//!
+//! Each rule touches one node and its changed covers, so tag work is
+//! sized by the delta, never by the lattice. The classical
+//! characterization — the minimal generators of `Z` are the minimal
+//! transversals of `{Z ∖ C : C a lower cover of Z}`, because a set
+//! generates `Z` iff it escapes every maximal proper closed subset —
+//! is **retained as an oracle**
+//! ([`IncrementalLattice::oracle_generators_of`], selectable wholesale
+//! via [`GenMaintenance::TransversalOracle`], the same
+//! keep-the-reference-path pattern as the scalar kernels): it is what
+//! the proptests and the ablation bench differentially test the local
+//! rules against. Both formulations assume the diagram holds *all*
 //! closed sets of the context — which is exactly what repeated
 //! `insert_object` maintains; iceberg views at a support threshold are
-//! cut afterwards with [`IncrementalLattice::snapshot`].
+//! cut afterwards with [`IncrementalLattice::snapshot`]. [`GenStats`]
+//! counts the work — extension candidates, subsumption checks, and
+//! oracle fallbacks, the latter identically zero on the object paths in
+//! the default [`GenMaintenance::Local`] mode.
 //!
 //! # Streaming: object removal
 //!
@@ -65,16 +92,70 @@
 //!
 //! Dying nodes are spliced out of the covering relation — the
 //! interposition step run in reverse: a lower cover reconnects to an
-//! upper cover exactly when no surviving node still interposes — and
-//! the minimal-generator tags of every node whose lower covers changed
-//! are recomputed from the diagram, again with **zero** engine queries.
+//! upper cover exactly when no surviving node still interposes — and a
+//! dying class whose extent survives donates its generator tags to the
+//! closure it merges into (subsumption-minimized on arrival; see the
+//! generator-maintenance section above), again with **zero** engine
+//! queries.
 //! Dead node ids are never reused: the slot keeps its intent (so
 //! id-keyed bookkeeping in downstream consumers stays resolvable) but
 //! leaves the index, the edge lists, and every snapshot.
 
 use crate::lattice::IcebergLattice;
 use rulebases_dataset::{Itemset, Support};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Work counters for minimal-generator maintenance — accumulated per
+/// maintenance step into [`LatticeDelta::gen`] and over the lattice's
+/// lifetime into [`IncrementalLattice::gen_stats`]. The streaming
+/// invariant the bench gate pins: on the object insert/remove paths in
+/// [`GenMaintenance::Local`] mode, `transversal_fallbacks == 0` — every
+/// tag update is a local extension/subsumption rule, never a
+/// from-scratch transversal recomputation over a node's full
+/// lower-cover family.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// One-item extension candidates `g ∪ {a}` examined.
+    pub candidates: u64,
+    /// Pairwise subset/disjointness tests spent keeping tag lists
+    /// minimal (partitioning survivors, rejecting subsumed candidates,
+    /// minimizing merged pools).
+    pub subsumption_checks: u64,
+    /// Nodes retagged by the full transversal oracle instead of a local
+    /// rule. Identically zero on the object paths under
+    /// [`GenMaintenance::Local`]; counts every per-node recomputation
+    /// under [`GenMaintenance::TransversalOracle`].
+    pub transversal_fallbacks: u64,
+}
+
+impl GenStats {
+    /// Folds another step's counters into this one.
+    pub fn absorb(&mut self, other: GenStats) {
+        self.candidates += other.candidates;
+        self.subsumption_checks += other.subsumption_checks;
+        self.transversal_fallbacks += other.transversal_fallbacks;
+    }
+}
+
+/// Which generator-maintenance strategy the object insert/remove paths
+/// use. [`GenMaintenance::Local`] (the default) applies the delta-sized
+/// GenClose-style rules described in the module docs;
+/// [`GenMaintenance::TransversalOracle`] retags every dirty node from
+/// scratch as the minimal transversals of its lower-cover complements —
+/// the pre-maintenance behavior, retained as the differential-testing
+/// oracle and the ablation bench's baseline (the same pattern as the
+/// scalar kernels backing the wide counting paths).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GenMaintenance {
+    /// Delta-sized local rules: inherit on split, one-item Berge
+    /// constraint step on cover gain, donate + minimize on merge.
+    #[default]
+    Local,
+    /// Recompute every dirty node's tags via Berge's full transversal
+    /// algorithm (each recomputation counts one
+    /// [`GenStats::transversal_fallbacks`]).
+    TransversalOracle,
+}
 
 /// What one [`IncrementalLattice::insert_object`] insertion or
 /// [`IncrementalLattice::remove_object`] removal changed — the
@@ -114,6 +195,10 @@ pub struct LatticeDelta {
     /// longer edges of the diagram. Deduplicated on
     /// [`LatticeDelta::absorb`].
     pub removed_edges: Vec<(usize, usize)>,
+    /// Generator-maintenance work the step spent (summed on
+    /// [`LatticeDelta::absorb`], so a batch's delta carries the batch's
+    /// total).
+    pub gen: GenStats,
 }
 
 impl LatticeDelta {
@@ -151,6 +236,7 @@ impl LatticeDelta {
         self.removed_edges.extend(other.removed_edges);
         self.removed_edges.sort_unstable();
         self.removed_edges.dedup();
+        self.gen.absorb(other.gen);
     }
 }
 
@@ -169,12 +255,37 @@ pub struct IncrementalLattice {
     /// (ids are never reused), so every structural scan filters on
     /// this. Insert-only usage keeps it all-true.
     alive: Vec<bool>,
+    /// Generator-maintenance strategy for the object paths.
+    gen_mode: GenMaintenance,
+    /// Lifetime generator-maintenance work (every step's
+    /// [`LatticeDelta::gen`] plus the miner-tag subsumption checks).
+    stats: GenStats,
 }
 
 impl IncrementalLattice {
     /// An empty diagram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Selects the generator-maintenance strategy for subsequent object
+    /// insertions and removals (default: [`GenMaintenance::Local`]).
+    /// Both strategies maintain identical tags — the oracle exists for
+    /// differential testing and ablation, not for correctness.
+    pub fn set_generator_maintenance(&mut self, mode: GenMaintenance) {
+        self.gen_mode = mode;
+    }
+
+    /// The generator-maintenance strategy in effect.
+    pub fn generator_maintenance(&self) -> GenMaintenance {
+        self.gen_mode
+    }
+
+    /// Cumulative generator-maintenance work over this lattice's
+    /// lifetime (every object step's [`LatticeDelta::gen`] plus the
+    /// subsumption checks miner-proven tags cost on arrival).
+    pub fn gen_stats(&self) -> GenStats {
+        self.stats
     }
 
     /// Number of node *slots* allocated so far — live closed sets plus
@@ -317,9 +428,11 @@ impl IncrementalLattice {
     ///   inserted with support `supp_old(h_old(X)) + 1` and wired into
     ///   the covering relation ([`IncrementalLattice::insert`]'s
     ///   interposition machinery);
-    /// * the minimal-generator tags of every node whose lower covers
-    ///   changed are recomputed as the minimal transversals of its
-    ///   lower-cover complements.
+    /// * the minimal-generator tags move by the local rules of the
+    ///   module docs: each new class inherits its old closure's fitting
+    ///   tags, and each node that gained a lower cover runs one Berge
+    ///   constraint step (one-item extension + subsumption) — no
+    ///   per-class transversal recomputation.
     ///
     /// Returns the number of closure classes the object created; use
     /// [`IncrementalLattice::insert_object_delta`] when the caller needs
@@ -330,8 +443,8 @@ impl IncrementalLattice {
     /// may become frequent under later appends; cut iceberg views with
     /// [`IncrementalLattice::snapshot`]. Do not mix with miner-tagged
     /// [`IncrementalLattice::insert`] calls on the same instance — the
-    /// transversal retagging assumes every closed set of the context is a
-    /// node.
+    /// generator maintenance assumes every closed set of the context is
+    /// a node.
     pub fn insert_object(&mut self, row: &Itemset) -> usize {
         self.insert_object_delta(row).created.len()
     }
@@ -344,12 +457,19 @@ impl IncrementalLattice {
     /// classes cannot have moved.
     pub fn insert_object_delta(&mut self, row: &Itemset) -> LatticeDelta {
         let mut delta = LatticeDelta::default();
-        // New intents, each mapped to its pre-insertion support: supports
-        // are antitone in ⊆, so supp_old(X) = supp(h_old(X)) is the max
-        // support over the nodes containing X (0 when none does).
-        let mut fresh: HashMap<Itemset, Support> = HashMap::new();
+        let mut stats = GenStats::default();
+        // New intents, each mapped to its pre-insertion support and its
+        // old closure: supports are antitone in ⊆, so supp_old(X) =
+        // supp(h_old(X)) is the max support over the nodes containing X
+        // (0 when none does), and the node attaining that max *is*
+        // h_old(X) — it is the unique containing node of maximal
+        // support, because h_old(X) ⊆ Y for every closed Y ⊇ X and
+        // nested extents of equal size coincide. A BTreeMap keeps the
+        // insertion order (and hence node ids and tag work) independent
+        // of hasher state.
+        let mut fresh: BTreeMap<Itemset, (Support, Option<usize>)> = BTreeMap::new();
         if !self.index.contains_key(row) {
-            fresh.insert(row.clone(), 0);
+            fresh.insert(row.clone(), (0, None));
         }
         for (j, (node, _)) in self.nodes.iter().enumerate() {
             if !self.alive[j] {
@@ -357,13 +477,14 @@ impl IncrementalLattice {
             }
             let meet = node.intersection(row);
             if !self.index.contains_key(&meet) {
-                fresh.entry(meet).or_insert(0);
+                fresh.entry(meet).or_insert((0, None));
             }
         }
-        for (meet, base) in fresh.iter_mut() {
+        for (meet, (base, closure)) in fresh.iter_mut() {
             for (j, (node, support)) in self.nodes.iter().enumerate() {
-                if self.alive[j] && meet.is_subset_of(node) {
-                    *base = (*base).max(*support);
+                if self.alive[j] && meet.is_subset_of(node) && *support > *base {
+                    *base = *support;
+                    *closure = Some(j);
                 }
             }
         }
@@ -374,21 +495,76 @@ impl IncrementalLattice {
                 delta.bumped.push(id);
             }
         }
-        // Insert the new classes; collect every node whose lower covers
-        // change (each new node, and the nodes it ends up covered by —
-        // interposition rewires exactly those) for retagging once the
-        // structure settles.
+        // Insert the new classes smallest-first and maintain the tags as
+        // each lands. Only the fresh node's own upper covers gain a
+        // lower cover (an old node z can gain a fresh lower cover Y only
+        // with z minimal over Y at Y's turn), so the constraint steps
+        // below cover every cover gain of the whole insertion. In oracle
+        // mode, collect the same dirty set and retag it from scratch.
         let mut dirty: BTreeSet<usize> = BTreeSet::new();
-        for (meet, base) in fresh {
+        for (meet, (base, closure)) in fresh {
+            // Split-seed rule: the tags of the old closure that fit in
+            // the new class are exactly its minimal generators (their
+            // closures shrink onto it; anything smaller would have
+            // generated a class below the old closure). Snapshot them
+            // before wiring — the donor's own tags move only when its
+            // unique fresh child (this meet) interposes, never earlier.
+            let inherited: Option<Vec<Itemset>> = closure.map(|z| {
+                self.generators[z]
+                    .iter()
+                    .filter(|g| {
+                        stats.subsumption_checks += 1;
+                        g.is_subset_of(&meet)
+                    })
+                    .cloned()
+                    .collect()
+            });
             let id = self.insert_reporting(&meet, base + 1, None, &mut delta.removed_edges);
             delta.created.push(id);
-            dirty.insert(id);
-            dirty.extend(self.upper[id].iter().copied());
+            match self.gen_mode {
+                GenMaintenance::Local => {
+                    match inherited {
+                        Some(mut tags) => {
+                            debug_assert!(!tags.is_empty(), "old closure of {meet:?} untagged");
+                            tags.sort();
+                            self.generators[id] = tags;
+                        }
+                        None => {
+                            // No old node contains the new class (the
+                            // row reaches beyond the lattice): there is
+                            // no donor, so grow its tags from ∅ by one
+                            // constraint step per freshly wired lower
+                            // cover — still the local rule, sized by
+                            // this node's neighborhood.
+                            self.generators[id] = vec![Itemset::empty()];
+                            for c in self.lower[id].clone() {
+                                self.add_cover_constraint(id, c, &mut stats);
+                            }
+                        }
+                    }
+                    delta.retagged.push(id);
+                    // Cover-gain rule: every current upper cover of the
+                    // new node just gained it as a lower cover.
+                    for s in self.upper[id].clone() {
+                        if self.add_cover_constraint(s, id, &mut stats) {
+                            delta.retagged.push(s);
+                        }
+                    }
+                }
+                GenMaintenance::TransversalOracle => {
+                    dirty.insert(id);
+                    dirty.extend(self.upper[id].iter().copied());
+                }
+            }
         }
         for id in dirty {
-            self.generators[id] = self.minimal_generators_of(id);
+            self.oracle_retag(id, &mut stats);
             delta.retagged.push(id);
         }
+        delta.retagged.sort_unstable();
+        delta.retagged.dedup();
+        delta.gen = stats;
+        self.stats.absorb(stats);
         delta
     }
 
@@ -403,9 +579,11 @@ impl IncrementalLattice {
     ///   of equal size coincide, so `X` is no longer closed and merges
     ///   into that closure;
     /// * dying nodes are spliced out of the covering relation (the
-    ///   interposition machinery run in reverse) and the
-    ///   minimal-generator tags of every surviving node whose lower
-    ///   covers changed are recomputed.
+    ///   interposition machinery run in reverse), and a dying class
+    ///   whose extent survives donates its generator tags to the
+    ///   closure it merges into, where the union is
+    ///   subsumption-minimized — the local merge rule, no transversal
+    ///   recomputation.
     ///
     /// Returns the number of closure classes the removal tombstoned;
     /// use [`IncrementalLattice::remove_object_delta`] when the caller
@@ -446,6 +624,7 @@ impl IncrementalLattice {
         // itself a pre-removal node, so scanning the current slots —
         // all supports already decremented — decides every death in
         // one simultaneous pass.
+        let mut stats = GenStats::default();
         let dying: Vec<usize> = delta
             .dropped
             .iter()
@@ -458,6 +637,34 @@ impl IncrementalLattice {
                     })
             })
             .collect();
+        // Merge rule bookkeeping, captured before the splices clear the
+        // dying nodes' tags: a dying class with surviving extent merges
+        // into its new closure — the unique *surviving* strict superset
+        // with the same post-decrement support (nested extents of equal
+        // size coincide) — and donates its tags there. A dying class
+        // whose support hit zero has no extent left and donates nothing.
+        let dying_set: BTreeSet<usize> = dying.iter().copied().collect();
+        let mut donations: Vec<(usize, Vec<Itemset>)> = Vec::new();
+        if self.gen_mode == GenMaintenance::Local {
+            for &x in &dying {
+                let (xs, xsup) = (&self.nodes[x].0, self.nodes[x].1);
+                if xsup == 0 {
+                    continue;
+                }
+                let target = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .position(|(y, (ys, ysup))| {
+                        self.alive[y]
+                            && !dying_set.contains(&y)
+                            && *ysup == xsup
+                            && xs.is_proper_subset_of(ys)
+                    })
+                    .expect("a dying class with surviving extent has a surviving closure");
+                donations.push((target, self.generators[x].clone()));
+            }
+        }
         // Splice the dying nodes out one at a time; a not-yet-spliced
         // dying node still interposes for the earlier splices, so the
         // reconnection it blocks is added when its own turn comes.
@@ -466,15 +673,54 @@ impl IncrementalLattice {
             self.splice_out(x, &mut delta.removed_edges, &mut dirty);
             delta.removed.push(x);
         }
-        // Retag the survivors whose lower covers changed (generators
-        // are the minimal transversals of the lower-cover complements,
-        // so only those nodes can move).
-        for id in dirty {
-            if self.alive[id] {
-                self.generators[id] = self.minimal_generators_of(id);
-                delta.retagged.push(id);
+        match self.gen_mode {
+            GenMaintenance::Local => {
+                // Apply the merge rule: a survivor's new minimal
+                // generators are the subsumption-minimization of its own
+                // tags plus everything donated to it — a donated tag can
+                // undercut a resident one (its class collapsed upward),
+                // never the other way around, and donors from a merging
+                // chain can undercut each other, so the pooled list is
+                // minimized as a whole. No other survivor's tags move:
+                // every old generator still generates its class, and any
+                // newly minimal generator belonged to a class that died
+                // into this one.
+                for (target, donated) in donations {
+                    let mut pool = std::mem::take(&mut self.generators[target]);
+                    pool.extend(donated);
+                    // (size, lex) order makes the one-way subset check
+                    // below an exact minimization.
+                    pool.sort();
+                    pool.dedup();
+                    let mut kept: Vec<Itemset> = Vec::with_capacity(pool.len());
+                    for g in pool {
+                        let minimal = kept.iter().all(|t| {
+                            stats.subsumption_checks += 1;
+                            !t.is_subset_of(&g)
+                        });
+                        if minimal {
+                            kept.push(g);
+                        }
+                    }
+                    self.generators[target] = kept;
+                    delta.retagged.push(target);
+                }
+            }
+            GenMaintenance::TransversalOracle => {
+                // Pre-maintenance behavior: retag every survivor whose
+                // lower covers changed from scratch.
+                for id in dirty {
+                    if self.alive[id] {
+                        self.oracle_retag(id, &mut stats);
+                        delta.retagged.push(id);
+                    }
+                }
             }
         }
+        delta.retagged.sort_unstable();
+        delta.retagged.dedup();
+        delta.gen = stats;
+        self.stats.absorb(stats);
         delta
     }
 
@@ -555,13 +801,17 @@ impl IncrementalLattice {
         &self.generators[id]
     }
 
-    /// The minimal generators of node `id`, read off the diagram: a set
-    /// `G ⊆ Z` generates `Z` iff it is contained in no maximal proper
-    /// closed subset of `Z`, i.e. iff it hits every complement `Z ∖ C`
-    /// over the lower covers `C` — so the minimal generators are the
-    /// minimal transversals of those complements. (Requires the diagram
-    /// to hold all closed sets, which `insert_object` maintains.)
-    fn minimal_generators_of(&self, id: usize) -> Vec<Itemset> {
+    /// The minimal generators of node `id`, re-derived from scratch off
+    /// the diagram — the **retained oracle** the maintained tags are
+    /// differentially tested against. A set `G ⊆ Z` generates `Z` iff
+    /// it is contained in no maximal proper closed subset of `Z`, i.e.
+    /// iff it hits every complement `Z ∖ C` over the lower covers `C` —
+    /// so the minimal generators are the minimal transversals of those
+    /// complements. (Requires the diagram to hold all closed sets,
+    /// which `insert_object` maintains.) Under object maintenance this
+    /// equals [`IncrementalLattice::generator_tags`] for every live
+    /// node, in the tags' sorted order.
+    pub fn oracle_generators_of(&self, id: usize) -> Vec<Itemset> {
         let node = &self.nodes[id].0;
         let complements: Vec<Itemset> = self.lower[id]
             .iter()
@@ -570,13 +820,76 @@ impl IncrementalLattice {
         minimal_transversals(&complements)
     }
 
-    /// Records a generator tag for a node, keeping the tag list minimal:
-    /// a tag subsumed by (superset of) an existing tag is dropped, and
-    /// tags subsumed by the new one are removed.
+    /// [`IncrementalLattice::oracle_generators_of`] applied in place,
+    /// with its work counted — one fallback tick plus the oracle's
+    /// candidates and subsumption checks. The
+    /// [`GenMaintenance::TransversalOracle`] retagging step.
+    fn oracle_retag(&mut self, id: usize, stats: &mut GenStats) {
+        let node = &self.nodes[id].0;
+        let complements: Vec<Itemset> = self.lower[id]
+            .iter()
+            .map(|&c| node.difference(&self.nodes[c].0))
+            .collect();
+        stats.transversal_fallbacks += 1;
+        self.generators[id] = minimal_transversals_counted(&complements, stats);
+    }
+
+    /// One Berge constraint step on the maintained tags of `z`, which
+    /// just gained `cover` as a new lower cover: a generator of `z`
+    /// must escape every maximal proper closed subset, so every tag now
+    /// also has to hit `D = z ∖ cover`. Tags already hitting `D`
+    /// survive unchanged; tags inside `cover` stop generating `z` (they
+    /// now generate a class at or below `cover`) and are replaced by
+    /// their one-item extensions `g ∪ {a}`, `a ∈ D`, keeping a
+    /// candidate iff no maintained tag subsumes it. Starting from the
+    /// minimal antichain, the one-way check is exact: a candidate
+    /// containing a survivor is rejected, a survivor cannot strictly
+    /// contain a candidate (survivors are minimal for the extended
+    /// constraint family), and two candidates are incomparable (their
+    /// base tags are, and the extension item of either hits `D` while
+    /// the other base misses it). Returns whether the tag list changed.
+    fn add_cover_constraint(&mut self, z: usize, cover: usize, stats: &mut GenStats) -> bool {
+        let d = self.nodes[z].0.difference(&self.nodes[cover].0);
+        let old = std::mem::take(&mut self.generators[z]);
+        stats.subsumption_checks += old.len() as u64;
+        let (mut kept, miss): (Vec<Itemset>, Vec<Itemset>) =
+            old.into_iter().partition(|g| !g.is_disjoint_from(&d));
+        if miss.is_empty() {
+            self.generators[z] = kept;
+            return false;
+        }
+        for g in &miss {
+            for item in d.iter() {
+                stats.candidates += 1;
+                let extended = g.with(item);
+                let minimal = kept.iter().all(|t| {
+                    stats.subsumption_checks += 1;
+                    !t.is_subset_of(&extended)
+                });
+                if minimal {
+                    kept.push(extended);
+                }
+            }
+        }
+        kept.sort();
+        self.generators[z] = kept;
+        true
+    }
+
+    /// Records a miner-proven generator tag for a node, keeping the tag
+    /// list minimal: a tag subsumed by (superset of) an existing tag is
+    /// dropped, and tags subsumed by the new one are removed. This is
+    /// the whole maintenance story for the fused [`ClosedSink`] path —
+    /// the context is fixed while closed sets arrive, so interposition
+    /// rewires the diagram without moving any class's generator set,
+    /// and seeding from the miner's proofs is already delta-sized.
+    ///
+    /// [`ClosedSink`]: rulebases_mining::sink::ClosedSink
     fn tag(&mut self, id: usize, generator: Option<&Itemset>) {
         let Some(g) = generator else {
             return;
         };
+        self.stats.subsumption_checks += self.generators[id].len() as u64;
         let tags = &mut self.generators[id];
         if tags.iter().any(|t| t.is_subset_of(g)) {
             return; // equal or smaller generator already recorded
@@ -648,19 +961,34 @@ impl IncrementalLattice {
 /// keeps the transversals that already hit the next set and extends the
 /// rest by one hitting item, discarding dominated candidates — an
 /// extension can never strictly subsume a kept transversal, so the
-/// one-way subset check preserves exact minimality.
+/// one-way subset check preserves exact minimality. (Each step is the
+/// same constraint rule `add_cover_constraint` applies to one node's
+/// maintained tags; this from-scratch form is the retained oracle.)
 fn minimal_transversals(family: &[Itemset]) -> Vec<Itemset> {
+    minimal_transversals_counted(family, &mut GenStats::default())
+}
+
+/// [`minimal_transversals`] with its work metered into `stats` — the
+/// instrumented form [`GenMaintenance::TransversalOracle`] runs so the
+/// ablation bench can compare like-for-like counters.
+fn minimal_transversals_counted(family: &[Itemset], stats: &mut GenStats) -> Vec<Itemset> {
     let mut transversals = vec![Itemset::empty()];
     for d in family {
+        stats.subsumption_checks += transversals.len() as u64;
         let (hit, miss): (Vec<Itemset>, Vec<Itemset>) = transversals
             .into_iter()
             .partition(|g| !g.is_disjoint_from(d));
         transversals = hit;
         for g in miss {
             for item in d.iter() {
+                stats.candidates += 1;
                 let mut extended = g.clone();
                 extended.insert(item);
-                if transversals.iter().all(|t| !t.is_subset_of(&extended)) {
+                let minimal = transversals.iter().all(|t| {
+                    stats.subsumption_checks += 1;
+                    !t.is_subset_of(&extended)
+                });
+                if minimal {
                     transversals.push(extended);
                 }
             }
@@ -1119,6 +1447,89 @@ mod tests {
         inc.insert_object(&set(&[2]));
         let (snapshot, _) = inc.snapshot(1);
         assert_eq!(snapshot.n_nodes(), 1);
+    }
+
+    #[test]
+    fn local_maintenance_matches_the_oracle_with_zero_fallbacks() {
+        // Replay the paper example forward, then peel half of it off
+        // again: after every step the maintained tags must equal the
+        // from-scratch transversal oracle on every live node, and the
+        // local rules must never have fallen back to it.
+        let db = paper_example();
+        let rows: Vec<Itemset> = (0..db.n_transactions())
+            .map(|t| Itemset::from_sorted(db.transaction(t).to_vec()))
+            .collect();
+        let mut inc = IncrementalLattice::new();
+        assert_eq!(inc.generator_maintenance(), GenMaintenance::Local);
+        let check = |inc: &IncrementalLattice| {
+            for id in 0..inc.n_nodes() {
+                if !inc.is_live(id) {
+                    continue;
+                }
+                assert_eq!(
+                    inc.generator_tags(id),
+                    inc.oracle_generators_of(id),
+                    "node {id} diverged from the oracle"
+                );
+            }
+        };
+        for row in &rows {
+            inc.insert_object(row);
+            check(&inc);
+        }
+        for row in rows.iter().take(rows.len() / 2) {
+            inc.remove_object(row);
+            check(&inc);
+        }
+        let stats = inc.gen_stats();
+        assert_eq!(stats.transversal_fallbacks, 0, "local mode fell back");
+        assert!(stats.candidates > 0 && stats.subsumption_checks > 0);
+    }
+
+    #[test]
+    fn oracle_mode_maintains_identical_tags_and_counts_fallbacks() {
+        // The retained TransversalOracle mode is the pre-maintenance
+        // behavior: same tags on every live node, every retag metered
+        // as a fallback — the ablation bench's baseline leg.
+        let db = paper_example();
+        let rows: Vec<Itemset> = (0..db.n_transactions())
+            .map(|t| Itemset::from_sorted(db.transaction(t).to_vec()))
+            .collect();
+        let mut local = IncrementalLattice::new();
+        let mut oracle = IncrementalLattice::new();
+        oracle.set_generator_maintenance(GenMaintenance::TransversalOracle);
+        for row in &rows {
+            local.insert_object(row);
+            oracle.insert_object(row);
+        }
+        local.remove_object(&rows[0]);
+        oracle.remove_object(&rows[0]);
+        assert_eq!(local.n_nodes(), oracle.n_nodes());
+        for id in 0..local.n_nodes() {
+            assert_eq!(local.is_live(id), oracle.is_live(id));
+            if local.is_live(id) {
+                let mut tags = local.generator_tags(id).to_vec();
+                tags.sort();
+                let mut otags = oracle.generator_tags(id).to_vec();
+                otags.sort();
+                assert_eq!(tags, otags, "mode divergence at node {id}");
+            }
+        }
+        assert_eq!(local.gen_stats().transversal_fallbacks, 0);
+        assert!(oracle.gen_stats().transversal_fallbacks > 0);
+    }
+
+    #[test]
+    fn deltas_carry_generator_work_and_absorb_sums_it() {
+        let mut inc = IncrementalLattice::new();
+        let mut total = inc.insert_object_delta(&set(&[1, 2]));
+        total.absorb(inc.insert_object_delta(&set(&[2, 3])));
+        // The second row splits a class: extension candidates were
+        // examined and the batch total carries both steps' work.
+        assert!(total.gen.candidates > 0);
+        assert!(total.gen.subsumption_checks > 0);
+        assert_eq!(total.gen.transversal_fallbacks, 0);
+        assert_eq!(inc.gen_stats().candidates, total.gen.candidates);
     }
 
     #[test]

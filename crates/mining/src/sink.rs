@@ -23,6 +23,10 @@
 //!   closed set (a minimal itemset with the same closure) when the
 //!   traversal has one at hand — the levelwise miners work generator-wise
 //!   and tag for free, CHARM's IT-tree does not and passes `None`.
+//!   Downstream, these miner-proven generators seed the incremental
+//!   lattice's per-class tag sets directly (subsumption-minimal
+//!   recording, no recomputation), so the fused pipeline never derives
+//!   a generator the miner already proved.
 
 use crate::itemsets::ClosedItemsets;
 use rulebases_dataset::{Itemset, Support};
