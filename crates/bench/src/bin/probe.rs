@@ -6,7 +6,9 @@
 //! ```bash
 //! probe MUSHROOMS 0.5 [test|default|full] [--frequent] \
 //!     [--engine auto|dense|tid-list|diffset|sharded:<k>:<inner>] \
-//!     [--pipeline staged|fused] [--stream [--batch <n>] [--window <n>]] \
+//!     [--pipeline staged|fused] \
+//!     [--stream [--batch <n>] [--window <n>] \
+//!         [--checkpoint-dir <d> [--crash-after <k>]]] \
 //!     [--serve [--readers <n>]]
 //! ```
 //!
@@ -32,6 +34,15 @@
 //! (extension candidates, subsumption checks, transversal fallbacks —
 //! the last identically zero on these paths).
 //!
+//! With `--checkpoint-dir <d>`, the streaming replay runs *durably*
+//! through `RuleMiner::checkpointing`: every batch is journaled into the
+//! directory and periodically folded into a full checkpoint. Adding
+//! `--crash-after <k>` drops the live session after `k` batches —
+//! simulating a crash — then recovers the directory and finishes the
+//! replay on the recovered session, printing the recovery report
+//! (checkpoint restored, bytes, batches replayed, and the engine-call
+//! tally: the restore itself performs 0 engine calls during restore).
+//!
 //! Besides the paper stand-ins, the dataset name `DRIFT` selects the
 //! `drifting_census` generator (item popularity rotates per block), the
 //! windowed-streaming workload.
@@ -44,36 +55,17 @@
 //! index, wait-free reads) with the serving counters and p50/p99 query
 //! latencies printed at the end.
 
+use rulebases::checkpoint::CheckpointedMiner;
 use rulebases::{PipelineKind, RuleMiner, RuleReader, Window};
-use rulebases_bench::{drifting_census, engine_from_env, pipeline_from_env, Scale, StandIn};
+use rulebases_bench::{
+    drifting_census, engine_from_env, pipeline_from_env, project_top_items, Scale, StandIn,
+};
 use rulebases_dataset::pool::fan_out;
 use rulebases_dataset::{EngineKind, MinSupport, MiningContext, TransactionDb};
 use rulebases_mining::{Apriori, Close, ClosedMiner};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-
-/// Projects `db` onto its `k` most frequent items — the bounded
-/// vocabulary both replay modes maintain their closure system over.
-fn project_top_items(db: &TransactionDb, k: usize) -> Vec<Vec<u32>> {
-    let mut by_support: Vec<(u64, u32)> = db
-        .item_supports()
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| (s, i as u32))
-        .collect();
-    by_support.sort_unstable_by(|a, b| b.cmp(a));
-    let kept: std::collections::HashSet<u32> =
-        by_support.into_iter().take(k).map(|(_, i)| i).collect();
-    db.iter()
-        .map(|row| {
-            row.iter()
-                .map(|item| item.id())
-                .filter(|id| kept.contains(id))
-                .collect()
-        })
-        .collect()
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,6 +79,8 @@ fn main() {
     let mut batch = 64usize;
     let mut stream_items = 16usize;
     let mut window = 0usize;
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut crash_after: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -118,6 +112,20 @@ fn main() {
                 let value = args.get(i + 1).expect("--window needs a value");
                 window = value.parse().unwrap_or_else(|e| panic!("--window: {e}"));
                 assert!(window > 0, "--window must be at least 1");
+                i += 2;
+            }
+            "--checkpoint-dir" => {
+                let value = args.get(i + 1).expect("--checkpoint-dir needs a value");
+                checkpoint_dir = Some(value.into());
+                i += 2;
+            }
+            "--crash-after" => {
+                let value = args.get(i + 1).expect("--crash-after needs a value");
+                crash_after = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--crash-after: {e}")),
+                );
                 i += 2;
             }
             "--stream-items" => {
@@ -263,6 +271,66 @@ fn main() {
         let miner = RuleMiner::new(MinSupport::Fraction(minsup))
             .min_confidence(minconf)
             .engine(engine.clone());
+
+        if let Some(dir) = checkpoint_dir {
+            // Durable replay: journal every batch, optionally crash
+            // mid-stream and finish on the recovered session.
+            let (mut ckpt, resumed) = miner
+                .checkpointing(TransactionDb::from_rows(vec![]), &dir)
+                .expect("open checkpoint directory");
+            if let Some(report) = resumed {
+                println!("resumed a persisted session:\n{report}");
+            }
+            if window > 0 {
+                ckpt.set_window(Window::Sliding(window))
+                    .expect("persist window policy");
+                println!("sliding window: the newest {window} rows");
+            }
+            let start = Instant::now();
+            let mut session = Some(ckpt);
+            let mut batches = 0usize;
+            for chunk in rows.chunks(batch) {
+                if crash_after == Some(batches) {
+                    drop(session.take()); // the simulated crash
+                    println!(
+                        "simulated crash after {batches} batches; recovering {}",
+                        dir.display()
+                    );
+                    let t0 = Instant::now();
+                    let (recovered, report) =
+                        CheckpointedMiner::recover(&dir).expect("recover session");
+                    println!("{report}");
+                    println!("recovery took {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+                    session = Some(recovered);
+                }
+                session
+                    .as_mut()
+                    .expect("live session")
+                    .push_batch(chunk.to_vec())
+                    .expect("append batch");
+                batches += 1;
+            }
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            let mut ckpt = session.expect("live session");
+            println!(
+                "durable replay: {} rows in {batches} batches of ≤{batch} ({elapsed:.1} ms); \
+                 checkpoint generation {}, {} batches / {} bytes journaled since the last fold",
+                rows.len(),
+                ckpt.generation(),
+                ckpt.journal_batches(),
+                ckpt.journal_bytes()
+            );
+            let bases = ckpt.bases();
+            println!(
+                "|FC| = {} ({} Hasse edges, DG {} rules, Lux reduced {} rules at minconf {minconf})",
+                bases.n_closed_nonempty(),
+                bases.lattice.n_edges(),
+                bases.dg.len(),
+                bases.luxenburger_reduced_rules().len(),
+            );
+            return;
+        }
+
         let start = Instant::now();
         let mut session = miner.streaming(TransactionDb::from_rows(vec![]));
         if window > 0 {

@@ -251,6 +251,29 @@ pub fn wide_flat(width: usize) -> TransactionDb {
     TransactionDb::from_rows(rows)
 }
 
+/// Projects `db` onto its `k` most frequent items — the bounded
+/// vocabulary streaming replays maintain their (unthresholded) closure
+/// system over, shared by the `probe` CLI and the recovery bench.
+pub fn project_top_items(db: &TransactionDb, k: usize) -> Vec<Vec<u32>> {
+    let mut by_support: Vec<(u64, u32)> = db
+        .item_supports()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i as u32))
+        .collect();
+    by_support.sort_unstable_by(|a, b| b.cmp(a));
+    let kept: std::collections::HashSet<u32> =
+        by_support.into_iter().take(k).map(|(_, i)| i).collect();
+    db.iter()
+        .map(|row| {
+            row.iter()
+                .map(|item| item.id())
+                .filter(|id| kept.contains(id))
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -290,6 +290,28 @@ pub fn gated_benches() -> Vec<(&'static str, Vec<MetricCheck>)> {
                 MetricCheck::wall("mixed_load.0.p50_us"),
             ],
         ),
+        (
+            "recover",
+            vec![
+                // The recovery invariant, pinned exactly: a checkpoint
+                // restore deserializes state and never re-derives it, so
+                // both cells hold zero support-engine calls during the
+                // restore — any call at all is a structural regression.
+                MetricCheck::exact("cells.0.restore_engine_calls"),
+                MetricCheck::exact("cells.1.restore_engine_calls"),
+                // Journal replay rides the streaming delta path (also
+                // engine-call-free), and the fixed batch schedule plus
+                // fold policy make the replayed tail deterministic.
+                MetricCheck::exact("cells.0.replay_engine_calls"),
+                MetricCheck::exact("cells.1.replay_engine_calls"),
+                MetricCheck::exact("cells.0.batches_replayed"),
+                MetricCheck::exact("cells.1.batches_replayed"),
+                // The headline: recovering must stay cheap relative to
+                // the committed baseline (restore + 2-batch replay).
+                MetricCheck::wall("cells.0.recover_wall_us"),
+                MetricCheck::wall("cells.1.recover_wall_us"),
+            ],
+        ),
     ]
 }
 
@@ -480,6 +502,20 @@ mod tests {
                    "qps": 90000.0, "reader_lock_waits": 0}]}"#,
         )
         .unwrap();
+        let recover = serde_json::parse(
+            r#"{"fold_every": 6, "cells": [
+                  {"dataset": "C20D10K*", "rows": 500, "batch": 64,
+                   "checkpoint_bytes": 9000, "batches_replayed": 2,
+                   "journal_bytes_replayed": 2400, "restore_engine_calls": 0,
+                   "replay_engine_calls": 0, "recover_wall_us": 800.0,
+                   "remine_wall_us": 1300.0},
+                  {"dataset": "DRIFT*", "rows": 512, "batch": 64,
+                   "checkpoint_bytes": 7000, "batches_replayed": 2,
+                   "journal_bytes_replayed": 2100, "restore_engine_calls": 0,
+                   "replay_engine_calls": 0, "recover_wall_us": 700.0,
+                   "remine_wall_us": 1200.0}]}"#,
+        )
+        .unwrap();
         for (name, value) in [
             ("stream", &stream),
             ("window", &window),
@@ -487,6 +523,7 @@ mod tests {
             ("counting", &counting),
             ("gen", &gen),
             ("serving", &serving),
+            ("recover", &recover),
         ] {
             let checks = gated_benches()
                 .into_iter()

@@ -38,6 +38,7 @@ use crate::miner::{MinedBases, RuleMiner};
 use rulebases_dataset::{Itemset, MinSupport, MiningContext, Support};
 use rulebases_lattice::IncrementalLattice;
 use rulebases_mining::{Apriori, ClosedItemsets, ClosedSink, FrequentItemsets};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -45,7 +46,7 @@ use std::str::FromStr;
 ///
 /// Spelled `staged` / `fused` in CLI and environment contexts (the
 /// [`FromStr`] and [`fmt::Display`] implementations round-trip).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PipelineKind {
     /// The three-pass oracle: mine `FC`, rebuild the Hasse diagram
     /// pairwise, re-mine `F` with Apriori, then derive the bases.

@@ -55,6 +55,7 @@
 
 pub mod all_rules;
 pub mod approx;
+pub mod checkpoint;
 pub mod derive;
 pub mod exact;
 pub mod export;
@@ -70,6 +71,10 @@ pub mod stream;
 
 pub use all_rules::{all_rules, count_all_rules};
 pub use approx::{all_approximate_rules, LuxenburgerBasis};
+pub use checkpoint::{
+    CheckpointError, CheckpointPolicy, CheckpointedMiner, FaultFs, LostSuffix, RecoveryError,
+    RecoveryReport,
+};
 pub use derive::{derive_approximate_rules, derive_exact_rules, ApproxDerivation};
 pub use exact::{all_exact_rules, count_exact_rules, DuquenneGuiguesBasis};
 pub use export::{read_rules_jsonl, write_rules_csv, write_rules_jsonl};

@@ -130,6 +130,31 @@ impl RuleMiner {
         crate::serve::RuleServer::open(self.clone(), db, crate::serve::ServedBasis::default())
     }
 
+    /// Opens a **durable** streaming session persisted in `dir`: a
+    /// [`CheckpointedMiner`] that journals every pushed batch, folds the
+    /// journal into full checkpoints per [`CheckpointPolicy`], and can
+    /// be rebuilt after a crash with
+    /// [`CheckpointedMiner::recover`]. When `dir` already holds a
+    /// checkpoint the persisted session is recovered instead — `db` is
+    /// ignored and the returned report says what was restored.
+    ///
+    /// [`CheckpointedMiner`]: crate::checkpoint::CheckpointedMiner
+    /// [`CheckpointedMiner::recover`]: crate::checkpoint::CheckpointedMiner::recover
+    /// [`CheckpointPolicy`]: crate::checkpoint::CheckpointPolicy
+    pub fn checkpointing(
+        &self,
+        db: TransactionDb,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<
+        (
+            crate::checkpoint::CheckpointedMiner,
+            Option<crate::checkpoint::RecoveryReport>,
+        ),
+        crate::checkpoint::RecoveryError,
+    > {
+        crate::checkpoint::CheckpointedMiner::open(self, db, dir)
+    }
+
     // Configuration accessors for the fused pipeline (same crate).
     pub(crate) fn min_support_config(&self) -> MinSupport {
         self.min_support

@@ -778,6 +778,22 @@ impl RuleServer {
     pub fn miner(&self) -> &StreamingMiner {
         &self.miner
     }
+
+    /// Writes a crash-safe snapshot of the serving session's writer
+    /// state into `dir` as a fresh checkpoint generation (temp-write →
+    /// flush → atomic rename; see the [checkpoint
+    /// format](crate::checkpoint)). Readers are unaffected — the
+    /// snapshot is taken from the writer side between batches. The
+    /// persisted session can later be rebuilt with
+    /// [`CheckpointedMiner::recover`] and re-wrapped in a server.
+    ///
+    /// [`CheckpointedMiner::recover`]: crate::checkpoint::CheckpointedMiner::recover
+    pub fn checkpoint(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<std::path::PathBuf, crate::checkpoint::CheckpointError> {
+        crate::checkpoint::write_snapshot(&self.miner, dir)
+    }
 }
 
 #[cfg(test)]

@@ -96,12 +96,13 @@ use crate::fused::{derive_frequent, min_count_for, PipelineKind};
 use crate::miner::{MinedBases, RuleMiner};
 use crate::rule::Rule;
 use rulebases_dataset::{
-    DatasetError, DeltaError, Itemset, MiningContext, Support, TransactionDb, TxDelta,
+    DatasetError, DeltaError, EngineKind, Itemset, MiningContext, Support, TransactionDb, TxDelta,
 };
 use rulebases_lattice::{
     pseudo_closed_of_family, GenStats, IncrementalLattice, LatticeDelta, PseudoClosed,
 };
-use rulebases_mining::ClosedItemsets;
+use rulebases_mining::{ClosedAlgorithm, ClosedItemsets};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -112,7 +113,7 @@ use std::sync::Arc;
 /// [`StreamingMiner::push_batch`], where the out-of-window prefix
 /// expires through the engine/lattice delta machinery (see the
 /// [module docs](self)).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Window {
     /// Keep every row ever pushed (the default).
     #[default]
@@ -979,6 +980,145 @@ impl StreamingMiner {
     pub fn n_closure_classes(&self) -> usize {
         self.lattice.n_nodes()
     }
+
+    /// Captures the whole session as its serializable wire form — the
+    /// payload [`crate::checkpoint`] frames, checksums, and persists.
+    /// The engine is recorded as the session's *resolved* backend, so a
+    /// restore rebuilds the exact same engine even when the session was
+    /// configured with [`rulebases_dataset::EngineKind::Auto`]. The
+    /// materialization cache is transient and not captured.
+    pub(crate) fn to_wire(&self) -> SessionWire {
+        SessionWire {
+            min_support: self.config.min_support_config(),
+            min_confidence: self.config.min_confidence_config(),
+            algorithm: self.config.algorithm_config(),
+            include_empty_antecedent: self.config.include_empty_antecedent_config(),
+            engine: self.ctx.resolved_kind().to_string(),
+            parallelism: self.config.parallelism_config(),
+            db: TransactionDb::clone(&self.db),
+            lattice: self.lattice.clone(),
+            window: self.window,
+            batch_sizes: self.batch_sizes.iter().copied().collect(),
+            min_count: self.state.min_count,
+            in_iceberg: self.state.in_iceberg.clone(),
+            lux_reduced: self.state.lux_reduced.values().cloned().collect(),
+            lux_full: self.state.lux_full.values().cloned().collect(),
+            dg: self.state.dg.clone(),
+            dg_nodes: self.state.dg_nodes.clone(),
+        }
+    }
+
+    /// Rebuilds a session from its wire form — the restore half of
+    /// [`StreamingMiner::to_wire`]. Deliberately **not** the seed path
+    /// of [`StreamingMiner::new`]: the lattice is installed as
+    /// persisted (tombstones, generator tags, and slot ids intact — a
+    /// seed replay would renumber the slots and recycle freed ids), the
+    /// maintained maps are rekeyed from the persisted rules, and the
+    /// support engine is *constructed* over the restored rows but never
+    /// *queried* — the whole restore performs zero support-engine calls.
+    ///
+    /// Fails (never panics) on a wire that is internally inconsistent —
+    /// the last line of defense behind the checkpoint frame's checksum.
+    pub(crate) fn from_wire(wire: SessionWire) -> Result<StreamingMiner, String> {
+        if !(0.0..=1.0).contains(&wire.min_confidence) {
+            return Err(format!(
+                "min_confidence {} outside [0, 1]",
+                wire.min_confidence
+            ));
+        }
+        let engine: EngineKind = wire
+            .engine
+            .parse()
+            .map_err(|e| format!("engine {:?}: {e}", wire.engine))?;
+        let n = wire.lattice.n_nodes();
+        if wire.in_iceberg.len() != n {
+            return Err(format!(
+                "iceberg flags cover {} slots, lattice has {n}",
+                wire.in_iceberg.len()
+            ));
+        }
+        if wire.dg_nodes.len() != wire.dg.len() {
+            return Err(format!(
+                "{} pseudo-closed sets but {} closure node ids",
+                wire.dg.len(),
+                wire.dg_nodes.len()
+            ));
+        }
+        if let Some(&bad) = wire
+            .dg_nodes
+            .iter()
+            .find(|&&id| id >= n || !wire.lattice.is_live(id))
+        {
+            return Err(format!("pseudo-closure node {bad} is not a live class"));
+        }
+        let config = RuleMiner::new(wire.min_support)
+            .min_confidence(wire.min_confidence)
+            .algorithm(wire.algorithm)
+            .include_empty_antecedent(wire.include_empty_antecedent)
+            .engine(engine)
+            .parallelism(wire.parallelism);
+        let db = Arc::new(wire.db);
+        let ctx = MiningContext::with_engine_arc_par(
+            Arc::clone(&db),
+            config.engine_config(),
+            config.parallelism_config(),
+        );
+        let state = MaintainedBases {
+            min_count: wire.min_count,
+            in_iceberg: wire.in_iceberg,
+            lux_reduced: wire
+                .lux_reduced
+                .into_iter()
+                .map(|r| (r.sort_key(), r))
+                .collect(),
+            lux_full: wire
+                .lux_full
+                .into_iter()
+                .map(|r| (r.sort_key(), r))
+                .collect(),
+            dg: wire.dg,
+            dg_nodes: wire.dg_nodes,
+        };
+        Ok(StreamingMiner {
+            config,
+            db,
+            ctx,
+            lattice: wire.lattice,
+            state,
+            window: wire.window,
+            batch_sizes: wire.batch_sizes.into(),
+            cached: None,
+        })
+    }
+}
+
+/// The on-wire shape of a [`StreamingMiner`] session: configuration
+/// (thresholds, resolved engine, thread policy), the grown database,
+/// the incremental lattice with its tombstones and generator tags, the
+/// maintained base maps (flattened to canonical rule lists — the map
+/// keys are [`Rule::sort_key`] and are rebuilt on restore), and the
+/// window policy with its TTL aging ledger. [`crate::checkpoint`] wraps
+/// this in a versioned, checksummed frame; the shape itself is plain
+/// serde so the lattice and dataset layers own their own encodings.
+#[derive(Serialize, Deserialize)]
+pub(crate) struct SessionWire {
+    pub(crate) min_support: rulebases_dataset::MinSupport,
+    pub(crate) min_confidence: f64,
+    pub(crate) algorithm: ClosedAlgorithm,
+    pub(crate) include_empty_antecedent: bool,
+    /// The resolved [`EngineKind`], in its `Display`/`FromStr` form.
+    pub(crate) engine: String,
+    pub(crate) parallelism: rulebases_dataset::Parallelism,
+    pub(crate) db: TransactionDb,
+    pub(crate) lattice: IncrementalLattice,
+    pub(crate) window: Window,
+    pub(crate) batch_sizes: Vec<usize>,
+    pub(crate) min_count: Support,
+    pub(crate) in_iceberg: Vec<bool>,
+    pub(crate) lux_reduced: Vec<Rule>,
+    pub(crate) lux_full: Vec<Rule>,
+    pub(crate) dg: Vec<PseudoClosed>,
+    pub(crate) dg_nodes: Vec<usize>,
 }
 
 #[cfg(test)]

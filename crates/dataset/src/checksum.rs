@@ -1,0 +1,90 @@
+//! A small, dependency-free checksum for on-disk integrity checks.
+//!
+//! The checkpoint layer frames every persisted payload with its length
+//! and an FNV-1a 64-bit digest, so a torn write, a flipped bit, or a
+//! truncated tail is detected before deserialization is attempted. FNV
+//! is not cryptographic — it guards against corruption, not tampering —
+//! which is exactly the failure model of a crashed process mid-write,
+//! and it needs no tables, no allocation, and no external crate.
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher, for callers that digest data in
+/// chunks (journal records, header-then-payload frames).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest of everything updated so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64-bit digest of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn chunked_updates_match_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Fnv64::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), fnv1a64(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"checkpoint payload";
+        let clean = fnv1a64(data);
+        let mut corrupt = data.to_vec();
+        for byte in 0..corrupt.len() {
+            for bit in 0..8 {
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(fnv1a64(&corrupt), clean, "flip at {byte}:{bit}");
+                corrupt[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bitset;
+pub mod checksum;
 pub mod context;
 pub mod engine;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod transaction;
 pub mod vertical;
 
 pub use bitset::BitSet;
+pub use checksum::{fnv1a64, Fnv64};
 pub use context::MiningContext;
 pub use engine::{
     AppendDelta, CacheStats, CachedEngine, DeltaError, DeltaSupportEngine, EngineKind, ExpireDelta,

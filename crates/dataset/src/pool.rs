@@ -18,6 +18,7 @@
 //!
 //! [`ShardedEngine`]: crate::engine::ShardedEngine
 
+use serde::{Deserialize, Serialize};
 use std::num::NonZeroUsize;
 
 /// Environment variable overriding [`Parallelism::Auto`]'s thread count
@@ -34,7 +35,7 @@ pub const THREADS_ENV: &str = "RULEBASES_THREADS";
 /// request is honoured even when the workload looks too small to bother,
 /// which is what the equivalence tests use to force the threaded paths
 /// on tiny contexts.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Parallelism {
     /// `RULEBASES_THREADS` if set, else the machine's available
     /// parallelism.

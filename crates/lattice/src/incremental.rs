@@ -103,6 +103,7 @@
 
 use crate::lattice::IcebergLattice;
 use rulebases_dataset::{Itemset, Support};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Work counters for minimal-generator maintenance — accumulated per
@@ -113,7 +114,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// tag update is a local extension/subsumption rule, never a
 /// from-scratch transversal recomputation over a node's full
 /// lower-cover family.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GenStats {
     /// One-item extension candidates `g ∪ {a}` examined.
     pub candidates: u64,
@@ -145,7 +146,7 @@ impl GenStats {
 /// the pre-maintenance behavior, retained as the differential-testing
 /// oracle and the ablation bench's baseline (the same pattern as the
 /// scalar kernels backing the wide counting paths).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GenMaintenance {
     /// Delta-sized local rules: inherit on split, one-item Berge
     /// constraint step on cover gain, donate + minimize on merge.
@@ -952,6 +953,94 @@ impl IncrementalLattice {
     /// generator tags.
     pub fn into_lattice(self) -> IcebergLattice {
         self.finish().0
+    }
+}
+
+/// The on-wire shape of an [`IncrementalLattice`]: every slot — live or
+/// tombstoned — with its intent, support, cover lists, generator tags,
+/// and liveness, plus the maintenance mode and lifetime counters. Dead
+/// slots are serialized too (intent kept, covers/tags empty) so node
+/// ids survive the persistence boundary unchanged: id-keyed bookkeeping
+/// in downstream consumers must stay resolvable after a restore, and
+/// freed ids must stay unrecycled. The `index` is derived state,
+/// rebuilt from the live slots on deserialization.
+#[derive(Serialize, Deserialize)]
+struct IncrementalLatticeWire {
+    nodes: Vec<(Itemset, Support)>,
+    upper: Vec<Vec<usize>>,
+    lower: Vec<Vec<usize>>,
+    generators: Vec<Vec<Itemset>>,
+    alive: Vec<bool>,
+    gen_mode: GenMaintenance,
+    stats: GenStats,
+}
+
+impl Serialize for IncrementalLattice {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("upper".to_string(), self.upper.to_value()),
+            ("lower".to_string(), self.lower.to_value()),
+            ("generators".to_string(), self.generators.to_value()),
+            ("alive".to_string(), self.alive.to_value()),
+            ("gen_mode".to_string(), self.gen_mode.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for IncrementalLattice {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let wire = IncrementalLatticeWire::from_value(v)?;
+        let n = wire.nodes.len();
+        if wire.upper.len() != n
+            || wire.lower.len() != n
+            || wire.generators.len() != n
+            || wire.alive.len() != n
+        {
+            return Err(serde::Error::custom(
+                "lattice slot vectors disagree in length",
+            ));
+        }
+        // The covering relation must be a symmetric pair of adjacency
+        // lists over live slots: a corrupt payload that passed the frame
+        // checksum must still never build a half-consistent diagram.
+        for (id, covers) in wire.upper.iter().enumerate() {
+            for &u in covers {
+                if u >= n || !wire.alive[u] || !wire.alive[id] {
+                    return Err(serde::Error::custom("upper cover outside the live diagram"));
+                }
+                if !wire.lower[u].contains(&id) {
+                    return Err(serde::Error::custom("cover lists out of sync"));
+                }
+            }
+        }
+        for (id, covers) in wire.lower.iter().enumerate() {
+            for &l in covers {
+                if l >= n || !wire.alive[l] || !wire.alive[id] {
+                    return Err(serde::Error::custom("lower cover outside the live diagram"));
+                }
+                if !wire.upper[l].contains(&id) {
+                    return Err(serde::Error::custom("cover lists out of sync"));
+                }
+            }
+        }
+        let mut index = HashMap::with_capacity(n);
+        for (id, (set, _)) in wire.nodes.iter().enumerate() {
+            if wire.alive[id] && index.insert(set.clone(), id).is_some() {
+                return Err(serde::Error::custom("duplicate live intent"));
+            }
+        }
+        Ok(IncrementalLattice {
+            nodes: wire.nodes,
+            index,
+            upper: wire.upper,
+            lower: wire.lower,
+            generators: wire.generators,
+            alive: wire.alive,
+            gen_mode: wire.gen_mode,
+            stats: wire.stats,
+        })
     }
 }
 

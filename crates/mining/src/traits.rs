@@ -6,6 +6,7 @@ use crate::close::Close;
 use crate::itemsets::{ClosedItemsets, FrequentItemsets, MiningStats};
 use crate::sink::ClosedSink;
 use rulebases_dataset::{MinSupport, MiningContext, Parallelism, SupportEngine};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A miner producing all frequent itemsets.
@@ -26,7 +27,7 @@ pub trait ClosedMiner {
 
 /// Which closed-itemset algorithm to run — the paper's two (Close,
 /// A-Close) plus the CHARM cross-check.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ClosedAlgorithm {
     /// Levelwise generators with per-level closures (Pasquier et al. 1999).
     #[default]

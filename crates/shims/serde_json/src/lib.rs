@@ -13,9 +13,23 @@ use std::fmt;
 pub struct Error(String);
 
 impl Error {
-    fn new(msg: impl fmt::Display) -> Self {
-        Error(msg.to_string())
+    /// An error anchored at byte `pos` of the document, reported with
+    /// the byte offset *and* the 1-based line/column so a truncated or
+    /// corrupt document can be located without counting bytes by hand.
+    fn at(msg: impl fmt::Display, bytes: &[u8], pos: usize) -> Self {
+        let (line, column) = line_col(bytes, pos);
+        Error(format!(
+            "{msg} at byte {pos} (line {line}, column {column})"
+        ))
     }
+}
+
+/// 1-based line/column of byte offset `pos` (clamped to the document).
+fn line_col(bytes: &[u8], pos: usize) -> (usize, usize) {
+    let upto = &bytes[..pos.min(bytes.len())];
+    let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+    let column = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, column)
 }
 
 impl fmt::Display for Error {
@@ -52,7 +66,7 @@ pub fn parse(s: &str) -> Result<Value, Error> {
     let value = parse_value(s, bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(Error::new(format!("trailing input at byte {pos}")));
+        return Err(Error::at("trailing input", bytes, pos));
     }
     Ok(value)
 }
@@ -125,7 +139,7 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
 fn parse_value(s: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err(Error::new("unexpected end of input")),
+        None => Err(Error::at("unexpected end of input", bytes, *pos)),
         Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
         Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
@@ -147,7 +161,7 @@ fn parse_value(s: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                         *pos += 1;
                         return Ok(Value::Array(items));
                     }
-                    _ => return Err(Error::new(format!("expected ',' or ']' at byte {pos}"))),
+                    _ => return Err(Error::at("expected ',' or ']'", bytes, *pos)),
                 }
             }
         }
@@ -164,7 +178,7 @@ fn parse_value(s: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                 let key = parse_string(s, bytes, pos)?;
                 skip_ws(bytes, pos);
                 if bytes.get(*pos) != Some(&b':') {
-                    return Err(Error::new(format!("expected ':' at byte {pos}")));
+                    return Err(Error::at("expected ':'", bytes, *pos));
                 }
                 *pos += 1;
                 let value = parse_value(s, bytes, pos)?;
@@ -176,7 +190,7 @@ fn parse_value(s: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                         *pos += 1;
                         return Ok(Value::Object(fields));
                     }
-                    _ => return Err(Error::new(format!("expected ',' or '}}' at byte {pos}"))),
+                    _ => return Err(Error::at("expected ',' or '}'", bytes, *pos)),
                 }
             }
         }
@@ -189,7 +203,7 @@ fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<V
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(Error::new(format!("invalid literal at byte {pos}")))
+        Err(Error::at("invalid literal", bytes, *pos))
     }
 }
 
@@ -206,18 +220,18 @@ fn parse_number(s: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, Error> 
     s[start..*pos]
         .parse::<f64>()
         .map(Value::Number)
-        .map_err(|e| Error::new(format!("invalid number at byte {start}: {e}")))
+        .map_err(|e| Error::at(format!("invalid number ({e})"), bytes, start))
 }
 
 fn parse_string(s: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
     if bytes.get(*pos) != Some(&b'"') {
-        return Err(Error::new(format!("expected string at byte {pos}")));
+        return Err(Error::at("expected string", bytes, *pos));
     }
     *pos += 1;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err(Error::new("unterminated string")),
+            None => return Err(Error::at("unterminated string", bytes, *pos)),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -236,22 +250,25 @@ fn parse_string(s: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Error>
                     Some(b'u') => {
                         let hex = s
                             .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            .ok_or_else(|| Error::at("truncated \\u escape", bytes, *pos))?;
                         let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            .map_err(|_| Error::at("invalid \\u escape", bytes, *pos))?;
                         // Surrogate pairs are not produced by the writer;
                         // map unpaired surrogates to the replacement char.
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(Error::new("invalid escape")),
+                    _ => return Err(Error::at("invalid escape", bytes, *pos)),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 character.
                 let rest = &s[*pos..];
-                let c = rest.chars().next().ok_or_else(|| Error::new("bad utf8"))?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| Error::at("bad utf8", bytes, *pos))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -303,5 +320,39 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(parse("1 2").is_err());
         assert!(parse("{").is_err());
+    }
+
+    #[test]
+    fn truncated_document_reports_byte_and_line() {
+        // Truncated mid-array on one line: the error names the exact
+        // byte where the document ended and its line/column.
+        let err = parse(r#"{"a": [1, 2"#).unwrap_err().to_string();
+        assert_eq!(err, "expected ',' or ']' at byte 11 (line 1, column 12)");
+
+        // Truncated after a newline: the line counter advances.
+        let err = parse("[1,\n2,\n").unwrap_err().to_string();
+        assert_eq!(err, "unexpected end of input at byte 7 (line 3, column 1)");
+
+        // A string torn mid-way is positioned too.
+        let err = parse("{\"a\": \"unterminated").unwrap_err().to_string();
+        assert_eq!(err, "unterminated string at byte 19 (line 1, column 20)");
+    }
+
+    #[test]
+    fn corrupt_documents_report_positions() {
+        for (doc, needle) in [
+            ("[1, 2] trailing", "trailing input at byte 7"),
+            ("nul", "invalid literal at byte 0"),
+            ("[1, 1.2.3]", "invalid number"),
+            ("{3: 4}", "expected string at byte 1"),
+            ("{\"a\" 4}", "expected ':' at byte 5"),
+            ("{\"a\": 4 \"b\"}", "expected ',' or '}' at byte 8"),
+            ("\"bad \\q escape\"", "invalid escape at byte 6"),
+            ("\"half \\u00", "truncated \\u escape at byte 7"),
+        ] {
+            let err = parse(doc).unwrap_err().to_string();
+            assert!(err.contains(needle), "{doc:?}: {err}");
+            assert!(err.contains("line 1"), "{doc:?}: {err}");
+        }
     }
 }

@@ -1,0 +1,437 @@
+//! Crash-safe session recovery: the checkpoint/journal contract.
+//!
+//! The contract of `RuleMiner::checkpointing`: dropping a durable
+//! session at *any* point and recovering its directory rebuilds exactly
+//! the pre-crash session — database, lattice (including tombstoned slot
+//! ids and generator tags), maintained bases, window state, and the TTL
+//! batch ledger — over any engine backend, batch schedule, and window
+//! policy, with **zero** support-engine calls during the restore. Full
+//! state equality is asserted byte-for-byte on the session's canonical
+//! wire form, so nothing the session persists can silently drift.
+//!
+//! The fault half of the contract: truncating the newest checkpoint or
+//! journal at *every byte boundary* (and flipping bits, and dropping
+//! the atomic rename) yields either an exact restore from the fallback
+//! generation or a cleanly reported lost suffix / typed error — never a
+//! panic, never a silently wrong session.
+//!
+//! Case counts respect the `PROPTEST_CASES` environment variable so the
+//! 1-CPU suite stays inside its budget.
+
+use proptest::prelude::*;
+use rulebases::checkpoint::{
+    write_snapshot, CheckpointPolicy, CheckpointedMiner, FaultFs, RecoveryError,
+};
+use rulebases::{RuleMiner, StreamingMiner, Window};
+use rulebases_dataset::{EngineKind, MinSupport, TransactionDb};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The batch schedules the streaming suite pins: row-at-a-time, a ragged
+/// prime, the 64-aligned shard quantum, and everything at once.
+const BATCH_SIZES: [usize; 4] = [1, 7, 64, usize::MAX];
+
+/// Deterministic correlated rows over 14 items (the streaming suite's
+/// generator): enough structure that checkpoints land across splits,
+/// interpositions, class deaths, and generator retags.
+fn census_rows(n: usize) -> Vec<Vec<u32>> {
+    (0..n as u32)
+        .map(|t| vec![t % 4, 4 + t % 3, 7 + t % 2, 9 + (t / 7) % 5])
+        .collect()
+}
+
+/// A self-cleaning unique temp directory (the offline environment has no
+/// tempfile crate).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "rulebases-recovery-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The JSON payload of a checkpoint file (everything after the header
+/// line) — the session's canonical wire form.
+fn read_payload(path: &Path) -> String {
+    let bytes = fs::read(path).unwrap();
+    let nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+    String::from_utf8(bytes[nl + 1..].to_vec()).unwrap()
+}
+
+/// A live session's canonical wire form, via a throwaway snapshot.
+fn wire_of(session: &StreamingMiner) -> String {
+    let dir = TempDir::new("wire");
+    let path = write_snapshot(session, dir.path()).unwrap();
+    read_payload(&path)
+}
+
+/// The checkpoint recovery folded for a freshly recovered miner — its
+/// payload IS the recovered session's wire form.
+fn folded_payload(miner: &CheckpointedMiner) -> String {
+    read_payload(
+        &miner
+            .dir()
+            .join(format!("checkpoint-{:06}.ckpt", miner.generation())),
+    )
+}
+
+// One case pushes the same schedule through a durable session and a
+// plain in-memory twin per backend, crashes the durable one, and demands
+// the recovered wire form be byte-identical to the twin's.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn recovered_session_is_the_pre_crash_session(
+        n_rows in 4usize..40,
+        batch_idx in 0usize..4,
+        window_idx in 0usize..3,
+        shards in 1usize..=3,
+        fold_every in 1usize..5,
+    ) {
+        let rows = census_rows(n_rows);
+        let batch = BATCH_SIZES[batch_idx];
+        let window = [Window::Unbounded, Window::Sliding(16), Window::Ttl(2)][window_idx];
+        let mut grid: Vec<EngineKind> = EngineKind::BACKENDS.to_vec();
+        grid.push(EngineKind::Sharded {
+            shards,
+            inner: Box::new(EngineKind::Auto),
+        });
+        for kind in grid {
+            let label = format!("{kind} / batch {batch} / {window:?} / fold {fold_every}");
+            let dir = TempDir::new("prop");
+            let config = RuleMiner::new(MinSupport::Count(2))
+                .min_confidence(0.5)
+                .engine(kind.clone());
+            let (ckpt, report) = config
+                .checkpointing(TransactionDb::from_rows(vec![]), dir.path())
+                .unwrap();
+            prop_assert!(report.is_none(), "{}: fresh dir must not recover", label);
+            let mut ckpt = ckpt.policy(CheckpointPolicy {
+                every_batches: fold_every,
+                every_journal_bytes: u64::MAX,
+            });
+            ckpt.set_window(window).unwrap();
+            let mut twin = config
+                .streaming(TransactionDb::from_rows(vec![]))
+                .window(window);
+            for chunk in rows.chunks(batch.min(rows.len())) {
+                ckpt.push_batch(chunk.to_vec()).unwrap();
+                twin.push_batch(chunk.to_vec()).unwrap();
+            }
+            drop(ckpt); // crash
+
+            let (mut recovered, report) = CheckpointedMiner::recover(dir.path()).unwrap();
+            prop_assert!(report.lost.is_none(), "{}: {:?}", label, report.lost);
+            prop_assert_eq!(
+                report.restore_engine_calls, 0,
+                "{}: restore must not query the support engine", label
+            );
+            prop_assert_eq!(
+                report.replay_engine_calls, 0,
+                "{}: replay must stay on the delta path", label
+            );
+
+            // Full-state equality, byte for byte: db, lattice incl.
+            // tombstones and generator tags, bases, window, TTL ledger.
+            prop_assert_eq!(folded_payload(&recovered), wire_of(&twin), "{}", label);
+
+            // The recovered session keeps streaming identically.
+            let extra = census_rows(n_rows + 5).split_off(n_rows);
+            let d1 = recovered.push_batch(extra.clone()).unwrap();
+            let d2 = twin.push_batch(extra).unwrap();
+            prop_assert_eq!(d1.n_objects, d2.n_objects, "{}", label);
+            prop_assert_eq!(
+                recovered.bases().dg.rules(),
+                twin.bases().dg.rules(),
+                "{}: DG basis after post-recovery push", label
+            );
+            prop_assert_eq!(
+                recovered.bases().lux_reduced.rules(),
+                twin.bases().lux_reduced.rules(),
+                "{}: reduced Luxenburger basis after post-recovery push", label
+            );
+            prop_assert_eq!(wire_of(recovered.session()), wire_of(&twin), "{}", label);
+        }
+    }
+}
+
+/// The two-generation fixture every fault test corrupts: seed of 6 rows
+/// (checkpoint 1), two journaled batches (journal 1), an explicit fold
+/// (checkpoint 2), one more journaled batch (journal 2). Returns the
+/// directory, the pristine file contents, and the expected wire forms
+/// after batch 2 (`mid`) and batch 3 (`full`).
+#[allow(clippy::type_complexity)]
+fn two_generation_fixture() -> (TempDir, Vec<(PathBuf, Vec<u8>)>, String, String) {
+    let rows = census_rows(12);
+    let config = RuleMiner::new(MinSupport::Count(2)).min_confidence(0.5);
+    let dir = TempDir::new("fault");
+    let (ckpt, report) = config
+        .checkpointing(TransactionDb::from_rows(rows[..6].to_vec()), dir.path())
+        .unwrap();
+    assert!(report.is_none());
+    let mut ckpt = ckpt.policy(CheckpointPolicy {
+        every_batches: usize::MAX,
+        every_journal_bytes: u64::MAX,
+    });
+    ckpt.push_batch(rows[6..8].to_vec()).unwrap();
+    ckpt.push_batch(rows[8..10].to_vec()).unwrap();
+    ckpt.checkpoint_now().unwrap();
+    assert_eq!(ckpt.generation(), 2);
+    ckpt.push_batch(rows[10..12].to_vec()).unwrap();
+    drop(ckpt); // crash
+
+    let mut twin = config.streaming(TransactionDb::from_rows(rows[..6].to_vec()));
+    twin.push_batch(rows[6..8].to_vec()).unwrap();
+    twin.push_batch(rows[8..10].to_vec()).unwrap();
+    let mid = wire_of(&twin);
+    twin.push_batch(rows[10..12].to_vec()).unwrap();
+    let full = wire_of(&twin);
+
+    let files = fs::read_dir(dir.path())
+        .unwrap()
+        .map(|e| {
+            let path = e.unwrap().path();
+            let bytes = fs::read(&path).unwrap();
+            (path, bytes)
+        })
+        .collect();
+    (dir, files, mid, full)
+}
+
+/// Rewinds the fixture directory to its pristine post-crash contents
+/// (recovery folds new generations and retires old ones, so every sweep
+/// iteration starts from scratch).
+fn reset_dir(dir: &Path, files: &[(PathBuf, Vec<u8>)]) {
+    fs::remove_dir_all(dir).unwrap();
+    fs::create_dir_all(dir).unwrap();
+    for (path, bytes) in files {
+        fs::write(path, bytes).unwrap();
+    }
+}
+
+#[test]
+fn truncating_the_newest_checkpoint_at_every_byte_falls_back_exactly() {
+    let (dir, files, _mid, full) = two_generation_fixture();
+    let ckpt2 = dir.path().join("checkpoint-000002.ckpt");
+    let len = fs::read(&ckpt2).unwrap().len();
+    for cut in 0..=len as u64 {
+        reset_dir(dir.path(), &files);
+        FaultFs::new().truncate_at(cut).apply_to(&ckpt2).unwrap();
+        let (recovered, report) =
+            CheckpointedMiner::recover(dir.path()).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        // Nothing is ever lost: a broken checkpoint 2 falls back to
+        // checkpoint 1, whose journal still holds every folded batch.
+        assert!(report.lost.is_none(), "cut {cut}: {:?}", report.lost);
+        assert_eq!(report.restore_engine_calls, 0, "cut {cut}");
+        if (cut as usize) < len {
+            assert_eq!(report.checkpoint_seq, 1, "cut {cut}");
+            assert!(!report.skipped.is_empty(), "cut {cut}: rejection recorded");
+            assert_eq!(report.batches_replayed, 3, "cut {cut}");
+        } else {
+            assert_eq!(report.checkpoint_seq, 2, "uncut file must restore");
+        }
+        assert_eq!(folded_payload(&recovered), full, "cut {cut}");
+    }
+}
+
+#[test]
+fn truncating_the_newest_journal_at_every_byte_restores_or_names_the_loss() {
+    let (dir, files, mid, full) = two_generation_fixture();
+    let journal2 = dir.path().join("journal-000002.log");
+    let len = fs::read(&journal2).unwrap().len();
+    for cut in 0..=len as u64 {
+        reset_dir(dir.path(), &files);
+        FaultFs::new().truncate_at(cut).apply_to(&journal2).unwrap();
+        let (recovered, report) =
+            CheckpointedMiner::recover(dir.path()).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        assert_eq!(report.checkpoint_seq, 2, "cut {cut}");
+        if cut == 0 {
+            // A cleanly empty journal: the fold-time state, nothing lost.
+            assert!(report.lost.is_none(), "cut 0");
+            assert_eq!(folded_payload(&recovered), mid, "cut 0");
+        } else if (cut as usize) < len {
+            // A torn record: the loss names the file and the byte where
+            // the valid prefix ends, and the restore is exactly that
+            // prefix — never a half-applied batch.
+            let lost = report.lost.as_ref().unwrap_or_else(|| panic!("cut {cut}"));
+            assert_eq!(lost.path, journal2, "cut {cut}");
+            assert_eq!(lost.valid_bytes, 0, "cut {cut}");
+            assert_eq!(folded_payload(&recovered), mid, "cut {cut}");
+        } else {
+            assert!(report.lost.is_none(), "uncut journal");
+            assert_eq!(folded_payload(&recovered), full, "uncut journal");
+        }
+    }
+}
+
+#[test]
+fn flipping_bits_in_the_newest_checkpoint_never_goes_unnoticed() {
+    let (dir, files, _mid, full) = two_generation_fixture();
+    let ckpt2 = dir.path().join("checkpoint-000002.ckpt");
+    let bytes = fs::read(&ckpt2).unwrap();
+    let header_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    // Every 13th byte, every bit. A payload flip must always break the
+    // FNV digest (which detects every single-bit flip) and fall back to
+    // checkpoint 1; a header flip either breaks the frame parse (fall
+    // back) or is semantically neutral — e.g. flipping the case of a
+    // hex digit in the checksum field — in which case checkpoint 2
+    // restores as written. Either way the recovered state is exact.
+    for byte in (0..bytes.len() as u64).step_by(13) {
+        for bit in 0..8 {
+            reset_dir(dir.path(), &files);
+            FaultFs::new().flip_bit(byte, bit).apply_to(&ckpt2).unwrap();
+            let (recovered, report) = CheckpointedMiner::recover(dir.path())
+                .unwrap_or_else(|e| panic!("byte {byte} bit {bit}: {e}"));
+            if byte >= header_len as u64 {
+                assert_eq!(report.checkpoint_seq, 1, "byte {byte} bit {bit}");
+            }
+            assert!(report.lost.is_none(), "byte {byte} bit {bit}");
+            assert_eq!(folded_payload(&recovered), full, "byte {byte} bit {bit}");
+        }
+    }
+}
+
+#[test]
+fn a_dropped_rename_leaves_the_previous_generation_authoritative() {
+    let rows = census_rows(10);
+    let config = RuleMiner::new(MinSupport::Count(2)).min_confidence(0.5);
+    let dir = TempDir::new("rename");
+    let (ckpt, _) = config
+        .checkpointing(TransactionDb::from_rows(rows[..6].to_vec()), dir.path())
+        .unwrap();
+    let mut ckpt = ckpt.policy(CheckpointPolicy {
+        every_batches: usize::MAX,
+        every_journal_bytes: u64::MAX,
+    });
+    ckpt.push_batch(rows[6..10].to_vec()).unwrap();
+    let tmp = ckpt.checkpoint_with(&FaultFs::new().drop_rename()).unwrap();
+    assert!(tmp.extension().unwrap().to_str().unwrap().contains("tmp"));
+    assert!(!dir.path().join("checkpoint-000002.ckpt").exists());
+    assert_eq!(ckpt.generation(), 1, "a dropped rename must not commit");
+    drop(ckpt); // crash between flush and rename
+
+    let mut twin = config.streaming(TransactionDb::from_rows(rows[..6].to_vec()));
+    twin.push_batch(rows[6..10].to_vec()).unwrap();
+
+    let (recovered, report) = CheckpointedMiner::recover(dir.path()).unwrap();
+    assert_eq!(report.checkpoint_seq, 1);
+    assert!(report.lost.is_none());
+    assert_eq!(report.batches_replayed, 1);
+    assert_eq!(folded_payload(&recovered), wire_of(&twin));
+}
+
+#[test]
+fn a_journal_gap_is_reported_as_the_lost_suffix() {
+    let (dir, files, _mid, _full) = two_generation_fixture();
+    reset_dir(dir.path(), &files);
+    // Corrupt checkpoint 2 and remove journal 1: recovery falls back to
+    // checkpoint 1, but the batches between checkpoints are gone, and
+    // replaying journal 2 without them would be silently wrong — so the
+    // replay stops at the gap and names it.
+    FaultFs::new()
+        .flip_bit(40, 3)
+        .apply_to(&dir.path().join("checkpoint-000002.ckpt"))
+        .unwrap();
+    fs::remove_file(dir.path().join("journal-000001.log")).unwrap();
+    let (_, report) = CheckpointedMiner::recover(dir.path()).unwrap();
+    assert_eq!(report.checkpoint_seq, 1);
+    assert_eq!(report.batches_replayed, 0);
+    let lost = report.lost.expect("the gap must be reported");
+    assert!(
+        lost.detail.contains("generation 1 is missing"),
+        "{}",
+        lost.detail
+    );
+}
+
+#[test]
+fn an_unknown_format_version_is_skipped_with_a_typed_reason() {
+    let (dir, files, _mid, full) = two_generation_fixture();
+    reset_dir(dir.path(), &files);
+    fs::write(
+        dir.path().join("checkpoint-000003.ckpt"),
+        b"rulebases-ckpt v9 len=0 fnv=0000000000000000\n",
+    )
+    .unwrap();
+    let (recovered, report) = CheckpointedMiner::recover(dir.path()).unwrap();
+    assert_eq!(report.checkpoint_seq, 2);
+    assert!(report
+        .skipped
+        .iter()
+        .any(|s| s.contains("format version 9")));
+    assert!(report.lost.is_none());
+    assert_eq!(folded_payload(&recovered), full);
+}
+
+#[test]
+fn recovering_an_empty_directory_is_a_typed_error() {
+    let dir = TempDir::new("empty");
+    fs::create_dir_all(dir.path()).unwrap();
+    match CheckpointedMiner::recover(dir.path()) {
+        Err(RecoveryError::NoCheckpoint { .. }) => {}
+        other => panic!("expected NoCheckpoint, got {other:?}"),
+    }
+    // A directory with a journal but no checkpoint is just as dead.
+    fs::write(dir.path().join("journal-000001.log"), b"").unwrap();
+    assert!(matches!(
+        CheckpointedMiner::recover(dir.path()),
+        Err(RecoveryError::NoCheckpoint { .. })
+    ));
+}
+
+#[test]
+fn open_resumes_an_existing_directory_and_ignores_the_seed() {
+    let rows = census_rows(12);
+    let config = RuleMiner::new(MinSupport::Count(2)).min_confidence(0.5);
+    let dir = TempDir::new("resume");
+    let (mut ckpt, _) = config
+        .checkpointing(TransactionDb::from_rows(rows[..6].to_vec()), dir.path())
+        .unwrap();
+    ckpt.push_batch(rows[6..9].to_vec()).unwrap();
+    drop(ckpt);
+
+    let mut twin = config.streaming(TransactionDb::from_rows(rows[..6].to_vec()));
+    twin.push_batch(rows[6..9].to_vec()).unwrap();
+
+    // Re-opening with a different (wrong) seed must recover, not reseed.
+    let (reopened, report) = config
+        .checkpointing(TransactionDb::from_rows(rows[9..12].to_vec()), dir.path())
+        .unwrap();
+    let report = report.expect("an existing directory must recover");
+    assert!(report.lost.is_none());
+    assert_eq!(report.restore_engine_calls, 0);
+    assert_eq!(folded_payload(&reopened), wire_of(&twin));
+}
+
+#[test]
+fn a_serving_session_snapshots_into_the_same_format() {
+    let rows = census_rows(10);
+    let config = RuleMiner::new(MinSupport::Count(2)).min_confidence(0.5);
+    let server = config.serving(TransactionDb::from_rows(rows.clone()));
+    let dir = TempDir::new("serve");
+    let path = server.checkpoint(dir.path()).unwrap();
+    assert_eq!(read_payload(&path), wire_of(server.miner()));
+    let (recovered, report) = CheckpointedMiner::recover(dir.path()).unwrap();
+    assert!(report.lost.is_none());
+    assert_eq!(report.restore_engine_calls, 0);
+    assert_eq!(folded_payload(&recovered), wire_of(server.miner()));
+}
